@@ -1,0 +1,92 @@
+// Regenerates Figure 8: the three BFS optimization ablations on the four
+// datasets the paper uses (hollywood, kron, rgg, roadnet analogs):
+//   left  — fine-grained (TWC) vs coarse-grained (load-balanced) advance
+//   mid   — idempotent vs non-idempotent operations
+//   right — forward (push) vs direction-optimal traversal
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace grx;
+  using namespace grx::bench;
+  const Cli cli(argc, argv);
+  // Full analog scale by default: the strategy crossover needs realistic
+  // work-to-launch-overhead ratios (BFS only, so this stays fast).
+  const int shrink = shrink_from(cli, /*def=*/0);
+  const std::vector<std::string> names = {"hollywood-s", "kron-s", "rgg-s",
+                                          "roadnet-s"};
+  std::map<std::string, Csr> graphs;
+  for (const auto& n : names) graphs.emplace(n, build_dataset(n, shrink));
+  const VertexId src = 0;
+
+  auto run_bfs = [&](const Csr& g, AdvanceStrategy strategy, bool idempotent,
+                     Direction dir) {
+    simt::Device dev;
+    BfsOptions opts;
+    opts.strategy = strategy;
+    opts.idempotent = idempotent;
+    opts.direction = dir;
+    const auto r = gunrock_bfs(dev, g, src, opts);
+    return r.summary.device_time_ms;
+  };
+
+  std::cout << "=== Figure 8 (left): workload-mapping ablation, BFS "
+               "simulated ms (shrink=" << shrink << ") ===\n";
+  {
+    Table t({"dataset", "fine-grained (TWC)", "coarse-grained (LB)",
+             "winner"});
+    for (const auto& n : names) {
+      const Csr& g = graphs.at(n);
+      const double fine =
+          run_bfs(g, AdvanceStrategy::kTwc, true, Direction::kPush);
+      const double coarse =
+          run_bfs(g, AdvanceStrategy::kLoadBalanced, true, Direction::kPush);
+      t.add_row({n, Table::num(fine, 3), Table::num(coarse, 3),
+                 fine < coarse ? "fine" : "coarse"});
+    }
+    std::cout << t;
+    std::cout << "expected: coarse wins on hollywood/kron (skewed), fine "
+                 "wins on rgg/roadnet (paper Fig. 8 left).\n\n";
+  }
+
+  std::cout << "=== Figure 8 (middle): idempotence ablation, BFS simulated "
+               "ms ===\n";
+  {
+    Table t({"dataset", "idempotent", "non-idempotent", "speedup"});
+    for (const auto& n : names) {
+      const Csr& g = graphs.at(n);
+      const double idem =
+          run_bfs(g, AdvanceStrategy::kAuto, true, Direction::kPush);
+      const double atomic =
+          run_bfs(g, AdvanceStrategy::kAuto, false, Direction::kPush);
+      t.add_row({n, Table::num(idem, 3), Table::num(atomic, 3),
+                 Table::num(atomic / idem, 2) + "x"});
+    }
+    std::cout << t;
+    std::cout << "expected: idempotent faster everywhere, largest gain on "
+                 "scale-free graphs (paper Fig. 8 middle).\n\n";
+  }
+
+  std::cout << "=== Figure 8 (right): traversal-direction ablation, BFS "
+               "simulated ms ===\n";
+  {
+    Table t({"dataset", "forward (push)", "direction-optimal", "speedup"});
+    for (const auto& n : names) {
+      const Csr& g = graphs.at(n);
+      const double fwd =
+          run_bfs(g, AdvanceStrategy::kAuto, true, Direction::kPush);
+      const double dopt =
+          run_bfs(g, AdvanceStrategy::kAuto, true, Direction::kOptimal);
+      t.add_row({n, Table::num(fwd, 3), Table::num(dopt, 3),
+                 Table::num(fwd / dopt, 2) + "x"});
+    }
+    std::cout << t;
+    std::cout << "expected: direction-optimal ~1.5x on scale-free "
+                 "(hollywood/kron), ~1.3x or less on rgg/roadnet — the "
+                 "paper reports 1.52x scale-free / 1.28x "
+                 "small-degree-large-diameter, with smaller benefits on "
+                 "road-like graphs (Fig. 8 right).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark): operator-level costs underlying the
+// paper tables — advance strategies on fixed frontiers, filter/compact,
+// scan, and the kernel-launch overhead that drives the fusion argument.
+// These report host wall-clock of the emulation (per-op relative costs),
+// plus the simulated device time as a counter.
+#include <benchmark/benchmark.h>
+
+#include "core/advance.hpp"
+#include "core/filter.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simt/primitives.hpp"
+
+namespace {
+
+using namespace grx;
+
+struct MarkProblem {
+  std::vector<std::uint8_t> seen;
+};
+struct MarkFunctor {
+  static bool cond_edge(VertexId, VertexId dst, EdgeId, MarkProblem& p) {
+    return simt::atomic_cas(p.seen[dst], std::uint8_t{0},
+                            std::uint8_t{1}) == 0;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, MarkProblem&) {}
+  static bool cond_vertex(VertexId, MarkProblem&) { return true; }
+  static void apply_vertex(VertexId, MarkProblem&) {}
+};
+
+const Csr& scale_free() {
+  static const Csr g = [] {
+    BuildOptions o;
+    o.symmetrize = true;
+    return build_csr(rmat(13, 16, 11), o);
+  }();
+  return g;
+}
+
+const Csr& mesh() {
+  static const Csr g = [] {
+    BuildOptions o;
+    o.symmetrize = true;
+    return build_csr(road_grid(128, 96, 0.2, 0.01, 3), o);
+  }();
+  return g;
+}
+
+void run_advance(benchmark::State& state, const Csr& g,
+                 AdvanceStrategy strategy) {
+  std::vector<std::uint32_t> seed;
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) seed.push_back(v);
+  double sim_ms = 0.0;
+  for (auto _ : state) {
+    simt::Device dev;
+    MarkProblem p;
+    p.seen.assign(g.num_vertices(), 0);
+    Frontier in, out;
+    in.assign(seed);
+    AdvanceConfig cfg;
+    cfg.strategy = strategy;
+    AdvanceWorkspace ws;
+    advance<MarkFunctor>(dev, g, in, out, p, cfg, ws);
+    benchmark::DoNotOptimize(out.items().data());
+    sim_ms = dev.counters().time_ms();
+  }
+  state.counters["sim_device_ms"] = sim_ms;
+}
+
+void BM_AdvanceThreadFine_ScaleFree(benchmark::State& s) {
+  run_advance(s, scale_free(), AdvanceStrategy::kThreadFine);
+}
+void BM_AdvanceTwc_ScaleFree(benchmark::State& s) {
+  run_advance(s, scale_free(), AdvanceStrategy::kTwc);
+}
+void BM_AdvanceLb_ScaleFree(benchmark::State& s) {
+  run_advance(s, scale_free(), AdvanceStrategy::kLoadBalanced);
+}
+void BM_AdvanceThreadFine_Mesh(benchmark::State& s) {
+  run_advance(s, mesh(), AdvanceStrategy::kThreadFine);
+}
+void BM_AdvanceTwc_Mesh(benchmark::State& s) {
+  run_advance(s, mesh(), AdvanceStrategy::kTwc);
+}
+void BM_AdvanceLb_Mesh(benchmark::State& s) {
+  run_advance(s, mesh(), AdvanceStrategy::kLoadBalanced);
+}
+BENCHMARK(BM_AdvanceThreadFine_ScaleFree);
+BENCHMARK(BM_AdvanceTwc_ScaleFree);
+BENCHMARK(BM_AdvanceLb_ScaleFree);
+BENCHMARK(BM_AdvanceThreadFine_Mesh);
+BENCHMARK(BM_AdvanceTwc_Mesh);
+BENCHMARK(BM_AdvanceLb_Mesh);
+
+void BM_FilterCompact(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::uint32_t> in(n);
+  for (std::uint32_t i = 0; i < n; ++i) in[i] = i % (n / 2 + 1);
+  MarkProblem p;
+  p.seen.assign(n, 0);
+  for (auto _ : state) {
+    simt::Device dev;
+    std::vector<std::uint32_t> out;
+    FilterConfig cfg;
+    cfg.dedup_heuristic = true;
+    FilterWorkspace ws;
+    filter_vertices<MarkFunctor>(dev, in, out, p, cfg, ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterCompact)->Range(1 << 10, 1 << 18);
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> in(n, 3);
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    simt::Device dev;
+    benchmark::DoNotOptimize(simt::exclusive_scan(dev, in, out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_ExclusiveScan)->Range(1 << 10, 1 << 20);
+
+void BM_KernelLaunchOverhead(benchmark::State& state) {
+  // The fusion argument: N tiny kernels vs one fused kernel.
+  const int launches = static_cast<int>(state.range(0));
+  double sim_us = 0.0;
+  for (auto _ : state) {
+    simt::Device dev;
+    for (int i = 0; i < launches; ++i)
+      dev.for_each("tiny", 32, [](simt::Lane& l, std::size_t) { l.alu(); });
+    sim_us = dev.counters().time_us;
+  }
+  state.counters["sim_device_us"] = sim_us;
+}
+BENCHMARK(BM_KernelLaunchOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Regenerates Table 4: average warp execution efficiency (fraction of
+// lanes active while their warp runs) for BFS, SSSP, and PageRank across
+// Gunrock, MapGraph-class, and CuSha-class engines.
+//
+// This is the paper's load-balance quality metric: Gunrock's hybrid
+// advance should dominate, the frontier GAS engine (Merrill-style mapping)
+// should be close, and the CuSha-class per-thread sweep should fall off on
+// skewed graphs (its kron column is the paper's worst cell at 50.34%).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace grx;
+  using namespace grx::bench;
+  const Cli cli(argc, argv);
+  const int shrink = shrink_from(cli, /*def=*/1);
+  const auto graphs = load_all(shrink);
+  const VertexId src = 0;
+
+  struct Prim {
+    std::string name;
+    std::function<Cell(const Csr&, VertexId)> gunrock, mapgraph, cusha;
+  };
+  const std::vector<Prim> prims = {
+      {"BFS", run_gunrock_bfs,
+       [](const Csr& g, VertexId s) {
+         return run_gas_bfs(g, s, gas::Flavor::kFrontier);
+       },
+       [](const Csr& g, VertexId s) {
+         return run_gas_bfs(g, s, gas::Flavor::kFullSweep);
+       }},
+      {"SSSP", run_gunrock_sssp,
+       [](const Csr& g, VertexId s) {
+         return run_gas_sssp(g, s, gas::Flavor::kFrontier);
+       },
+       [](const Csr& g, VertexId s) {
+         return run_gas_sssp(g, s, gas::Flavor::kFullSweep);
+       }},
+      {"PageRank", run_gunrock_pr,
+       [](const Csr& g, VertexId s) {
+         return run_gas_pr(g, s, gas::Flavor::kFrontier);
+       },
+       [](const Csr& g, VertexId s) {
+         return run_gas_pr(g, s, gas::Flavor::kFullSweep);
+       }},
+  };
+
+  std::cout << "=== Table 4: average warp execution efficiency (%, higher "
+               "is better) (shrink=" << shrink << ") ===\n";
+  std::vector<std::string> header{"alg", "framework"};
+  for (const auto& spec : datasets()) header.push_back(spec.name);
+  Table t(header);
+  for (const auto& prim : prims) {
+    const std::vector<
+        std::pair<std::string, std::function<Cell(const Csr&, VertexId)>>>
+        fw = {{"Gunrock", prim.gunrock},
+              {"MapGraph-class", prim.mapgraph},
+              {"CuSha-class", prim.cusha}};
+    for (const auto& [fname, fn] : fw) {
+      std::vector<std::string> row{prim.name, fname};
+      for (const auto& spec : datasets()) {
+        const Cell c = fn(graphs.at(spec.name), src);
+        row.push_back(Table::num(100.0 * c.warp_efficiency, 2) + "%");
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  std::cout << t << '\n';
+  std::cout << "paper reference: Gunrock 96.7-99.6% on all cells; MapGraph "
+               "87.5-99.2%; CuSha 50.3-91.0% (worst on kron).\n";
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "baselines/galois/galois.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "simt/atomic.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx::galois {
+
+void Worklist::push(std::uint32_t item) { items_.push_back(item); }
+
+bool Worklist::pop_chunk(std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (empty()) return false;
+  // FIFO (ChunkedFIFO): LIFO here would starve the initial work under
+  // heavy re-pushes (e.g. residual PageRank).
+  const std::size_t take = std::min(chunk_, items_.size() - head_);
+  out.assign(items_.begin() + static_cast<long>(head_),
+             items_.begin() + static_cast<long>(head_ + take));
+  head_ += take;
+  if (head_ > 4096 && head_ * 2 > items_.size()) {
+    items_.erase(items_.begin(), items_.begin() + static_cast<long>(head_));
+    head_ = 0;
+  }
+  return true;
+}
+
+void ObimWorklist::push(std::uint32_t item, std::uint64_t priority) {
+  const std::size_t b = static_cast<std::size_t>(priority / width_);
+  if (b >= buckets_.size()) buckets_.resize(b + 1);
+  buckets_[b].push_back(item);
+  cursor_ = std::min(cursor_, b);
+  ++count_;
+}
+
+bool ObimWorklist::pop_bucket(std::vector<std::uint32_t>& out) {
+  out.clear();
+  while (cursor_ < buckets_.size() && buckets_[cursor_].empty()) ++cursor_;
+  if (cursor_ >= buckets_.size()) return false;
+  out.swap(buckets_[cursor_]);
+  count_ -= out.size();
+  return true;
+}
+
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> depth(g.num_vertices(), kInfinity);
+  depth[source] = 0;
+  Worklist wl;
+  wl.push(source);
+  std::vector<std::uint32_t> chunk;
+  while (wl.pop_chunk(chunk)) {
+    PerThread<std::vector<std::uint32_t>> pushed;
+#pragma omp parallel for schedule(dynamic, 8)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(chunk.size());
+         ++i) {
+      const VertexId v = chunk[static_cast<std::size_t>(i)];
+      const std::uint32_t dv = simt::atomic_load(depth[v]);
+      for (VertexId u : g.neighbors(v)) {
+        // Asynchronous label correction: not level-synchronous, but the
+        // final fixed point equals BFS depths on unweighted graphs.
+        std::uint32_t du = simt::atomic_load(depth[u]);
+        while (dv + 1 < du) {
+          if (simt::atomic_cas(depth[u], du, dv + 1) == du) {
+            pushed.local().push_back(u);
+            break;
+          }
+          du = simt::atomic_load(depth[u]);
+        }
+      }
+    }
+    std::vector<std::uint32_t> flat;
+    pushed.drain_into(flat);
+    for (std::uint32_t u : flat) wl.push(u);
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> sssp(const Csr& g, VertexId source,
+                                std::uint32_t delta) {
+  GRX_CHECK(source < g.num_vertices());
+  GRX_CHECK(g.has_weights());
+  GRX_CHECK(delta > 0);
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInfinity);
+  dist[source] = 0;
+  ObimWorklist wl(delta);
+  wl.push(source, 0);
+  std::vector<std::uint32_t> bucket;
+  while (wl.pop_bucket(bucket)) {
+    PerThread<std::vector<std::pair<std::uint32_t, std::uint32_t>>> pushed;
+#pragma omp parallel for schedule(dynamic, 8)
+    for (std::ptrdiff_t i = 0;
+         i < static_cast<std::ptrdiff_t>(bucket.size()); ++i) {
+      const VertexId v = bucket[static_cast<std::size_t>(i)];
+      const std::uint32_t dv = simt::atomic_load(dist[v]);
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.edge_weights(v);
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        const std::uint32_t cand = dv + ws[k];
+        if (cand < simt::atomic_min(dist[nbrs[k]], cand))
+          pushed.local().push_back({nbrs[k], cand});
+      }
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> flat;
+    pushed.drain_into(flat);
+    for (const auto& [u, d] : flat) wl.push(u, d);
+  }
+  return dist;
+}
+
+std::vector<double> bc(const Csr& g, VertexId source) {
+  // Galois implements BC as Brandes with a level-ordered backward phase;
+  // asynchronous forward label-correction would corrupt sigma, so the
+  // forward pass stays level-ordered (as in Galois's BC application).
+  GRX_CHECK(source < g.num_vertices());
+  const VertexId n = g.num_vertices();
+  std::vector<double> bcv(n, 0.0), sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::uint32_t> depth(n, kInfinity);
+  sigma[source] = 1.0;
+  depth[source] = 0;
+  std::vector<std::vector<VertexId>> levels{{source}};
+  while (!levels.back().empty()) {
+    const auto& cur = levels.back();
+    std::vector<VertexId> next;
+    for (VertexId v : cur) {
+      for (VertexId u : g.neighbors(v)) {
+        if (depth[u] == kInfinity) {
+          depth[u] = depth[v] + 1;
+          next.push_back(u);
+        }
+        if (depth[u] == depth[v] + 1) sigma[u] += sigma[v];
+      }
+    }
+    levels.push_back(std::move(next));
+  }
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    for (VertexId v : levels[li]) {
+      for (VertexId u : g.neighbors(v))
+        if (depth[u] == depth[v] + 1 && sigma[u] > 0.0)
+          delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+      if (v != source) bcv[v] += delta[v];
+    }
+  }
+  return bcv;
+}
+
+std::vector<VertexId> connected_components(const Csr& g) {
+  // Asynchronous label propagation on the worklist.
+  std::vector<VertexId> label(g.num_vertices());
+  std::iota(label.begin(), label.end(), VertexId{0});
+  Worklist wl;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) wl.push(v);
+  std::vector<std::uint32_t> chunk;
+  while (wl.pop_chunk(chunk)) {
+    PerThread<std::vector<std::uint32_t>> pushed;
+#pragma omp parallel for schedule(dynamic, 8)
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(chunk.size());
+         ++i) {
+      const VertexId v = chunk[static_cast<std::size_t>(i)];
+      const VertexId lv = simt::atomic_load(label[v]);
+      for (VertexId u : g.neighbors(v)) {
+        if (lv < simt::atomic_min(label[u], lv)) pushed.local().push_back(u);
+      }
+    }
+    std::vector<std::uint32_t> flat;
+    pushed.drain_into(flat);
+    std::sort(flat.begin(), flat.end());
+    flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    for (std::uint32_t u : flat) wl.push(u);
+  }
+  return label;
+}
+
+std::vector<double> pagerank(const Csr& g, double damping, double epsilon,
+                             std::uint64_t max_relaxations) {
+  // Push-style residual PageRank (the classic asynchronous formulation):
+  // rank starts at the teleport mass; a vertex with residual r pushes
+  // damping * r / deg to each neighbor. Converges to the same fixed
+  // point as power iteration up to epsilon.
+  const VertexId n = g.num_vertices();
+  GRX_CHECK(n > 0);
+  // Rank accumulates only pushed mass; all initial mass sits in residuals.
+  std::vector<double> rank(n, 0.0);
+  std::vector<double> residual(n, (1.0 - damping) / n);
+  if (max_relaxations == 0)
+    max_relaxations = 200ull * std::max<std::uint64_t>(1, g.num_edges());
+  Worklist wl;
+  for (VertexId v = 0; v < n; ++v) wl.push(v);
+  std::vector<std::uint32_t> chunk;
+  std::uint64_t relaxations = 0;
+  const double threshold = epsilon / n;
+  while (wl.pop_chunk(chunk) && relaxations < max_relaxations) {
+    for (VertexId v : chunk) {
+      const double r = residual[v];
+      if (r <= threshold) continue;
+      residual[v] = 0.0;
+      rank[v] += r;
+      const auto d = g.degree(v);
+      if (d == 0) continue;  // dangling mass handled by normalization
+      const double share = damping * r / d;
+      for (VertexId u : g.neighbors(v)) {
+        const double before = residual[u];
+        residual[u] += share;
+        ++relaxations;
+        if (before <= threshold && residual[u] > threshold) wl.push(u);
+      }
+    }
+  }
+  // Normalize (residual PR tracks the un-normalized fixed point; dangling
+  // vertices hold their mass).
+  double total = 0.0;
+  for (double x : rank) total += x;
+  if (total > 0)
+    for (double& x : rank) x /= total;
+  return rank;
+}
+
+}  // namespace grx::galois

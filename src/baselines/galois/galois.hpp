@@ -1,0 +1,67 @@
+// Galois-model shared-memory CPU engine — the "Galois" comparison row of
+// Table 2.
+//
+// Galois's operator formulation (Section 2.1 / 4.2): algorithms process
+// *active elements* drawn from a worklist; operators may push new active
+// elements; an ordered scheduler (OBIM-style bucketed priorities) gives
+// the asynchronous, priority-driven execution that distinguishes Galois
+// from BSP frameworks ("Galois... supports priority scheduling and
+// dynamic graphs and processes on subsets of vertices called active
+// elements"). Host wall-clock, OpenMP across worklist chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace grx::galois {
+
+/// Chunked FIFO worklist with per-thread local buffers (Galois's
+/// ChunkedFIFO); elements may be pushed while draining.
+class Worklist {
+ public:
+  explicit Worklist(std::size_t chunk = 64) : chunk_(chunk) {}
+  void push(std::uint32_t item);
+  bool pop_chunk(std::vector<std::uint32_t>& out);
+  bool empty() const { return head_ >= items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+
+ private:
+  std::size_t chunk_;
+  std::size_t head_ = 0;  // FIFO cursor; prefix compacted lazily
+  std::vector<std::uint32_t> items_;
+};
+
+/// Ordered-by-integer-metric bucketed worklist (Galois's OBIM): items are
+/// drained lowest-bucket-first; pushes may target any bucket.
+class ObimWorklist {
+ public:
+  explicit ObimWorklist(std::uint32_t bucket_width)
+      : width_(bucket_width) {}
+  void push(std::uint32_t item, std::uint64_t priority);
+  /// Pops the entire lowest nonempty bucket. False when drained.
+  bool pop_bucket(std::vector<std::uint32_t>& out);
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::uint32_t width_;
+  std::size_t count_ = 0;
+  std::size_t cursor_ = 0;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+};
+
+// --- primitives on the engine ----------------------------------------------
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source);
+/// Asynchronous delta-stepping SSSP on the OBIM scheduler.
+std::vector<std::uint32_t> sssp(const Csr& g, VertexId source,
+                                std::uint32_t delta = 32);
+std::vector<double> bc(const Csr& g, VertexId source);
+std::vector<VertexId> connected_components(const Csr& g);
+/// Residual-driven asynchronous PageRank (push-style); `iterations`
+/// bounds the equivalent sweep count for fair per-iteration timing.
+std::vector<double> pagerank(const Csr& g, double damping = 0.85,
+                             double epsilon = 1e-9,
+                             std::uint64_t max_relaxations = 0);
+
+}  // namespace grx::galois

@@ -1,0 +1,342 @@
+#include "baselines/gas/gas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "simt/atomic.hpp"
+#include "util/bitset.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx::gas {
+namespace {
+
+using CM = simt::CostModel;
+
+constexpr std::uint32_t kMaxIterations = 100000;
+
+/// Charges one edge-parallel phase over the 32 lists owned by a warp.
+/// kFrontier flavor uses Merrill-style size classing (MapGraph adopted it);
+/// kFullSweep uses per-thread iteration at coalesced cost (CuSha's PSW
+/// shards coalesce accesses but serialize to the longest list in the warp).
+void charge_edge_phase(simt::Warp& w, Flavor flavor,
+                       const std::uint32_t* degs, std::size_t lanes,
+                       std::uint64_t per_edge) {
+  if (flavor == Flavor::kFrontier) {
+    std::uint64_t small_max = 0, small_sum = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint32_t d = degs[l];
+      if (d > 32) {
+        w.bulk(d, per_edge);
+      } else {
+        small_max = std::max<std::uint64_t>(small_max, d);
+        small_sum += d;
+      }
+    }
+    w.charge(small_max * per_edge, small_sum * per_edge);
+  } else {
+    std::uint64_t max_d = 0, sum_d = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      max_d = std::max<std::uint64_t>(max_d, degs[l]);
+      sum_d += degs[l];
+    }
+    w.charge(max_d * per_edge, sum_d * per_edge);
+  }
+  w.load_coalesced(static_cast<unsigned>(lanes));
+}
+
+/// Generic GAS iteration driver.
+///
+/// Prog interface:
+///   using Gather = ...;
+///   static constexpr bool kHasGather;     // skip the gather kernel if not
+///   static constexpr bool kAlwaysActive;  // PR: frontier is all vertices
+///   void before_iteration(simt::Device&, const Csr&, std::uint32_t iter);
+///   Gather identity();  Gather gather(v, u, e);  Gather combine(a, b);
+///   bool apply(v, const Gather&);         -> value changed?
+///   bool scatter(v, u, e);                -> activate u?
+template <typename Prog>
+GasSummary run(simt::Device& dev, const Csr& g, Prog& prog,
+               std::vector<std::uint32_t> active,
+               std::uint32_t max_iterations, Flavor flavor) {
+  dev.reset();
+  GasSummary summary;
+  const VertexId n = g.num_vertices();
+  AtomicBitset activated(n);
+  // Vertices eligible for apply this iteration. For the frontier flavor the
+  // active list *is* this set; the full-sweep flavor iterates everything,
+  // so apply must be gated explicitly or BFS would visit the whole graph
+  // in one step.
+  AtomicBitset eligible(n);
+  for (std::uint32_t v : active) eligible.set(v);
+  std::vector<typename Prog::Gather> gbuf;
+  if constexpr (Prog::kHasGather) gbuf.resize(n);
+  std::vector<std::uint8_t> changed(n, 0);
+
+  while (!active.empty() && summary.iterations < max_iterations) {
+    summary.iterations++;
+    prog.before_iteration(dev, g, summary.iterations);
+    const std::size_t na = active.size();
+    const std::size_t num_warps = (na + CM::kWarpSize - 1) / CM::kWarpSize;
+
+    // --- gather kernel: reduce over incident edges, materialize result.
+    if constexpr (Prog::kHasGather) {
+      std::uint64_t edges_acc = 0;
+      dev.for_each_warp("gas_gather", num_warps, [&](simt::Warp& w) {
+        const std::size_t base = w.id() * CM::kWarpSize;
+        const std::size_t lanes =
+            std::min<std::size_t>(CM::kWarpSize, na - base);
+        std::uint32_t degs[CM::kWarpSize];
+        std::uint64_t cnt = 0;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const VertexId v = active[base + l];
+          degs[l] = g.degree(v);
+          auto acc = prog.identity();
+          const EdgeId end = g.row_end(v);
+          for (EdgeId e = g.row_start(v); e < end; ++e) {
+            acc = prog.combine(acc, prog.gather(v, g.col_index(e), e));
+            ++cnt;
+          }
+          gbuf[v] = acc;
+        }
+        charge_edge_phase(w, flavor, degs, lanes, CM::kCoalesced);
+        w.load_coalesced(static_cast<unsigned>(lanes));  // gbuf write
+        simt::atomic_add(edges_acc, cnt);
+      });
+      summary.edges_processed += edges_acc;
+    }
+
+    // --- apply kernel: one lane per active vertex.
+    dev.for_each("gas_apply", na, [&](simt::Lane& lane, std::size_t i) {
+      const VertexId v = active[i];
+      lane.load_coalesced();  // queue read
+      if (!Prog::kAlwaysActive && !eligible.test(v)) {
+        changed[v] = 0;
+        return;
+      }
+      lane.load_scattered();  // vertex state read-modify-write
+      bool ch;
+      if constexpr (Prog::kHasGather) {
+        lane.load_coalesced();  // materialized gather value read
+        ch = prog.apply(v, gbuf[v]);
+      } else {
+        typename Prog::Gather dummy{};
+        ch = prog.apply(v, dummy);
+      }
+      changed[v] = ch ? 1 : 0;
+    });
+
+    // --- scatter kernel: changed vertices activate neighbors.
+    activated.clear();
+    PerThread<std::vector<std::uint32_t>> next_buf;
+    std::uint64_t edges_acc = 0;
+    dev.for_each_warp("gas_scatter", num_warps, [&](simt::Warp& w) {
+      const std::size_t base = w.id() * CM::kWarpSize;
+      const std::size_t lanes =
+          std::min<std::size_t>(CM::kWarpSize, na - base);
+      std::uint32_t degs[CM::kWarpSize];
+      std::uint64_t cnt = 0;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const VertexId v = active[base + l];
+        degs[l] = changed[v] ? g.degree(v) : 0;
+        if (!changed[v]) continue;
+        const EdgeId end = g.row_end(v);
+        for (EdgeId e = g.row_start(v); e < end; ++e) {
+          const VertexId u = g.col_index(e);
+          ++cnt;
+          if (prog.scatter(v, u, e) && activated.test_and_set(u))
+            next_buf.local().push_back(u);
+        }
+      }
+      charge_edge_phase(w, flavor, degs, lanes, CM::kCoalesced + CM::kAtomic);
+      simt::atomic_add(edges_acc, cnt);
+    });
+    summary.edges_processed += edges_acc;
+
+    // --- frontier compaction kernel (separate launch, like MapGraph).
+    std::vector<std::uint32_t> next;
+    next_buf.drain_into(next);
+    dev.charge_pass("gas_compact",
+                    flavor == Flavor::kFrontier ? next.size() : n,
+                    3 * CM::kCoalesced);
+
+    eligible.clear();
+    for (std::uint32_t v : next) eligible.set(v);
+    if (next.empty()) {
+      active.clear();
+    } else if (Prog::kAlwaysActive || flavor == Flavor::kFullSweep) {
+      // PR keeps all vertices active; CuSha's PSW sweeps all shards.
+      active.resize(n);
+      std::iota(active.begin(), active.end(), 0u);
+    } else {
+      active = std::move(next);
+    }
+  }
+  summary.counters = dev.counters();
+  summary.device_time_ms = summary.counters.time_ms();
+  return summary;
+}
+
+std::vector<std::uint32_t> all_vertices(VertexId n) {
+  std::vector<std::uint32_t> v(n);
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+// --- programs -------------------------------------------------------------
+
+struct BfsProg {
+  using Gather = std::uint32_t;
+  static constexpr bool kHasGather = false;
+  static constexpr bool kAlwaysActive = false;
+  std::vector<std::uint32_t> depth;
+  std::uint32_t iter = 0;
+
+  void before_iteration(simt::Device&, const Csr&, std::uint32_t it) {
+    iter = it;
+  }
+  Gather identity() { return 0; }
+  Gather gather(VertexId, VertexId, EdgeId) { return 0; }
+  Gather combine(Gather a, Gather) { return a; }
+  bool apply(VertexId v, const Gather&) {
+    if (simt::atomic_load(depth[v]) != kInfinity) return false;
+    simt::atomic_store(depth[v], iter - 1);  // iteration 1 = level 0
+    return true;
+  }
+  bool scatter(VertexId, VertexId u, EdgeId) {
+    return simt::atomic_load(depth[u]) == kInfinity;
+  }
+};
+
+struct SsspProg {
+  using Gather = std::uint64_t;
+  static constexpr bool kHasGather = true;
+  static constexpr bool kAlwaysActive = false;
+  const Csr* g = nullptr;
+  std::vector<std::uint32_t> dist;
+
+  void before_iteration(simt::Device&, const Csr&, std::uint32_t) {}
+  Gather identity() { return static_cast<Gather>(kInfinity); }
+  Gather gather(VertexId, VertexId u, EdgeId e) {
+    const std::uint32_t du = simt::atomic_load(dist[u]);
+    if (du == kInfinity) return identity();
+    return static_cast<Gather>(du) + g->weight(e);
+  }
+  Gather combine(Gather a, Gather b) { return std::min(a, b); }
+  bool apply(VertexId v, const Gather& acc) {
+    if (acc >= simt::atomic_load(dist[v])) return false;
+    simt::atomic_store(dist[v], static_cast<std::uint32_t>(acc));
+    return true;
+  }
+  bool scatter(VertexId v, VertexId u, EdgeId e) {
+    return static_cast<std::uint64_t>(simt::atomic_load(dist[v])) +
+               g->weight(e) <
+           simt::atomic_load(dist[u]);
+  }
+};
+
+struct CcProg {
+  using Gather = VertexId;
+  static constexpr bool kHasGather = true;
+  static constexpr bool kAlwaysActive = false;
+  std::vector<VertexId> label;
+
+  void before_iteration(simt::Device&, const Csr&, std::uint32_t) {}
+  Gather identity() { return kInvalidVertex; }
+  Gather gather(VertexId, VertexId u, EdgeId) {
+    return simt::atomic_load(label[u]);
+  }
+  Gather combine(Gather a, Gather b) { return std::min(a, b); }
+  bool apply(VertexId v, const Gather& acc) {
+    if (acc >= simt::atomic_load(label[v])) return false;
+    simt::atomic_store(label[v], acc);
+    return true;
+  }
+  bool scatter(VertexId v, VertexId u, EdgeId) {
+    return simt::atomic_load(label[v]) < simt::atomic_load(label[u]);
+  }
+};
+
+struct PrProg {
+  using Gather = double;
+  static constexpr bool kHasGather = true;
+  static constexpr bool kAlwaysActive = true;
+  const Csr* g = nullptr;
+  std::vector<double> rank;
+  double damping = 0.85;
+  double base = 0.0;
+
+  void before_iteration(simt::Device& dev, const Csr& graph, std::uint32_t) {
+    // Dangling-mass reduction: one device pass.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v)
+      if (graph.degree(v) == 0) dangling += rank[v];
+    base = (1.0 - damping) / graph.num_vertices() +
+           damping * dangling / graph.num_vertices();
+    dev.charge_pass("gas_dangling", graph.num_vertices(), CM::kCoalesced);
+  }
+  Gather identity() { return 0.0; }
+  Gather gather(VertexId, VertexId u, EdgeId) {
+    const auto d = g->degree(u);
+    return d ? rank[u] / d : 0.0;
+  }
+  Gather combine(Gather a, Gather b) { return a + b; }
+  bool apply(VertexId v, const Gather& acc) {
+    rank[v] = base + damping * acc;
+    return true;
+  }
+  bool scatter(VertexId, VertexId, EdgeId) { return true; }
+};
+
+}  // namespace
+
+GasResultBfs bfs(simt::Device& dev, const Csr& g, VertexId source,
+                 Flavor flavor) {
+  GRX_CHECK(source < g.num_vertices());
+  BfsProg prog;
+  prog.depth.assign(g.num_vertices(), kInfinity);
+  GasSummary s =
+      run(dev, g, prog, {source}, kMaxIterations, flavor);
+  return {std::move(prog.depth), s};
+}
+
+GasResultSssp sssp(simt::Device& dev, const Csr& g, VertexId source,
+                   Flavor flavor) {
+  GRX_CHECK(source < g.num_vertices());
+  GRX_CHECK(g.has_weights());
+  SsspProg prog;
+  prog.g = &g;
+  prog.dist.assign(g.num_vertices(), kInfinity);
+  prog.dist[source] = 0;
+  // Seed: one scatter hop from the source (the init kernel).
+  std::vector<std::uint32_t> active;
+  for (VertexId u : g.neighbors(source)) active.push_back(u);
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+  GasSummary s = run(dev, g, prog, std::move(active), kMaxIterations, flavor);
+  return {std::move(prog.dist), s};
+}
+
+GasResultCc connected_components(simt::Device& dev, const Csr& g,
+                                 Flavor flavor) {
+  CcProg prog;
+  prog.label.resize(g.num_vertices());
+  std::iota(prog.label.begin(), prog.label.end(), VertexId{0});
+  GasSummary s = run(dev, g, prog, all_vertices(g.num_vertices()),
+                     kMaxIterations, flavor);
+  return {std::move(prog.label), s};
+}
+
+GasResultPr pagerank(simt::Device& dev, const Csr& g, double damping,
+                     std::uint32_t iterations, Flavor flavor) {
+  GRX_CHECK(g.num_vertices() > 0);
+  PrProg prog;
+  prog.g = &g;
+  prog.damping = damping;
+  prog.rank.assign(g.num_vertices(), 1.0 / g.num_vertices());
+  GasSummary s = run(dev, g, prog, all_vertices(g.num_vertices()),
+                     iterations, flavor);
+  return {std::move(prog.rank), s};
+}
+
+}  // namespace grx::gas

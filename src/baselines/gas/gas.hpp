@@ -1,0 +1,61 @@
+// Gather-Apply-Scatter engine on the virtual device — the
+// PowerGraph/MapGraph/CuSha-model baseline of Sections 2.3 and 4.2.
+//
+// The model's defining property (and the paper's explanation for Gunrock's
+// advantage) is *kernel fragmentation*: each iteration issues separate
+// gather, apply, and scatter kernels with materialized intermediate values
+// ("signiﬁcant fragmentation of GAS programs across many kernels"), where
+// Gunrock fuses the computation into one or two traversal kernels. Two
+// flavors:
+//  * kFrontier (MapGraph-like): kernels run over the active-vertex frontier
+//    with Merrill-style load balancing (MapGraph adopted it);
+//  * kFullSweep (CuSha-like): every phase sweeps all vertices/edges in
+//    shard order regardless of activity, with per-thread neighbor
+//    iteration (the PSW model's behaviour on small frontiers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace grx::gas {
+
+enum class Flavor : std::uint8_t { kFrontier, kFullSweep };
+
+struct GasSummary {
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_processed = 0;
+  double device_time_ms = 0.0;
+  simt::DeviceCounters counters;
+};
+
+struct GasResultBfs {
+  std::vector<std::uint32_t> depth;
+  GasSummary summary;
+};
+struct GasResultSssp {
+  std::vector<std::uint32_t> dist;
+  GasSummary summary;
+};
+struct GasResultCc {
+  std::vector<VertexId> component;
+  GasSummary summary;
+};
+struct GasResultPr {
+  std::vector<double> rank;
+  GasSummary summary;
+};
+
+GasResultBfs bfs(simt::Device& dev, const Csr& g, VertexId source,
+                 Flavor flavor = Flavor::kFrontier);
+GasResultSssp sssp(simt::Device& dev, const Csr& g, VertexId source,
+                   Flavor flavor = Flavor::kFrontier);
+GasResultCc connected_components(simt::Device& dev, const Csr& g,
+                                 Flavor flavor = Flavor::kFrontier);
+GasResultPr pagerank(simt::Device& dev, const Csr& g, double damping = 0.85,
+                     std::uint32_t iterations = 50,
+                     Flavor flavor = Flavor::kFrontier);
+
+}  // namespace grx::gas

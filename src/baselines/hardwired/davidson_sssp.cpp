@@ -1,0 +1,116 @@
+#include <algorithm>
+
+#include "baselines/hardwired/hardwired.hpp"
+#include "simt/atomic.hpp"
+#include "simt/primitives.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx::hardwired {
+namespace {
+using CM = simt::CostModel;
+}
+
+HwSsspResult davidson_sssp(simt::Device& dev, const Csr& g, VertexId source,
+                           std::uint32_t delta) {
+  GRX_CHECK(source < g.num_vertices());
+  GRX_CHECK(g.has_weights());
+  dev.reset();
+  HwSsspResult out;
+  out.dist.assign(g.num_vertices(), kInfinity);
+  out.dist[source] = 0;
+
+  if (delta == 0) {
+    const double avg_deg =
+        static_cast<double>(g.num_edges()) / std::max(1u, g.num_vertices());
+    delta = static_cast<std::uint32_t>(
+        std::max(1.0, 32.5 * std::max(1.0, avg_deg / 8.0)));
+  }
+
+  std::vector<std::uint32_t> near{source}, far;
+  std::vector<std::uint32_t> mark(g.num_vertices(), kInvalidVertex);
+  std::uint64_t cutoff = delta;
+  std::uint32_t round = 0;
+
+  while (!near.empty() || !far.empty()) {
+    GRX_CHECK(out.summary.iterations++ < 100000);
+    if (near.empty()) {
+      // Pop the far pile: one split kernel per priority level.
+      std::vector<std::uint32_t> still_far;
+      while (near.empty() && !far.empty()) {
+        cutoff += delta;
+        PerThread<std::vector<std::uint32_t>> nb, fb;
+        dev.for_each("nf_split", far.size(),
+                     [&](simt::Lane& lane, std::size_t i) {
+                       lane.load_coalesced();
+                       const std::uint32_t v = far[i];
+                       if (simt::atomic_load(out.dist[v]) < cutoff)
+                         nb.local().push_back(v);
+                       else
+                         fb.local().push_back(v);
+                     });
+        nb.drain_into(near);
+        still_far.clear();
+        fb.drain_into(still_far);
+        far.swap(still_far);
+      }
+      if (near.empty()) break;
+    }
+    ++round;
+
+    // Fused relax kernel with Davidson's load-balanced edge partitioning:
+    // scan frontier degrees, chunk the edge range, sorted-search starts.
+    std::vector<std::uint32_t> degs(near.size());
+    for (std::size_t i = 0; i < near.size(); ++i) degs[i] = g.degree(near[i]);
+    dev.charge_pass("nf_degrees", near.size(), CM::kScattered);
+    std::vector<std::uint64_t> offsets(near.size() + 1);
+    const std::uint64_t total =
+        simt::exclusive_scan(dev, degs, std::span(offsets).first(near.size()));
+    offsets[near.size()] = total;
+
+    PerThread<std::vector<std::uint32_t>> nb, fb;
+    std::uint64_t edges_acc = 0;
+    if (total > 0) {
+      const std::uint64_t chunk = CM::kCtaSize;
+      const auto starts = simt::sorted_search_chunks(dev, offsets, chunk);
+      dev.for_each_warp("nf_relax", starts.size(), [&](simt::Warp& w) {
+        const std::uint64_t lo = w.id() * chunk;
+        const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, total);
+        std::uint32_t row = starts[w.id()];
+        std::uint64_t cnt = 0;
+        for (std::uint64_t k = lo; k < hi; ++k) {
+          while (offsets[row + 1] <= k) ++row;
+          const VertexId src = near[row];
+          const EdgeId e = g.row_start(src) + (k - offsets[row]);
+          const VertexId dst = g.col_index(e);
+          ++cnt;
+          const std::uint32_t sd = simt::atomic_load(out.dist[src]);
+          if (sd == kInfinity) continue;
+          const std::uint32_t cand = sd + g.weight(e);
+          if (cand < simt::atomic_min(out.dist[dst], cand)) {
+            // Dedup by round tag, then split near/far inline (fused).
+            const std::uint32_t old = simt::atomic_load(mark[dst]);
+            if (old != round &&
+                simt::atomic_cas(mark[dst], old, round) == old) {
+              if (cand < cutoff)
+                nb.local().push_back(dst);
+              else
+                fb.local().push_back(dst);
+            }
+          }
+        }
+        w.bulk(cnt, CM::kCoalesced + CM::kAlu + CM::kAtomic);
+        w.alu();
+        simt::atomic_add(edges_acc, cnt);
+      });
+    }
+    out.summary.edges_processed += edges_acc;
+    near.clear();
+    nb.drain_into(near);
+    fb.drain_into(far);
+  }
+  out.summary.counters = dev.counters();
+  out.summary.device_time_ms = out.summary.counters.time_ms();
+  return out;
+}
+
+}  // namespace grx::hardwired

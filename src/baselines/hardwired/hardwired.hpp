@@ -1,0 +1,60 @@
+// Hardwired (primitive-specific) device implementations — the "Hardwired
+// GPU" comparison column of Table 3:
+//   * b40c-style BFS          (Merrill et al., fused expand-contract)
+//   * near-far SSSP           (Davidson et al., delta-stepping)
+//   * hook/pointer-jump CC    (Soman et al.)
+//   * edge-parallel BC        (Jia et al. / Sariyuce et al.)
+//
+// Each is hand-fused: one traversal kernel per iteration with inline
+// dedup/compaction, no generic frontier machinery — the performance target
+// Gunrock aims to match (Section 5 "Hardwired GPU Implementation" notes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace grx::hardwired {
+
+struct HwSummary {
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_processed = 0;
+  double device_time_ms = 0.0;
+  simt::DeviceCounters counters;
+};
+
+struct HwBfsResult {
+  std::vector<std::uint32_t> depth;
+  HwSummary summary;
+};
+struct HwSsspResult {
+  std::vector<std::uint32_t> dist;
+  HwSummary summary;
+};
+struct HwCcResult {
+  std::vector<VertexId> component;
+  std::uint32_t num_components = 0;
+  HwSummary summary;
+};
+struct HwBcResult {
+  std::vector<double> bc_values;
+  HwSummary summary;
+};
+
+/// Merrill et al.'s BFS: fused expand-contract, TWC load balancing,
+/// idempotent status updates with history-based duplicate culling.
+HwBfsResult merrill_bfs(simt::Device& dev, const Csr& g, VertexId source);
+
+/// Davidson et al.'s SSSP: load-balanced edge partitioning + near-far pile.
+HwSsspResult davidson_sssp(simt::Device& dev, const Csr& g, VertexId source,
+                           std::uint32_t delta = 0);
+
+/// Soman et al.'s CC: hooking + pointer-jumping over raw edge arrays.
+HwCcResult soman_cc(simt::Device& dev, const Csr& g);
+
+/// Edge-parallel Brandes BC: full-edge-list sweeps per BFS level.
+HwBcResult edge_bc(simt::Device& dev, const Csr& g, VertexId source);
+
+}  // namespace grx::hardwired

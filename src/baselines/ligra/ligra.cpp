@@ -1,0 +1,299 @@
+#include "baselines/ligra/ligra.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simt/atomic.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx::ligra {
+
+VertexSubset VertexSubset::single(VertexId v, VertexId n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.ids_ = {v};
+  s.size_ = 1;
+  return s;
+}
+
+VertexSubset VertexSubset::all(VertexId n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.dense_ = true;
+  s.flags_.assign(n, 1);
+  s.size_ = n;
+  return s;
+}
+
+VertexSubset VertexSubset::from_sparse(std::vector<VertexId> ids,
+                                       VertexId n) {
+  VertexSubset s;
+  s.n_ = n;
+  s.size_ = ids.size();
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+void VertexSubset::to_dense() {
+  if (dense_) return;
+  flags_.assign(n_, 0);
+  for (VertexId v : ids_) flags_[v] = 1;
+  ids_.clear();
+  dense_ = true;
+}
+
+void VertexSubset::to_sparse() {
+  if (!dense_) return;
+  ids_.clear();
+  ids_.reserve(static_cast<std::size_t>(size_));
+  for (VertexId v = 0; v < n_; ++v)
+    if (flags_[v]) ids_.push_back(v);
+  flags_.clear();
+  dense_ = false;
+}
+
+namespace {
+
+std::uint64_t frontier_out_degree(const Csr& g, VertexSubset& f) {
+  std::uint64_t total = f.size();  // Ligra counts |F| + out-degree(F)
+  if (f.is_dense()) {
+    for (VertexId v = 0; v < f.universe(); ++v)
+      if (f.dense_flags()[v]) total += g.degree(v);
+  } else {
+    for (VertexId v : f.sparse_ids()) total += g.degree(v);
+  }
+  return total;
+}
+
+}  // namespace
+
+VertexSubset edge_map(const Csr& g, VertexSubset& frontier,
+                      const EdgeMapFns& fns, double dense_threshold) {
+  GRX_CHECK(fns.update && fns.cond);
+  const std::uint64_t work = frontier_out_degree(g, frontier);
+  const bool dense =
+      static_cast<double>(work) >
+      static_cast<double>(g.num_edges()) / dense_threshold;
+
+  if (dense) {
+    // Pull: for every vertex failing cond we skip; otherwise probe incoming
+    // neighbors that are in the frontier. (Undirected graphs: same CSR.)
+    frontier.to_dense();
+    std::vector<std::uint8_t> next_flags(g.num_vertices(), 0);
+    const auto& in_flags = frontier.dense_flags();
+    const auto& update = fns.update_no_race ? fns.update_no_race : fns.update;
+    std::uint64_t next_size = 0;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : next_size)
+    for (std::ptrdiff_t vi = 0; vi < static_cast<std::ptrdiff_t>(
+                                         g.num_vertices());
+         ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      if (!fns.cond(v)) continue;
+      const EdgeId end = g.row_end(v);
+      for (EdgeId e = g.row_start(v); e < end; ++e) {
+        const VertexId u = g.col_index(e);
+        if (!in_flags[u]) continue;
+        if (update(u, v, e)) {
+          next_flags[v] = 1;
+          ++next_size;
+        }
+        if (!fns.cond(v)) break;  // e.g. BFS: stop once visited
+      }
+    }
+    std::vector<VertexId> ids;
+    ids.reserve(static_cast<std::size_t>(next_size));
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (next_flags[v]) ids.push_back(v);
+    return VertexSubset::from_sparse(std::move(ids),
+                                     static_cast<VertexId>(g.num_vertices()));
+  }
+
+  // Sparse push.
+  frontier.to_sparse();
+  PerThread<std::vector<VertexId>> next;
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(frontier.sparse_ids().size()); ++i) {
+    const VertexId v = frontier.sparse_ids()[static_cast<std::size_t>(i)];
+    const EdgeId end = g.row_end(v);
+    for (EdgeId e = g.row_start(v); e < end; ++e) {
+      const VertexId u = g.col_index(e);
+      if (fns.cond(u) && fns.update(v, u, e)) next.local().push_back(u);
+    }
+  }
+  std::vector<VertexId> ids;
+  next.drain_into(ids);
+  return VertexSubset::from_sparse(std::move(ids),
+                                   static_cast<VertexId>(g.num_vertices()));
+}
+
+void vertex_map(VertexSubset& subset,
+                const std::function<void(VertexId)>& fn) {
+  if (subset.is_dense()) {
+    for (VertexId v = 0; v < subset.universe(); ++v)
+      if (subset.dense_flags()[v]) fn(v);
+  } else {
+    for (VertexId v : subset.sparse_ids()) fn(v);
+  }
+}
+
+VertexSubset vertex_filter(const VertexSubset& subset,
+                           const std::function<bool(VertexId)>& keep) {
+  std::vector<VertexId> ids;
+  if (subset.is_dense()) {
+    for (VertexId v = 0; v < subset.universe(); ++v)
+      if (subset.dense_flags()[v] && keep(v)) ids.push_back(v);
+  } else {
+    for (VertexId v : subset.sparse_ids())
+      if (keep(v)) ids.push_back(v);
+  }
+  return VertexSubset::from_sparse(std::move(ids), subset.universe());
+}
+
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> depth(g.num_vertices(), kInfinity);
+  std::vector<VertexId> parent(g.num_vertices(), kInvalidVertex);
+  depth[source] = 0;
+  parent[source] = source;
+  VertexSubset frontier = VertexSubset::single(source, g.num_vertices());
+  std::uint32_t level = 0;
+  EdgeMapFns fns;
+  fns.update = [&](VertexId s, VertexId d, EdgeId) {
+    return simt::atomic_cas(parent[d], kInvalidVertex, s) == kInvalidVertex &&
+           (simt::atomic_store(depth[d], level + 1), true);
+  };
+  fns.update_no_race = [&](VertexId s, VertexId d, EdgeId) {
+    parent[d] = s;
+    depth[d] = level + 1;
+    return true;
+  };
+  fns.cond = [&](VertexId d) {
+    return simt::atomic_load(parent[d]) == kInvalidVertex;
+  };
+  while (!frontier.empty()) {
+    frontier = edge_map(g, frontier, fns);
+    ++level;
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> sssp(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  GRX_CHECK(g.has_weights());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInfinity);
+  std::vector<std::uint8_t> queued(g.num_vertices(), 0);
+  dist[source] = 0;
+  VertexSubset frontier = VertexSubset::single(source, g.num_vertices());
+  EdgeMapFns fns;
+  fns.update = [&](VertexId s, VertexId d, EdgeId e) {
+    const std::uint32_t cand = simt::atomic_load(dist[s]) + g.weight(e);
+    if (cand < simt::atomic_min(dist[d], cand)) {
+      // First improver enqueues d this round.
+      return simt::atomic_cas(queued[d], std::uint8_t{0},
+                              std::uint8_t{1}) == 0;
+    }
+    return false;
+  };
+  fns.cond = [](VertexId) { return true; };
+  std::uint32_t rounds = 0;
+  while (!frontier.empty()) {
+    GRX_CHECK_MSG(rounds++ <= g.num_vertices(),
+                  "Bellman-Ford exceeded |V| rounds");
+    frontier = edge_map(g, frontier, fns);
+    vertex_map(frontier, [&](VertexId v) { queued[v] = 0; });
+  }
+  return dist;
+}
+
+std::vector<double> bc(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  const VertexId n = g.num_vertices();
+  std::vector<double> bcv(n, 0.0), sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::uint32_t> depth(n, kInfinity);
+  sigma[source] = 1.0;
+  depth[source] = 0;
+
+  std::vector<VertexSubset> levels;
+  VertexSubset frontier = VertexSubset::single(source, n);
+  std::uint32_t level = 0;
+  EdgeMapFns fwd;
+  fwd.update = [&](VertexId s, VertexId d, EdgeId) {
+    bool first = false;
+    if (simt::atomic_load(depth[d]) == kInfinity)
+      first = simt::atomic_cas(depth[d], kInfinity, level + 1) == kInfinity;
+    if (simt::atomic_load(depth[d]) == level + 1)
+      simt::atomic_add(sigma[d], simt::atomic_load(sigma[s]));
+    return first;
+  };
+  fwd.update_no_race = fwd.update;
+  fwd.cond = [&](VertexId d) {
+    const auto dd = simt::atomic_load(depth[d]);
+    return dd == kInfinity || dd == level + 1;
+  };
+  while (!frontier.empty()) {
+    levels.push_back(frontier);
+    frontier = edge_map(g, frontier, fwd);
+    ++level;
+  }
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    vertex_map(levels[li], [&](VertexId v) {
+      for (std::size_t i = 0; i < g.neighbors(v).size(); ++i) {
+        const VertexId u = g.neighbors(v)[i];
+        if (depth[u] == depth[v] + 1 && sigma[u] > 0.0)
+          delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+      }
+      if (v != source) bcv[v] += delta[v];
+    });
+  }
+  return bcv;
+}
+
+std::vector<VertexId> connected_components(const Csr& g) {
+  // Ligra-style label propagation with frontier shrinking.
+  std::vector<VertexId> label(g.num_vertices());
+  std::iota(label.begin(), label.end(), VertexId{0});
+  std::vector<std::uint8_t> queued(g.num_vertices(), 0);
+  VertexSubset frontier = VertexSubset::all(g.num_vertices());
+  EdgeMapFns fns;
+  fns.update = [&](VertexId s, VertexId d, EdgeId) {
+    const VertexId ls = simt::atomic_load(label[s]);
+    if (ls < simt::atomic_min(label[d], ls))
+      return simt::atomic_cas(queued[d], std::uint8_t{0},
+                              std::uint8_t{1}) == 0;
+    return false;
+  };
+  fns.cond = [](VertexId) { return true; };
+  while (!frontier.empty()) {
+    frontier = edge_map(g, frontier, fns);
+    vertex_map(frontier, [&](VertexId v) { queued[v] = 0; });
+  }
+  return label;
+}
+
+std::vector<double> pagerank(const Csr& g, double damping,
+                             std::uint32_t iterations) {
+  const VertexId n = g.num_vertices();
+  GRX_CHECK(n > 0);
+  std::vector<double> rank(n, 1.0 / n), next(n, 0.0);
+  VertexSubset frontier = VertexSubset::all(n);
+  EdgeMapFns fns;
+  fns.update = [&](VertexId s, VertexId d, EdgeId) {
+    simt::atomic_add(next[d], rank[s] / g.degree(s));
+    return false;
+  };
+  fns.cond = [](VertexId) { return true; };
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v)
+      if (g.degree(v) == 0) dangling += rank[v];
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    std::fill(next.begin(), next.end(), 0.0);
+    VertexSubset f = VertexSubset::all(n);
+    edge_map(g, f, fns, /*dense_threshold=*/1e18);  // force push sweep
+    for (VertexId v = 0; v < n; ++v) rank[v] = base + damping * next[v];
+  }
+  return rank;
+}
+
+}  // namespace grx::ligra

@@ -1,0 +1,71 @@
+// Ligra-model shared-memory CPU engine (Shun & Blelloch, PPoPP'13) — the
+// "Ligra" comparison row of Tables 2/3.
+//
+// Faithful to the model: a VertexSubset frontier, edgeMap with automatic
+// sparse(push)/dense(pull) switching at |edges(frontier)| > |E|/20, and
+// vertexMap. Runs natively on the host (OpenMP), timed in wall-clock —
+// it is a CPU library, not a device engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace grx::ligra {
+
+/// Frontier in either sparse (id list) or dense (flag array) form.
+class VertexSubset {
+ public:
+  static VertexSubset single(VertexId v, VertexId n);
+  static VertexSubset all(VertexId n);
+  static VertexSubset from_sparse(std::vector<VertexId> ids, VertexId n);
+
+  bool empty() const { return size_ == 0; }
+  std::uint64_t size() const { return size_; }
+  VertexId universe() const { return n_; }
+
+  void to_dense();
+  void to_sparse();
+  bool is_dense() const { return dense_; }
+  const std::vector<VertexId>& sparse_ids() const { return ids_; }
+  const std::vector<std::uint8_t>& dense_flags() const { return flags_; }
+
+ private:
+  VertexId n_ = 0;
+  bool dense_ = false;
+  std::uint64_t size_ = 0;
+  std::vector<VertexId> ids_;
+  std::vector<std::uint8_t> flags_;
+};
+
+/// EdgeMap functor interface. `update` must be safe under concurrent calls
+/// with the same dst (use atomics); `update_no_race` is the pull-mode
+/// variant (single writer per dst); `cond` gates targets.
+struct EdgeMapFns {
+  std::function<bool(VertexId src, VertexId dst, EdgeId e)> update;
+  std::function<bool(VertexId src, VertexId dst, EdgeId e)> update_no_race;
+  std::function<bool(VertexId dst)> cond;
+};
+
+VertexSubset edge_map(const Csr& g, VertexSubset& frontier,
+                      const EdgeMapFns& fns, double dense_threshold = 20.0);
+
+void vertex_map(VertexSubset& subset,
+                const std::function<void(VertexId)>& fn);
+
+VertexSubset vertex_filter(const VertexSubset& subset,
+                           const std::function<bool(VertexId)>& keep);
+
+// --- primitives on the engine -------------------------------------------
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source);
+/// Bellman-Ford SSSP, as in the Ligra paper (the PPoPP'16 text calls out
+/// "comparing our Dijkstra-based method with Ligra's Bellman-Ford").
+std::vector<std::uint32_t> sssp(const Csr& g, VertexId source);
+std::vector<double> bc(const Csr& g, VertexId source);
+std::vector<VertexId> connected_components(const Csr& g);
+std::vector<double> pagerank(const Csr& g, double damping = 0.85,
+                             std::uint32_t iterations = 50);
+
+}  // namespace grx::ligra

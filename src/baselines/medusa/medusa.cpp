@@ -1,0 +1,252 @@
+#include "baselines/medusa/medusa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "simt/atomic.hpp"
+#include "util/bitset.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx::medusa {
+namespace {
+
+using CM = simt::CostModel;
+
+constexpr std::uint32_t kMaxIterations = 100000;
+
+/// Index of the reverse edge (v,u) for every edge (u,v). The engine's
+/// message buffer is laid out by *receiver* segment: a message along
+/// (u -> v) is written into v's row at the reverse edge's slot, and the
+/// combiner later reduces each vertex's own segment sequentially. Requires
+/// a symmetric graph with sorted neighbor lists (our dataset builder's
+/// output), mirroring Medusa's preprocessed edge layout.
+std::vector<EdgeId> build_reverse_index(const Csr& g) {
+  std::vector<EdgeId> rev(g.num_edges());
+  // Exceptions must not escape the OpenMP region: record the violation
+  // and raise it after the loop joins.
+  std::uint32_t asymmetric = 0;
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::ptrdiff_t vi = 0; vi < static_cast<std::ptrdiff_t>(
+                                       g.num_vertices());
+       ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const EdgeId end = g.row_end(v);
+    for (EdgeId e = g.row_start(v); e < end; ++e) {
+      const VertexId u = g.col_index(e);
+      const auto nbrs = g.neighbors(u);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+      if (it == nbrs.end() || *it != v) {
+        simt::atomic_store(asymmetric, 1u);
+        continue;
+      }
+      rev[e] = g.row_start(u) +
+               static_cast<EdgeId>(it - nbrs.begin());
+    }
+  }
+  GRX_CHECK_MSG(asymmetric == 0,
+                "medusa engine requires a symmetric graph");
+  return rev;
+}
+
+/// Message-passing super-step loop.
+///
+/// Prog interface:
+///   using Msg = ...;
+///   void before_iteration(const Csr& g);      // host-side step setup
+///   Msg message(VertexId u, EdgeId e);        // ELIST: value sent along e
+///   Msg combine(Msg, Msg);
+///   bool apply(VertexId v, Msg combined);     // VERTEX: changed?
+template <typename Prog>
+MedusaSummary run(simt::Device& dev, const Csr& g, Prog& prog,
+                  std::vector<std::uint32_t> active,
+                  std::uint32_t max_iterations, bool always_active) {
+  dev.reset();
+  MedusaSummary summary;
+  const auto rev = build_reverse_index(g);
+  dev.charge_pass("medusa_preprocess", g.num_edges(), CM::kScattered);
+
+  std::vector<std::uint32_t> slot_tag(g.num_edges(), 0);
+  std::vector<typename Prog::Msg> slot_val(g.num_edges());
+  AtomicBitset received(g.num_vertices());
+
+  while (!active.empty() && summary.iterations < max_iterations) {
+    summary.iterations++;
+    prog.before_iteration(g);
+    const std::uint32_t tag = summary.iterations;
+    const std::size_t na = active.size();
+    received.clear();
+
+    // --- ELIST kernel: every active vertex sends along its edges.
+    // Message writes land in the receiver's segment: scattered, and the
+    // per-thread edge iteration diverges by degree (Medusa has no TWC/LB).
+    std::uint64_t sent_acc = 0;
+    const std::size_t num_warps = (na + CM::kWarpSize - 1) / CM::kWarpSize;
+    dev.for_each_warp("medusa_elist", num_warps, [&](simt::Warp& w) {
+      const std::size_t base = w.id() * CM::kWarpSize;
+      const std::size_t lanes =
+          std::min<std::size_t>(CM::kWarpSize, na - base);
+      std::uint64_t max_d = 0, sum_d = 0, cnt = 0;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const VertexId u = active[base + l];
+        const std::uint32_t d = g.degree(u);
+        max_d = std::max<std::uint64_t>(max_d, d);
+        sum_d += d;
+        const EdgeId end = g.row_end(u);
+        for (EdgeId e = g.row_start(u); e < end; ++e) {
+          const EdgeId slot = rev[e];
+          // Per-slot ownership: exactly one writer (the reverse edge is
+          // unique), so plain stores suffice — as in Medusa.
+          slot_val[slot] = prog.message(u, e);
+          simt::atomic_store(slot_tag[slot], tag);
+          received.set(g.col_index(e));
+          ++cnt;
+        }
+      }
+      // message write + edge read, scattered
+      w.charge(max_d * (CM::kScattered + CM::kCoalesced),
+               sum_d * (CM::kScattered + CM::kCoalesced));
+      simt::atomic_add(sent_acc, cnt);
+    });
+    summary.messages_sent += sent_acc;
+
+    // --- Combiner: segmented reduction over every vertex's message
+    // segment. Charged over the full vertex + slot range (Medusa scans
+    // segment headers to find live messages).
+    // --- VERTEX kernel: apply combined values; changed vertices stay live.
+    PerThread<std::vector<std::uint32_t>> next_buf;
+    dev.for_each("medusa_combine_apply", g.num_vertices(),
+                 [&](simt::Lane& lane, std::size_t vi) {
+                   const auto v = static_cast<VertexId>(vi);
+                   lane.load_coalesced();  // segment header
+                   if (!received.test(v)) return;
+                   const EdgeId begin = g.row_start(v), end = g.row_end(v);
+                   bool any = false;
+                   typename Prog::Msg acc{};
+                   for (EdgeId e = begin; e < end; ++e) {
+                     lane.load_coalesced();  // slot read
+                     if (simt::atomic_load(slot_tag[e]) != tag) continue;
+                     acc = any ? prog.combine(acc, slot_val[e])
+                               : slot_val[e];
+                     any = true;
+                   }
+                   lane.load_scattered();  // vertex state
+                   if (any && prog.apply(v, acc))
+                     next_buf.local().push_back(v);
+                 });
+    dev.charge_pass("medusa_queue", g.num_vertices(), CM::kCoalesced);
+
+    std::vector<std::uint32_t> next;
+    next_buf.drain_into(next);
+    if (always_active && !next.empty()) {
+      next.resize(g.num_vertices());
+      std::iota(next.begin(), next.end(), 0u);
+    }
+    active = std::move(next);
+  }
+  summary.counters = dev.counters();
+  summary.device_time_ms = summary.counters.time_ms();
+  return summary;
+}
+
+struct BfsProg {
+  using Msg = std::uint32_t;
+  std::vector<std::uint32_t>* depth = nullptr;
+  void before_iteration(const Csr&) {}
+  Msg message(VertexId u, EdgeId) { return (*depth)[u] + 1; }
+  Msg combine(Msg a, Msg b) { return std::min(a, b); }
+  bool apply(VertexId v, Msg m) {
+    if ((*depth)[v] <= m) return false;
+    (*depth)[v] = m;
+    return true;
+  }
+};
+
+struct SsspProg {
+  using Msg = std::uint64_t;
+  const Csr* g = nullptr;
+  std::vector<std::uint32_t>* dist = nullptr;
+  void before_iteration(const Csr&) {}
+  Msg message(VertexId u, EdgeId e) {
+    const std::uint32_t du = (*dist)[u];
+    if (du == kInfinity) return static_cast<Msg>(kInfinity);
+    return static_cast<Msg>(du) + g->weight(e);
+  }
+  Msg combine(Msg a, Msg b) { return std::min(a, b); }
+  bool apply(VertexId v, Msg m) {
+    if (m >= (*dist)[v]) return false;
+    (*dist)[v] = static_cast<std::uint32_t>(m);
+    return true;
+  }
+};
+
+struct PrProg {
+  using Msg = double;
+  const Csr* g = nullptr;
+  std::vector<double>* rank = nullptr;
+  double damping = 0.85;
+  double base = 0.0;
+  void before_iteration(const Csr& graph) {
+    // Host-side step setup: dangling mass and the constant base term;
+    // vertices with no incoming messages (degree 0) settle to base.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v)
+      if (graph.degree(v) == 0) dangling += (*rank)[v];
+    base = (1.0 - damping) / graph.num_vertices() +
+           damping * dangling / graph.num_vertices();
+    for (VertexId v = 0; v < graph.num_vertices(); ++v)
+      if (graph.degree(v) == 0) (*rank)[v] = base;
+  }
+  Msg message(VertexId u, EdgeId) { return (*rank)[u] / g->degree(u); }
+  Msg combine(Msg a, Msg b) { return a + b; }
+  bool apply(VertexId v, Msg m) {
+    (*rank)[v] = base + damping * m;
+    return true;
+  }
+};
+
+}  // namespace
+
+MedusaResultBfs bfs(simt::Device& dev, const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  MedusaResultBfs out;
+  out.depth.assign(g.num_vertices(), kInfinity);
+  out.depth[source] = 0;
+  BfsProg prog;
+  prog.depth = &out.depth;
+  out.summary = run(dev, g, prog, {source}, kMaxIterations, false);
+  return out;
+}
+
+MedusaResultSssp sssp(simt::Device& dev, const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  GRX_CHECK(g.has_weights());
+  MedusaResultSssp out;
+  out.dist.assign(g.num_vertices(), kInfinity);
+  out.dist[source] = 0;
+  SsspProg prog;
+  prog.g = &g;
+  prog.dist = &out.dist;
+  out.summary = run(dev, g, prog, {source}, kMaxIterations, false);
+  return out;
+}
+
+MedusaResultPr pagerank(simt::Device& dev, const Csr& g, double damping,
+                        std::uint32_t iterations) {
+  GRX_CHECK(g.num_vertices() > 0);
+  MedusaResultPr out;
+  out.rank.assign(g.num_vertices(), 1.0 / g.num_vertices());
+  PrProg prog;
+  prog.g = &g;
+  prog.rank = &out.rank;
+  prog.damping = damping;
+
+  std::vector<std::uint32_t> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  out.summary = run(dev, g, prog, all, iterations, true);
+  // PR drops vertices whose in-neighborhood went silent; in the
+  // always-active mode that never happens, so no fixup beyond degree-0
+  // handling in before_iteration.
+  return out;
+}
+
+}  // namespace grx::medusa

@@ -1,0 +1,48 @@
+// Medusa-model message-passing engine (Zhong & He, TPDS'14) — the
+// "Medusa" comparison row of Table 2.
+//
+// The model: per super-step, an ELIST kernel runs user code on edges and
+// *sends messages* into a per-edge message buffer; a combiner performs a
+// segmented reduction of each vertex's incoming messages; a VERTEX kernel
+// applies the combined value. The paper's critique, which this engine
+// reproduces measurably: "the overhead of any management of messages is a
+// significant contributor to runtime" plus load imbalance in the segmented
+// reduction — the message buffer costs one write and one read per edge per
+// super-step on top of the traversal itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace grx::medusa {
+
+struct MedusaSummary {
+  std::uint32_t iterations = 0;
+  std::uint64_t messages_sent = 0;
+  double device_time_ms = 0.0;
+  simt::DeviceCounters counters;
+};
+
+struct MedusaResultBfs {
+  std::vector<std::uint32_t> depth;
+  MedusaSummary summary;
+};
+struct MedusaResultSssp {
+  std::vector<std::uint32_t> dist;
+  MedusaSummary summary;
+};
+struct MedusaResultPr {
+  std::vector<double> rank;
+  MedusaSummary summary;
+};
+
+MedusaResultBfs bfs(simt::Device& dev, const Csr& g, VertexId source);
+MedusaResultSssp sssp(simt::Device& dev, const Csr& g, VertexId source);
+MedusaResultPr pagerank(simt::Device& dev, const Csr& g,
+                        double damping = 0.85,
+                        std::uint32_t iterations = 50);
+
+}  // namespace grx::medusa

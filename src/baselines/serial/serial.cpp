@@ -1,0 +1,214 @@
+#include "baselines/serial/serial.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace grx::serial {
+
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> depth(g.num_vertices(), kInfinity);
+  std::queue<VertexId> q;
+  depth[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (depth[u] != kInfinity) continue;
+      depth[u] = depth[v] + 1;
+      q.push(u);
+    }
+  }
+  return depth;
+}
+
+std::vector<std::uint32_t> dijkstra(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInfinity);
+  using Item = std::pair<std::uint64_t, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;  // stale entry
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.has_weights() ? g.edge_weights(v)
+                                    : std::span<const Weight>{};
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const std::uint64_t w = ws.empty() ? 1 : ws[i];
+      const std::uint64_t cand = d + w;
+      if (cand < dist[nbrs[i]]) {
+        dist[nbrs[i]] = static_cast<std::uint32_t>(cand);
+        pq.emplace(cand, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bellman_ford(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInfinity);
+  dist[source] = 0;
+  bool changed = true;
+  for (VertexId round = 0; changed && round <= g.num_vertices(); ++round) {
+    GRX_CHECK_MSG(round < g.num_vertices() || !changed,
+                  "negative cycle (impossible with unsigned weights)");
+    changed = false;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] == kInfinity) continue;
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::uint64_t cand =
+            static_cast<std::uint64_t>(dist[v]) + g.weight(g.row_start(v) + i);
+        if (cand < dist[nbrs[i]]) {
+          dist[nbrs[i]] = static_cast<std::uint32_t>(cand);
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> brandes_bc(const Csr& g, VertexId source) {
+  GRX_CHECK(source < g.num_vertices());
+  const VertexId n = g.num_vertices();
+  std::vector<double> bc(n, 0.0), sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::uint32_t> depth(n, kInfinity);
+  std::vector<VertexId> order;  // vertices in BFS discovery order
+  order.reserve(n);
+
+  sigma[source] = 1.0;
+  depth[source] = 0;
+  std::queue<VertexId> q;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (VertexId u : g.neighbors(v)) {
+      if (depth[u] == kInfinity) {
+        depth[u] = depth[v] + 1;
+        q.push(u);
+      }
+      if (depth[u] == depth[v] + 1) sigma[u] += sigma[v];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    for (VertexId u : g.neighbors(v)) {
+      if (depth[u] == depth[v] + 1 && sigma[u] > 0.0)
+        delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+    }
+    if (v != source) bc[v] += delta[v];
+  }
+  return bc;
+}
+
+namespace {
+VertexId find_root(std::vector<VertexId>& parent, VertexId v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];  // path halving
+    v = parent[v];
+  }
+  return v;
+}
+}  // namespace
+
+std::vector<VertexId> connected_components(const Csr& g) {
+  std::vector<VertexId> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      VertexId rv = find_root(parent, v), ru = find_root(parent, u);
+      if (rv == ru) continue;
+      // Union by min id keeps labels canonical without a second pass.
+      if (rv < ru)
+        parent[ru] = rv;
+      else
+        parent[rv] = ru;
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    parent[v] = find_root(parent, v);
+  return parent;
+}
+
+std::uint32_t count_components(const std::vector<VertexId>& labels) {
+  std::uint32_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v)
+    if (labels[v] == v) ++count;
+  return count;
+}
+
+std::vector<double> pagerank(const Csr& g, double damping,
+                             std::uint32_t iterations) {
+  const VertexId n = g.num_vertices();
+  GRX_CHECK(n > 0);
+  std::vector<double> rank(n, 1.0 / n), next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v)
+      if (g.degree(v) == 0) dangling += rank[v];
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      const double share = g.degree(v) ? rank[v] / g.degree(v) : 0.0;
+      for (VertexId u : g.neighbors(v)) next[u] += share;
+    }
+    for (VertexId v = 0; v < n; ++v) rank[v] = base + damping * next[v];
+  }
+  return rank;
+}
+
+std::uint64_t mst_weight(const Csr& g) {
+  GRX_CHECK(g.has_weights());
+  struct E {
+    Weight w;
+    VertexId u, v;
+  };
+  std::vector<E> edges;
+  edges.reserve(g.num_edges() / 2);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (v < nbrs[i]) edges.push_back({ws[i], v, nbrs[i]});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const E& a, const E& b) { return a.w < b.w; });
+  std::vector<VertexId> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  std::uint64_t total = 0;
+  for (const E& e : edges) {
+    const VertexId ru = find_root(parent, e.u), rv = find_root(parent, e.v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    total += e.w;
+  }
+  return total;
+}
+
+bool is_spanning_forest(
+    const Csr& g,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<VertexId> parent(g.num_vertices());
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  for (const auto& [u, v] : edges) {
+    if (u >= g.num_vertices() || v >= g.num_vertices()) return false;
+    const VertexId ru = find_root(parent, u), rv = find_root(parent, v);
+    if (ru == rv) return false;  // cycle
+    parent[ru] = rv;
+  }
+  const auto components = connected_components(g);
+  const std::uint32_t want =
+      g.num_vertices() - count_components(components);
+  return edges.size() == want;
+}
+
+}  // namespace grx::serial

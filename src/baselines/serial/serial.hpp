@@ -1,0 +1,51 @@
+// Serial reference algorithms.
+//
+// Dual role: (1) correctness oracles for every Gunrock primitive and every
+// parallel baseline in the test suite; (2) the single-threaded CPU library
+// row ("BGL") in the Table 2 comparison — BGL is "one of the highest-
+// performing CPU single-threaded graph libraries", i.e. exactly a clean
+// serial implementation with std containers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace grx::serial {
+
+/// Level-synchronous queue BFS. Unreached depths are kInfinity.
+std::vector<std::uint32_t> bfs(const Csr& g, VertexId source);
+
+/// Dijkstra with a binary heap. Unreachable distances are kInfinity.
+std::vector<std::uint32_t> dijkstra(const Csr& g, VertexId source);
+
+/// Bellman-Ford (for cross-checking Dijkstra and as the Ligra-style SSSP
+/// oracle; also detects negative cycles, returning empty if found —
+/// impossible with this repo's unsigned weights, but kept for API hygiene).
+std::vector<std::uint32_t> bellman_ford(const Csr& g, VertexId source);
+
+/// Brandes betweenness centrality contribution from a single source.
+std::vector<double> brandes_bc(const Csr& g, VertexId source);
+
+/// Union-find connected components; labels are canonical min vertex ids.
+std::vector<VertexId> connected_components(const Csr& g);
+
+std::uint32_t count_components(const std::vector<VertexId>& labels);
+
+/// Power-iteration PageRank with uniform dangling redistribution.
+std::vector<double> pagerank(const Csr& g, double damping = 0.85,
+                             std::uint32_t iterations = 50);
+
+/// Kruskal minimum-spanning-forest weight (the MSF weight is unique even
+/// when individual MSTs are not, so it is the right oracle for Boruvka).
+std::uint64_t mst_weight(const Csr& g);
+
+/// True iff `edges` (as (u, v) pairs over g's vertices) forms a forest
+/// that spans each connected component of g (i.e. a valid spanning
+/// forest: acyclic + |edges| == |V| - #components).
+bool is_spanning_forest(
+    const Csr& g,
+    const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace grx::serial

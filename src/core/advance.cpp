@@ -1,0 +1,31 @@
+#include "core/advance.hpp"
+
+namespace grx {
+
+const char* to_string(AdvanceStrategy s) {
+  switch (s) {
+    case AdvanceStrategy::kThreadFine:
+      return "thread-fine";
+    case AdvanceStrategy::kTwc:
+      return "twc";
+    case AdvanceStrategy::kLoadBalanced:
+      return "load-balanced";
+    case AdvanceStrategy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kPush:
+      return "push";
+    case Direction::kPull:
+      return "pull";
+    case Direction::kOptimal:
+      return "direction-optimal";
+  }
+  return "?";
+}
+
+}  // namespace grx

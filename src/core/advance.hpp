@@ -1,0 +1,487 @@
+// Advance: generate a new frontier by visiting neighbors of the current one
+// (Section 4.1), with the paper's workload-mapping strategies (Section 4.4)
+// and push/pull + idempotence optimizations (Section 4.5).
+//
+// Strategies:
+//  * kThreadFine    — one frontier vertex's neighbor list per lane; the warp
+//                     serializes to its longest list (Merrill's baseline).
+//  * kTwc           — per-Thread/Warp/CTA size classing (Merrill et al.,
+//                     Figure 4): large lists processed block-cooperatively,
+//                     medium warp-cooperatively, small per-thread.
+//  * kLoadBalanced  — Davidson et al.'s partitioning (Figure 5): scan the
+//                     frontier's degrees, split the edge range into equal
+//                     chunks, sorted-search the chunk boundaries.
+//  * kAuto          — the paper's hybrid: fine-grained grouping for evenly-
+//                     distributed small degrees, LB for skewed frontiers;
+//                     within LB, balance over nodes below a 4096-item
+//                     frontier threshold and over edges above it.
+//
+// Direction:
+//  * kPush          — scatter from the frontier to neighbors.
+//  * kPull          — iterate over unvisited vertices and probe their
+//                     incoming neighbors against a frontier bitmap
+//                     (requires PullableFunctor). Beamer's optimization.
+//  * kOptimal       — switch push->pull when the frontier's edge volume
+//                     exceeds |E|/alpha, back when it shrinks below
+//                     |V|/beta (direction-optimizing BFS).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/functor.hpp"
+#include "graph/csr.hpp"
+#include "simt/atomic.hpp"
+#include "simt/device.hpp"
+#include "simt/primitives.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx {
+
+enum class AdvanceStrategy : std::uint8_t {
+  kThreadFine,
+  kTwc,
+  kLoadBalanced,
+  kAuto,
+};
+
+enum class Direction : std::uint8_t { kPush, kPull, kOptimal };
+
+const char* to_string(AdvanceStrategy s);
+const char* to_string(Direction d);
+
+struct AdvanceConfig {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  Direction direction = Direction::kPush;
+  /// Idempotent ops skip the per-edge atomic claim; duplicates may appear
+  /// in the output frontier and are culled (cheaply, heuristically) by the
+  /// next filter.
+  bool idempotent = false;
+  /// Paper Section 4.4: below this frontier size, LB balances over nodes;
+  /// above it, over edges. "Setting this threshold to 4096 yields
+  /// consistent high performance across all Gunrock-provided primitives."
+  std::uint32_t lb_node_edge_threshold = 4096;
+  /// Direction-optimal switch parameters (Beamer et al.).
+  double pull_alpha = 14.0;
+  double pull_beta = 24.0;
+  /// TWC size-class boundaries (paper Figure 4: 32 and 256).
+  std::uint32_t twc_warp_threshold = 32;
+  std::uint32_t twc_cta_threshold = 256;
+  /// When false, accepted edges do not emit output-frontier entries
+  /// (PageRank's advance computes in place; its frontier is maintained by
+  /// the filter step alone).
+  bool collect_outputs = true;
+};
+
+struct AdvanceStats {
+  std::uint64_t edges_processed = 0;  ///< edges touched (or pull probes)
+  std::uint64_t outputs = 0;          ///< items emitted before filtering
+  bool used_pull = false;
+  AdvanceStrategy used_strategy = AdvanceStrategy::kAuto;
+};
+
+/// Reusable scratch across advance calls (bitmap for pull, degree/offset
+/// arrays for LB). Owned by the primitive's enactor.
+struct AdvanceWorkspace {
+  AtomicBitset bitmap;
+  std::vector<std::uint32_t> degrees;
+  std::vector<std::uint64_t> offsets;
+  std::size_t prev_frontier_size = 0;
+  bool pulling = false;  ///< sticky direction state for kOptimal
+};
+
+namespace detail {
+
+/// Gathers frontier degrees into ws.degrees; returns (total, max).
+template <typename P>
+std::pair<std::uint64_t, std::uint32_t> gather_degrees(
+    simt::Device& dev, const Csr& g, const std::vector<std::uint32_t>& in,
+    AdvanceWorkspace& ws) {
+  ws.degrees.resize(in.size());
+  std::uint64_t total = 0;
+  std::uint32_t max_deg = 0;
+#pragma omp parallel for schedule(static) reduction(+ : total) \
+    reduction(max : max_deg)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(in.size()); ++i) {
+    const std::uint32_t d = g.degree(in[static_cast<std::size_t>(i)]);
+    ws.degrees[static_cast<std::size_t>(i)] = d;
+    total += d;
+    max_deg = std::max(max_deg, d);
+  }
+  // Row-offset reads for scattered frontier vertices; a sub-phase of the
+  // LB advance's scan kernel, not a separate launch.
+  dev.charge_pass("gather_degrees", in.size(), simt::CostModel::kScattered,
+                  /*fused=*/true);
+  return {total, max_deg};
+}
+
+/// Runs the functor on one edge; appends dst on acceptance. Returns 1 if
+/// the edge was accepted (for atomic-cost accounting).
+template <typename F, typename P>
+inline std::uint32_t process_edge(const Csr& g, VertexId src, EdgeId e,
+                                  P& prob,
+                                  std::vector<std::uint32_t>& out_local,
+                                  bool collect) {
+  const VertexId dst = g.col_index(e);
+  if (F::cond_edge(src, dst, e, prob)) {
+    F::apply_edge(src, dst, e, prob);
+    if (collect) out_local.push_back(dst);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+/// Push advance, per-thread fine-grained mapping.
+template <typename F, typename P>
+  requires EdgeFunctor<F, P>
+AdvanceStats advance_thread_fine(simt::Device& dev, const Csr& g,
+                                 const std::vector<std::uint32_t>& in,
+                                 std::vector<std::uint32_t>& out, P& prob,
+                                 const AdvanceConfig& cfg,
+                                 AdvanceWorkspace& ws) {
+  using CM = simt::CostModel;
+  (void)ws;
+  AdvanceStats stats;
+  stats.used_strategy = AdvanceStrategy::kThreadFine;
+  const std::size_t num_warps = (in.size() + CM::kWarpSize - 1) / CM::kWarpSize;
+  PerThread<std::vector<std::uint32_t>> outputs;
+  std::uint64_t edges = 0;
+#pragma omp parallel reduction(+ : edges)
+  {
+    auto& local = outputs.local();
+#pragma omp for schedule(dynamic, 16) nowait
+    for (std::ptrdiff_t wi = 0; wi < static_cast<std::ptrdiff_t>(num_warps);
+         ++wi) {
+      // Cost accounting is folded into one for_each_warp below; here we do
+      // the real work and record per-warp shape (max/sum of lane work).
+      const std::size_t base = static_cast<std::size_t>(wi) * CM::kWarpSize;
+      const std::size_t lanes = std::min<std::size_t>(CM::kWarpSize,
+                                                      in.size() - base);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const VertexId v = in[base + l];
+        const EdgeId end = g.row_end(v);
+        for (EdgeId e = g.row_start(v); e < end; ++e) {
+          const std::uint32_t accepted =
+              detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
+          (void)accepted;
+          ++edges;
+        }
+      }
+    }
+  }
+  // Charge the SIMT cost: each lane owns one neighbor list; the warp
+  // serializes to its longest (max), idle lanes burn slots; each edge is a
+  // scattered access; non-idempotent ops add an atomic claim per edge.
+  const std::uint64_t per_edge =
+      CM::kScattered + (cfg.idempotent ? 0 : CM::kAtomic);
+  dev.for_each_warp("advance_thread_fine", num_warps, [&](simt::Warp& w) {
+    const std::size_t base = w.id() * CM::kWarpSize;
+    const std::size_t lanes =
+        std::min<std::size_t>(CM::kWarpSize, in.size() - base);
+    std::uint64_t max_d = 0, sum_d = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint64_t d = g.degree(in[base + l]);
+      max_d = std::max(max_d, d);
+      sum_d += d;
+    }
+    w.load_coalesced(static_cast<unsigned>(lanes));  // offset loads
+    w.charge(max_d * per_edge, sum_d * per_edge);
+  });
+  outputs.drain_into(out);
+  stats.edges_processed = edges;
+  stats.outputs = out.size();
+  return stats;
+}
+
+/// Push advance, per-thread/warp/CTA size classing (Merrill et al.).
+template <typename F, typename P>
+  requires EdgeFunctor<F, P>
+AdvanceStats advance_twc(simt::Device& dev, const Csr& g,
+                         const std::vector<std::uint32_t>& in,
+                         std::vector<std::uint32_t>& out, P& prob,
+                         const AdvanceConfig& cfg, AdvanceWorkspace& ws) {
+  using CM = simt::CostModel;
+  (void)ws;
+  AdvanceStats stats;
+  stats.used_strategy = AdvanceStrategy::kTwc;
+  const std::size_t num_warps = (in.size() + CM::kWarpSize - 1) / CM::kWarpSize;
+  PerThread<std::vector<std::uint32_t>> outputs;
+  const std::uint64_t atomic_extra = cfg.idempotent ? 0 : CM::kAtomic;
+
+  // Real work and cost accounting fused: the warp program does both.
+  std::uint64_t edge_acc = 0;
+  dev.for_each_warp("advance_twc", num_warps, [&](simt::Warp& w) {
+    auto& local = outputs.local();
+    const std::size_t base = w.id() * CM::kWarpSize;
+    const std::size_t lanes =
+        std::min<std::size_t>(CM::kWarpSize, in.size() - base);
+    w.load_coalesced(static_cast<unsigned>(lanes));  // stage offsets
+    w.alu(static_cast<unsigned>(lanes));             // size classification
+
+    std::uint64_t warp_edges = 0;
+    std::uint64_t small_max = 0, small_sum = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const VertexId v = in[base + l];
+      const std::uint32_t d = g.degree(v);
+      // Host side: process the list now regardless of class.
+      const EdgeId end = g.row_end(v);
+      for (EdgeId e = g.row_start(v); e < end; ++e) {
+        detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
+        ++warp_edges;
+      }
+      // Device side: charge by class.
+      if (d > cfg.twc_cta_threshold) {
+        // CTA-cooperative: coalesced, but the whole list streams through a
+        // *single* CTA, so it sees one SM's share of DRAM bandwidth while
+        // other SMs drain. LB's chunking spreads the same list across the
+        // device — this 2x factor is why coarse-grained wins on
+        // hub-dominated frontiers (Figure 8 left; "higher overhead due to
+        // the sequential processing", Section 4.4).
+        w.bulk(d, 2 * CM::kCoalesced + atomic_extra);
+        w.alu();  // block arbitration
+      } else if (d > cfg.twc_warp_threshold) {
+        // Warp-cooperative sweep.
+        w.bulk(d, CM::kCoalesced + atomic_extra);
+      } else {
+        small_max = std::max<std::uint64_t>(small_max, d);
+        small_sum += d;
+      }
+    }
+    // Small lists: per-thread, serialized to the longest small list in the
+    // warp (divergence shows up as max vs sum); offsets and list heads are
+    // staged through shared memory, so per-edge cost stays near-coalesced.
+    const std::uint64_t per_edge = CM::kCoalesced + atomic_extra;
+    w.charge(small_max * per_edge, small_sum * per_edge);
+    simt::atomic_add(edge_acc, warp_edges);
+  });
+  outputs.drain_into(out);
+  stats.edges_processed = edge_acc;
+  stats.outputs = out.size();
+  return stats;
+}
+
+/// Push advance, load-balanced partitioning (Davidson et al.).
+template <typename F, typename P>
+  requires EdgeFunctor<F, P>
+AdvanceStats advance_load_balanced(simt::Device& dev, const Csr& g,
+                                   const std::vector<std::uint32_t>& in,
+                                   std::vector<std::uint32_t>& out, P& prob,
+                                   const AdvanceConfig& cfg,
+                                   AdvanceWorkspace& ws) {
+  using CM = simt::CostModel;
+  AdvanceStats stats;
+  stats.used_strategy = AdvanceStrategy::kLoadBalanced;
+  auto [total_work, max_deg] = detail::gather_degrees<P>(dev, g, in, ws);
+  (void)max_deg;
+  if (total_work == 0) {
+    out.clear();
+    return stats;
+  }
+  ws.offsets.resize(in.size() + 1);
+  simt::exclusive_scan(dev, ws.degrees,
+                       std::span(ws.offsets).first(in.size()));
+  ws.offsets[in.size()] = total_work;
+
+  const bool over_edges = in.size() >= cfg.lb_node_edge_threshold;
+  const std::uint64_t atomic_extra = cfg.idempotent ? 0 : CM::kAtomic;
+  const std::uint64_t per_edge = CM::kCoalesced + CM::kAlu + atomic_extra;
+  PerThread<std::vector<std::uint32_t>> outputs;
+  std::uint64_t edges = 0;
+
+  if (over_edges) {
+    // Equal chunks of *edges* per CTA; neighbor lists may split. A sorted
+    // search finds each chunk's first source row (Figure 5).
+    const std::uint64_t chunk = CM::kCtaSize;
+    const auto starts =
+        simt::sorted_search_chunks(dev, ws.offsets, chunk);
+    const std::size_t num_chunks = starts.size();
+    std::uint64_t edge_acc = 0;
+    dev.for_each_warp("advance_lb_edges", num_chunks, [&](simt::Warp& w) {
+      auto& local = outputs.local();
+      const std::uint64_t lo = w.id() * chunk;
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, total_work);
+      std::uint32_t row = starts[w.id()];
+      // Binary search charged inside sorted_search_chunks; per-row rank
+      // recovery is a few ALU ops.
+      std::uint64_t count = 0;
+      for (std::uint64_t k = lo; k < hi; ++k) {
+        while (ws.offsets[row + 1] <= k) ++row;  // advance to owning row
+        const VertexId src = in[row];
+        const EdgeId e = g.row_start(src) + (k - ws.offsets[row]);
+        detail::process_edge<F>(g, src, e, prob, local, cfg.collect_outputs);
+        ++count;
+      }
+      w.bulk(count, per_edge);
+      w.alu();  // chunk setup
+      simt::atomic_add(edge_acc, count);
+    });
+    edges = edge_acc;
+  } else {
+    // Equal chunks of *nodes* per CTA: all lists of a chunk processed
+    // cooperatively. Balanced within a chunk; imbalance across chunks shows
+    // up as critical-path cycles (exactly why the paper switches to
+    // edge-chunking for large frontiers).
+    const std::size_t chunk_nodes = CM::kWarpSize;
+    const std::size_t num_chunks =
+        (in.size() + chunk_nodes - 1) / chunk_nodes;
+    std::uint64_t edge_acc = 0;
+    dev.for_each_warp("advance_lb_nodes", num_chunks, [&](simt::Warp& w) {
+      auto& local = outputs.local();
+      const std::size_t base = w.id() * chunk_nodes;
+      const std::size_t n_here =
+          std::min(chunk_nodes, in.size() - base);
+      std::uint64_t count = 0;
+      for (std::size_t l = 0; l < n_here; ++l) {
+        const VertexId v = in[base + l];
+        const EdgeId end = g.row_end(v);
+        for (EdgeId e = g.row_start(v); e < end; ++e) {
+          detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
+          ++count;
+        }
+      }
+      w.load_coalesced(static_cast<unsigned>(n_here));
+      w.bulk(count, per_edge);
+      simt::atomic_add(edge_acc, count);
+    });
+    edges = edge_acc;
+  }
+  outputs.drain_into(out);
+  // Output assembly: warp-aggregated queue appends inside the kernel.
+  dev.charge_pass("advance_scatter", out.size(), 2 * CM::kCoalesced,
+                  /*fused=*/true);
+  stats.edges_processed = edges;
+  stats.outputs = out.size();
+  return stats;
+}
+
+/// Pull advance (direction-optimized): iterate over unvisited vertices,
+/// probe incoming neighbors against the frontier bitmap, stop at first hit.
+template <typename F, typename P>
+  requires PullableFunctor<F, P>
+AdvanceStats advance_pull(simt::Device& dev, const Csr& g,
+                          const std::vector<std::uint32_t>& in,
+                          std::vector<std::uint32_t>& out, P& prob,
+                          AdvanceWorkspace& ws) {
+  using CM = simt::CostModel;
+  AdvanceStats stats;
+  stats.used_pull = true;
+  stats.used_strategy = AdvanceStrategy::kLoadBalanced;
+
+  if (ws.bitmap.size() != g.num_vertices()) ws.bitmap.resize(g.num_vertices());
+  ws.bitmap.clear();
+  for (std::uint32_t v : in) ws.bitmap.set(v);
+  dev.charge_pass("frontier_bitmap", in.size(), CM::kScattered);
+
+  PerThread<std::vector<std::uint32_t>> outputs;
+  std::uint64_t probes_acc = 0;
+  dev.for_each("advance_pull", g.num_vertices(), [&](simt::Lane& lane,
+                                                     std::size_t vi) {
+    const auto v = static_cast<VertexId>(vi);
+    lane.load_coalesced();  // visited-status read
+    if (!F::is_unvisited(v, prob)) return;
+    std::uint64_t probes = 0;
+    const EdgeId end = g.row_end(v);
+    for (EdgeId e = g.row_start(v); e < end; ++e) {
+      ++probes;
+      const VertexId u = g.col_index(e);
+      if (!ws.bitmap.test(u)) continue;
+      // u is in the frontier: pull the value across edge (u -> v).
+      if (F::cond_edge(u, v, e, prob)) {
+        F::apply_edge(u, v, e, prob);
+        outputs.local().push_back(v);
+      }
+      break;  // Beamer: first valid parent suffices
+    }
+    lane.charge(probes * CM::kCoalesced);  // sequential list + bitmap reads
+    simt::atomic_add(probes_acc, probes);
+  });
+  outputs.drain_into(out);
+  dev.charge_pass("advance_scatter", out.size(), 2 * CM::kCoalesced);
+  stats.edges_processed = probes_acc;
+  stats.outputs = out.size();
+  return stats;
+}
+
+/// Strategy dispatch for push advance.
+template <typename F, typename P>
+  requires EdgeFunctor<F, P>
+AdvanceStats advance_push(simt::Device& dev, const Csr& g,
+                          const std::vector<std::uint32_t>& in,
+                          std::vector<std::uint32_t>& out, P& prob,
+                          const AdvanceConfig& cfg, AdvanceWorkspace& ws) {
+  AdvanceStrategy s = cfg.strategy;
+  if (s == AdvanceStrategy::kAuto) {
+    // Hybrid heuristic (Section 4.4): skewed frontiers -> LB partitioning;
+    // evenly-distributed small degrees -> fine-grained dynamic grouping.
+    std::uint32_t max_deg = 0;
+    std::uint64_t total = 0;
+    const std::size_t sample = std::min<std::size_t>(in.size(), 1024);
+    for (std::size_t i = 0; i < sample; ++i) {
+      const std::uint32_t d = g.degree(in[i]);
+      max_deg = std::max(max_deg, d);
+      total += d;
+    }
+    const double avg = sample ? static_cast<double>(total) / sample : 0.0;
+    s = (max_deg > 16 * std::max(1.0, avg) || max_deg > 256)
+            ? AdvanceStrategy::kLoadBalanced
+            : AdvanceStrategy::kTwc;
+  }
+  switch (s) {
+    case AdvanceStrategy::kThreadFine:
+      return advance_thread_fine<F>(dev, g, in, out, prob, cfg, ws);
+    case AdvanceStrategy::kTwc:
+      return advance_twc<F>(dev, g, in, out, prob, cfg, ws);
+    default:
+      return advance_load_balanced<F>(dev, g, in, out, prob, cfg, ws);
+  }
+}
+
+/// Full advance with direction selection. For kOptimal, the push->pull
+/// switch follows Beamer's heuristic on frontier edge volume; the state is
+/// sticky across iterations via the workspace.
+template <typename F, typename P>
+  requires EdgeFunctor<F, P>
+AdvanceStats advance(simt::Device& dev, const Csr& g, const Frontier& in,
+                     Frontier& out, P& prob, const AdvanceConfig& cfg,
+                     AdvanceWorkspace& ws) {
+  GRX_CHECK(in.kind() == FrontierKind::kVertex);
+  out.clear();
+  AdvanceStats stats;
+  Direction dir = cfg.direction;
+  if (dir == Direction::kOptimal) {
+    if constexpr (PullableFunctor<F, P>) {
+      std::uint64_t m_f = 0;
+      for (std::uint32_t v : in.items()) m_f += g.degree(v);
+      const double alpha_cut =
+          static_cast<double>(g.num_edges()) / cfg.pull_alpha;
+      const double beta_cut =
+          static_cast<double>(g.num_vertices()) / cfg.pull_beta;
+      if (!ws.pulling && static_cast<double>(m_f) > alpha_cut)
+        ws.pulling = true;
+      else if (ws.pulling &&
+               static_cast<double>(in.size()) < beta_cut &&
+               in.size() < ws.prev_frontier_size)
+        ws.pulling = false;
+      dir = ws.pulling ? Direction::kPull : Direction::kPush;
+    } else {
+      dir = Direction::kPush;
+    }
+  }
+  if (dir == Direction::kPull) {
+    if constexpr (PullableFunctor<F, P>) {
+      stats = advance_pull<F>(dev, g, in.items(), out.items(), prob, ws);
+    } else {
+      GRX_CHECK_MSG(false, "functor does not support pull traversal");
+    }
+  } else {
+    stats = advance_push<F>(dev, g, in.items(), out.items(), prob, cfg, ws);
+  }
+  ws.prev_frontier_size = in.size();
+  return stats;
+}
+
+}  // namespace grx

@@ -1,0 +1,83 @@
+// Enactor scaffolding: the iteration driver every primitive shares
+// (Section 4.3: "the enactor serves as the entry point of the graph
+// algorithm and specifies the computation as a series of advance and/or
+// filter kernel calls").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/advance.hpp"
+#include "core/filter.hpp"
+#include "core/frontier.hpp"
+#include "simt/device.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+
+/// Per-BSP-iteration record, for convergence plots and debugging.
+struct IterationStats {
+  std::uint32_t iteration = 0;
+  std::uint64_t input_size = 0;
+  std::uint64_t output_size = 0;
+  std::uint64_t edges_processed = 0;
+  bool used_pull = false;
+};
+
+/// Result summary returned by every primitive's enact().
+struct EnactSummary {
+  std::uint32_t iterations = 0;
+  std::uint64_t edges_processed = 0;   ///< total over all advances
+  double device_time_ms = 0.0;         ///< simulated device time
+  double host_wall_ms = 0.0;           ///< wall-clock of the emulation
+  simt::DeviceCounters counters;       ///< full device counter snapshot
+  std::vector<IterationStats> per_iteration;
+
+  /// Millions of traversed edges per second against simulated time,
+  /// computed over |E| like the paper's Table 3 (full-graph traversal).
+  double mteps(std::uint64_t num_edges) const {
+    if (device_time_ms <= 0.0) return 0.0;
+    return static_cast<double>(num_edges) / 1e3 / device_time_ms;
+  }
+};
+
+/// Common state for primitive enactors: device, double-buffered frontiers,
+/// operator workspaces, iteration log.
+class EnactorBase {
+ public:
+  explicit EnactorBase(simt::Device& dev) : dev_(dev) {}
+
+  simt::Device& device() { return dev_; }
+
+  /// Maximum BSP steps before declaring divergence (safety net; the
+  /// paper's primitives all converge to an empty frontier).
+  static constexpr std::uint32_t kMaxIterations = 100000;
+
+ protected:
+  void record(IterationStats s) {
+    s.iteration = static_cast<std::uint32_t>(log_.size());
+    log_.push_back(s);
+  }
+
+  EnactSummary finish(std::uint64_t edges, double wall_ms) {
+    EnactSummary out;
+    out.iterations = static_cast<std::uint32_t>(log_.size());
+    out.edges_processed = edges;
+    out.counters = dev_.counters();
+    out.device_time_ms = out.counters.time_ms();
+    out.host_wall_ms = wall_ms;
+    out.per_iteration = std::move(log_);
+    log_.clear();
+    return out;
+  }
+
+  simt::Device& dev_;
+  Frontier in_{FrontierKind::kVertex};
+  Frontier out_{FrontierKind::kVertex};
+  AdvanceWorkspace advance_ws_;
+  FilterWorkspace filter_ws_;
+  std::vector<IterationStats> log_;
+};
+
+}  // namespace grx

@@ -1,0 +1,125 @@
+// Filter: choose a subset of the current frontier (Section 4.1).
+//
+// Two shapes, matching the paper's uses:
+//  * filter_vertices — CondVertex/ApplyVertex over a vertex frontier, with
+//    optional cheap duplicate-culling heuristics for idempotent primitives
+//    (a history hash table: "a series of inexpensive heuristics to reduce,
+//    but not eliminate, redundant entries", Section 4.5);
+//  * filter_edges — CondEdge over an *edge* frontier (CC hooking operates
+//    on edges; the problem supplies endpoint lookup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/functor.hpp"
+#include "simt/device.hpp"
+#include "simt/primitives.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx {
+
+struct FilterConfig {
+  /// Enable the history-hash duplicate-culling heuristic (idempotent mode).
+  bool dedup_heuristic = false;
+  /// History table size (power of two). 64K entries ~ Gunrock's default.
+  std::uint32_t history_bits = 16;
+};
+
+struct FilterStats {
+  std::uint64_t inputs = 0;
+  std::uint64_t outputs = 0;
+  std::uint64_t culled_by_history = 0;
+};
+
+/// Scratch persisting across filter calls (the history table).
+struct FilterWorkspace {
+  std::vector<std::uint32_t> history;
+};
+
+/// Charges the stream-compaction phase that assembles the output queue.
+/// Fused into the filter kernel itself (warp-aggregated appends), so no
+/// separate launch is paid.
+inline void simt_compact_charge(simt::Device& dev, std::size_t n) {
+  dev.charge_pass("filter_compact", n, 3 * simt::CostModel::kCoalesced,
+                  /*fused=*/true);
+}
+
+/// Vertex-frontier filter. Keeps v iff cond_vertex(v); runs apply_vertex on
+/// survivors.
+template <typename F, typename P>
+  requires VertexFunctor<F, P>
+FilterStats filter_vertices(simt::Device& dev,
+                            const std::vector<std::uint32_t>& in,
+                            std::vector<std::uint32_t>& out, P& prob,
+                            const FilterConfig& cfg, FilterWorkspace& ws) {
+  FilterStats stats;
+  stats.inputs = in.size();
+  out.clear();
+
+  const std::uint32_t mask = (1u << cfg.history_bits) - 1;
+  if (cfg.dedup_heuristic &&
+      ws.history.size() != static_cast<std::size_t>(mask) + 1) {
+    ws.history.assign(static_cast<std::size_t>(mask) + 1, kInvalidVertex);
+  }
+
+  PerThread<std::vector<std::uint32_t>> outputs;
+  std::uint64_t culled_acc = 0;
+  dev.for_each("filter", in.size(), [&](simt::Lane& lane, std::size_t i) {
+    const std::uint32_t v = in[i];
+    lane.load_coalesced();  // queue read
+    if (cfg.dedup_heuristic) {
+      // Best-effort duplicate cull: benign races only ever let duplicates
+      // *through* (safe for idempotent ops), never drop distinct vertices.
+      lane.alu(2);
+      const std::uint32_t slot = v & mask;
+      if (simt::atomic_load(ws.history[slot]) == v) {
+        simt::atomic_add(culled_acc, std::uint64_t{1});
+        return;
+      }
+      simt::atomic_store(ws.history[slot], v);
+    }
+    lane.load_scattered();  // per-vertex problem-data read
+    if (F::cond_vertex(v, prob)) {
+      F::apply_vertex(v, prob);
+      outputs.local().push_back(v);
+    }
+  });
+  outputs.drain_into(out);
+  simt_compact_charge(dev, in.size());
+  stats.outputs = out.size();
+  stats.culled_by_history = culled_acc;
+  return stats;
+}
+
+/// Edge-frontier filter. P must provide
+/// `std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const`.
+template <typename F, typename P>
+  requires EdgeFunctor<F, P> &&
+           requires(P& p, std::uint32_t e) { p.edge_endpoints(e); }
+FilterStats filter_edges(simt::Device& dev,
+                         const std::vector<std::uint32_t>& in,
+                         std::vector<std::uint32_t>& out, P& prob) {
+  FilterStats stats;
+  stats.inputs = in.size();
+  out.clear();
+  PerThread<std::vector<std::uint32_t>> outputs;
+  dev.for_each("filter_edges", in.size(), [&](simt::Lane& lane,
+                                              std::size_t i) {
+    const std::uint32_t e = in[i];
+    lane.load_coalesced();   // queue read
+    lane.load_scattered();   // endpoint component reads
+    const auto [s, d] = prob.edge_endpoints(e);
+    if (F::cond_edge(s, d, e, prob)) {
+      F::apply_edge(s, d, e, prob);
+      outputs.local().push_back(e);
+    }
+  });
+  outputs.drain_into(out);
+  simt_compact_charge(dev, in.size());
+  stats.outputs = out.size();
+  return stats;
+}
+
+}  // namespace grx

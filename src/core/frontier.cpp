@@ -1,0 +1,11 @@
+#include "core/frontier.hpp"
+
+namespace grx {
+
+void frontier_to_bitmap(const Frontier& f, AtomicBitset& bitmap) {
+  GRX_CHECK(f.kind() == FrontierKind::kVertex);
+  bitmap.clear();
+  for (std::uint32_t v : f.items()) bitmap.set(v);
+}
+
+}  // namespace grx

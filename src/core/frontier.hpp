@@ -1,0 +1,59 @@
+// The frontier: Gunrock's central data structure (Section 4.1).
+//
+// A frontier is the subset of vertices or edges currently participating in
+// the computation. Operators (advance / filter / compute) consume one
+// frontier and produce the next; primitives run until it is empty.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/common.hpp"
+
+namespace grx {
+
+enum class FrontierKind : std::uint8_t { kVertex, kEdge };
+
+class Frontier {
+ public:
+  explicit Frontier(FrontierKind kind = FrontierKind::kVertex)
+      : kind_(kind) {}
+
+  FrontierKind kind() const { return kind_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  std::vector<std::uint32_t>& items() { return items_; }
+  const std::vector<std::uint32_t>& items() const { return items_; }
+
+  void clear() { items_.clear(); }
+
+  /// Frontier of a single seed vertex (BFS/SSSP/BC start state).
+  void assign_single(std::uint32_t id) { items_.assign(1, id); }
+
+  /// Frontier of all ids in [0, n) (PageRank and CC start state).
+  void assign_iota(std::uint32_t n) {
+    items_.resize(n);
+    std::iota(items_.begin(), items_.end(), 0u);
+  }
+
+  void assign(std::vector<std::uint32_t> ids) { items_ = std::move(ids); }
+
+  void swap(Frontier& other) {
+    std::swap(kind_, other.kind_);
+    items_.swap(other.items_);
+  }
+
+ private:
+  FrontierKind kind_;
+  std::vector<std::uint32_t> items_;
+};
+
+/// Converts a vertex frontier into a bitmap — the first step of the
+/// pull-direction advance ("Gunrock internally converts the current
+/// frontier into a bitmap of vertices", Section 4.5).
+void frontier_to_bitmap(const Frontier& f, AtomicBitset& bitmap);
+
+}  // namespace grx

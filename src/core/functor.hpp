@@ -1,0 +1,42 @@
+// Functor traits: the user-facing computation API of Figure 3.
+//
+// A primitive supplies a functor type with static members mirroring the
+// paper's device functions:
+//
+//   static bool cond_edge(VertexId src, VertexId dst, EdgeId e, Problem&);
+//   static void apply_edge(VertexId src, VertexId dst, EdgeId e, Problem&);
+//   static bool cond_vertex(VertexId v, Problem&);
+//   static void apply_vertex(VertexId v, Problem&);
+//
+// Advance and filter kernels are *templates over the functor*, so the user
+// computation is inlined into the traversal loop at compile time — the
+// paper's "automatic kernel fusion" (Section 4.3). An optional
+// `is_unvisited(VertexId, Problem&)` enables the pull-direction advance.
+#pragma once
+
+#include <concepts>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+template <typename F, typename P>
+concept EdgeFunctor = requires(VertexId s, VertexId d, EdgeId e, P& p) {
+  { F::cond_edge(s, d, e, p) } -> std::convertible_to<bool>;
+  { F::apply_edge(s, d, e, p) };
+};
+
+template <typename F, typename P>
+concept VertexFunctor = requires(VertexId v, P& p) {
+  { F::cond_vertex(v, p) } -> std::convertible_to<bool>;
+  { F::apply_vertex(v, p) };
+};
+
+/// Functors exposing `is_unvisited` opt into pull-direction traversal.
+template <typename F, typename P>
+concept PullableFunctor = EdgeFunctor<F, P> &&
+    requires(VertexId v, P& p) {
+      { F::is_unvisited(v, p) } -> std::convertible_to<bool>;
+    };
+
+}  // namespace grx

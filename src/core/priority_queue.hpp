@@ -1,0 +1,54 @@
+// Two-level near/far priority queue (Section 4.5).
+//
+// Generalizes Davidson et al.'s delta-stepping worklist: a user-supplied
+// priority predicate splits the output frontier into a "near" slice
+// (processed next) and a "far" pile (deferred). When near is exhausted the
+// priority level advances and the far pile is re-split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/primitives.hpp"
+#include "util/per_thread.hpp"
+
+namespace grx {
+
+struct PriorityQueueStats {
+  std::uint64_t splits = 0;
+  std::uint64_t near_total = 0;
+  std::uint64_t far_total = 0;
+};
+
+/// Splits `items` by `is_near(item)`: near items to `near`, rest appended
+/// to `far`. Charged as a scan + two scatters (a GPU split-compaction).
+template <typename Fn>
+void split_near_far(simt::Device& dev, const std::vector<std::uint32_t>& items,
+                    std::vector<std::uint32_t>& near,
+                    std::vector<std::uint32_t>& far, Fn&& is_near,
+                    PriorityQueueStats* stats = nullptr) {
+  near.clear();
+  PerThread<std::vector<std::uint32_t>> near_buf, far_buf;
+  dev.for_each("pq_split", items.size(), [&](simt::Lane& lane,
+                                             std::size_t i) {
+    lane.load_coalesced();
+    lane.alu();
+    const std::uint32_t v = items[i];
+    if (is_near(v)) {
+      near_buf.local().push_back(v);
+    } else {
+      far_buf.local().push_back(v);
+    }
+  });
+  dev.charge_pass("pq_scatter", items.size(),
+                  3 * simt::CostModel::kCoalesced);
+  near_buf.drain_into(near);
+  far_buf.drain_into(far);
+  if (stats) {
+    stats->splits++;
+    stats->near_total += near.size();
+  }
+}
+
+}  // namespace grx

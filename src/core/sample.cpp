@@ -1,0 +1,45 @@
+#include "core/sample.hpp"
+
+#include "util/per_thread.hpp"
+
+namespace grx {
+
+void frontier_sample(simt::Device& dev, const Frontier& in, Frontier& out,
+                     const SampleConfig& cfg) {
+  GRX_CHECK(cfg.fraction > 0.0 && cfg.fraction <= 1.0);
+  out.clear();
+  if (in.empty()) return;
+
+  // Keep element iff hash <= fraction * 2^64 (saturating: fraction 1.0
+  // keeps everything; the double->u64 conversion of 2^64 itself would be
+  // undefined).
+  const std::uint64_t threshold =
+      cfg.fraction >= 1.0
+          ? ~std::uint64_t{0}
+          : static_cast<std::uint64_t>(cfg.fraction * 0x1p64);
+  PerThread<std::vector<std::uint32_t>> kept;
+  dev.for_each("frontier_sample", in.size(),
+               [&](simt::Lane& lane, std::size_t i) {
+                 lane.load_coalesced();
+                 lane.alu(3);  // counter-based hash
+                 const std::uint32_t v = in.items()[i];
+                 // One splitmix64 step keyed by (seed, round, element):
+                 // stateless, so lanes are independent and reproducible.
+                 Rng h(cfg.seed ^ (static_cast<std::uint64_t>(cfg.round) << 32
+                                   ) ^ v);
+                 if (h.next_u64() <= threshold) kept.local().push_back(v);
+               });
+  dev.charge_pass("sample_compact", in.size(),
+                  3 * simt::CostModel::kCoalesced, /*fused=*/true);
+  kept.drain_into(out.items());
+
+  // Guarantee progress: a nonempty frontier never samples below min_keep;
+  // fall back to a deterministic prefix in that (rare) case.
+  const std::size_t need = std::min(cfg.min_keep, in.size());
+  if (out.size() < need) {
+    out.items().assign(in.items().begin(),
+                       in.items().begin() + static_cast<long>(need));
+  }
+}
+
+}  // namespace grx

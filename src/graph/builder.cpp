@@ -1,0 +1,71 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace grx {
+
+Csr build_csr(const EdgeList& input, const BuildOptions& opts) {
+  const VertexId n = input.num_vertices;
+  for (const Edge& e : input.edges) {
+    GRX_CHECK_MSG(e.src < n && e.dst < n, "edge endpoint out of range");
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(input.edges.size() * (opts.symmetrize ? 2 : 1));
+  for (const Edge& e : input.edges) {
+    if (opts.remove_self_loops && e.src == e.dst) continue;
+    edges.push_back(e);
+    if (opts.symmetrize && e.src != e.dst)
+      edges.push_back(Edge{e.dst, e.src, e.weight});
+  }
+
+  if (opts.sort_neighbors || opts.dedup) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+  }
+  if (opts.dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) offsets[e.src + 1]++;
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> cols(edges.size());
+  std::vector<Weight> weights(edges.size());
+  if (opts.sort_neighbors || opts.dedup) {
+    // Already globally sorted by (src, dst): lay out directly.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      cols[i] = edges[i].dst;
+      weights[i] = edges[i].weight;
+    }
+  } else {
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) {
+      const EdgeId slot = cursor[e.src]++;
+      cols[slot] = e.dst;
+      weights[slot] = e.weight;
+    }
+  }
+  return Csr(n, std::move(offsets), std::move(cols), std::move(weights));
+}
+
+Csr with_random_weights(const Csr& g, std::uint64_t seed, Weight lo,
+                        Weight hi) {
+  GRX_CHECK(lo <= hi);
+  Rng rng(seed);
+  std::vector<Weight> w(g.num_edges());
+  for (auto& x : w) x = rng.next_in(lo, hi);
+  return Csr(g.num_vertices(),
+             {g.row_offsets().begin(), g.row_offsets().end()},
+             {g.col_indices().begin(), g.col_indices().end()}, std::move(w));
+}
+
+}  // namespace grx

@@ -1,0 +1,27 @@
+// Edge-list -> CSR construction with the preprocessing the paper applies to
+// its datasets ("we converted all datasets to undirected graphs"; random
+// integer weights in [1, 64] for SSSP).
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace grx {
+
+struct BuildOptions {
+  bool symmetrize = false;        ///< add the reverse of every edge
+  bool remove_self_loops = true;  ///< drop (v, v)
+  bool dedup = true;              ///< keep one copy of parallel edges
+  bool sort_neighbors = true;     ///< neighbor lists in ascending order
+};
+
+/// Builds a CSR; validates the result before returning.
+Csr build_csr(const EdgeList& input, const BuildOptions& opts = {});
+
+/// Assigns uniform random integer weights in [lo, hi] to `g`'s edges.
+/// For symmetric graphs, callers who need w(u,v) == w(v,u) should assign
+/// weights on the edge list before symmetrizing instead.
+Csr with_random_weights(const Csr& g, std::uint64_t seed, Weight lo = 1,
+                        Weight hi = 64);
+
+}  // namespace grx

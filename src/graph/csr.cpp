@@ -1,0 +1,58 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace grx {
+
+Csr::Csr(VertexId num_vertices, std::vector<EdgeId> row_offsets,
+         std::vector<VertexId> col_indices, std::vector<Weight> weights)
+    : n_(num_vertices),
+      m_(col_indices.size()),
+      row_offsets_(std::move(row_offsets)),
+      col_indices_(std::move(col_indices)),
+      weights_(std::move(weights)) {
+  validate();
+}
+
+void Csr::validate() const {
+  GRX_CHECK_MSG(row_offsets_.size() == static_cast<std::size_t>(n_) + 1,
+                "row_offsets must have n+1 entries");
+  GRX_CHECK_MSG(row_offsets_.front() == 0, "row_offsets[0] must be 0");
+  GRX_CHECK_MSG(row_offsets_.back() == m_,
+                "row_offsets[n] must equal the edge count");
+  for (VertexId v = 0; v < n_; ++v)
+    GRX_CHECK_MSG(row_offsets_[v] <= row_offsets_[v + 1],
+                  "row_offsets must be nondecreasing");
+  for (VertexId c : col_indices_)
+    GRX_CHECK_MSG(c < n_, "column index out of range");
+  GRX_CHECK_MSG(weights_.empty() || weights_.size() == col_indices_.size(),
+                "weights must be empty or one per edge");
+}
+
+std::uint32_t Csr::max_degree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+Csr transpose(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) offsets[g.col_index(e) + 1]++;
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> cols(g.num_edges());
+  std::vector<Weight> weights(g.has_weights() ? g.num_edges() : 0);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const EdgeId slot = cursor[nbrs[i]]++;
+      cols[slot] = v;
+      if (g.has_weights()) weights[slot] = g.edge_weights(v)[i];
+    }
+  }
+  return Csr(n, std::move(offsets), std::move(cols), std::move(weights));
+}
+
+}  // namespace grx

@@ -1,0 +1,68 @@
+// Compressed sparse row graph — Gunrock's default representation
+// (Section 3): a row-offsets array R and column-indices array C, with
+// per-edge weights stored structure-of-array style alongside C.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+class Csr {
+ public:
+  Csr() = default;
+  Csr(VertexId num_vertices, std::vector<EdgeId> row_offsets,
+      std::vector<VertexId> col_indices, std::vector<Weight> weights = {});
+
+  VertexId num_vertices() const { return n_; }
+  EdgeId num_edges() const { return m_; }
+  bool has_weights() const { return !weights_.empty(); }
+
+  EdgeId row_start(VertexId v) const { return row_offsets_[v]; }
+  EdgeId row_end(VertexId v) const { return row_offsets_[v + 1]; }
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(row_end(v) - row_start(v));
+  }
+
+  /// Neighbor vertex ids of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {col_indices_.data() + row_start(v), degree(v)};
+  }
+
+  /// Weights of v's incident edges, aligned with neighbors(v).
+  std::span<const Weight> edge_weights(VertexId v) const {
+    GRX_CHECK(has_weights());
+    return {weights_.data() + row_start(v), degree(v)};
+  }
+
+  VertexId col_index(EdgeId e) const { return col_indices_[e]; }
+  Weight weight(EdgeId e) const { return weights_.empty() ? 1 : weights_[e]; }
+
+  std::span<const EdgeId> row_offsets() const { return row_offsets_; }
+  std::span<const VertexId> col_indices() const { return col_indices_; }
+  std::span<const Weight> weights() const { return weights_; }
+
+  /// Structural sanity: offsets monotone, targets in range, sizes agree.
+  /// Throws CheckError on violation — used by tests and after every build.
+  void validate() const;
+
+  /// Degree statistics used by advance-strategy selection.
+  std::uint32_t max_degree() const;
+
+ private:
+  VertexId n_ = 0;
+  EdgeId m_ = 0;
+  std::vector<EdgeId> row_offsets_;    // size n+1
+  std::vector<VertexId> col_indices_;  // size m
+  std::vector<Weight> weights_;        // size m or 0
+};
+
+/// Transpose (CSC view as a CSR of the reversed graph). For the undirected
+/// paper datasets this equals the input; PageRank on directed graphs and
+/// pull-mode advance use it.
+Csr transpose(const Csr& g);
+
+}  // namespace grx

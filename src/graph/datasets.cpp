@@ -1,0 +1,88 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace grx {
+namespace {
+
+// Assigns symmetric weights by hashing the unordered endpoint pair, so that
+// w(u,v) == w(v,u) after symmetrization (SSSP on undirected graphs needs
+// consistent weights in both directions).
+Csr finalize(EdgeList el, std::uint64_t weight_seed) {
+  for (Edge& e : el.edges) {
+    const VertexId lo = std::min(e.src, e.dst), hi = std::max(e.src, e.dst);
+    Rng h((static_cast<std::uint64_t>(lo) << 32 | hi) ^ weight_seed);
+    e.weight = static_cast<Weight>(1 + h.next_below(64));
+  }
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr(el, opts);
+}
+
+std::uint32_t shrunk(std::uint32_t base_scale, int shrink) {
+  const int s = static_cast<int>(base_scale) - shrink;
+  GRX_CHECK_MSG(s >= 4, "dataset shrunk below 16 vertices");
+  return static_cast<std::uint32_t>(s);
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"soc-orkut-s", "soc-orkut", "rs",
+       "social network: scale-free, low diameter, moderate skew"},
+      {"hollywood-s", "hollywood-09", "rs",
+       "collaboration network: dense scale-free"},
+      {"indochina-s", "indochina-04", "rs",
+       "web crawl: extreme degree skew, hub-dominated"},
+      {"kron-s", "kron_g500-logn21", "gs",
+       "Graph500 Kronecker: synthetic scale-free, many isolated vertices"},
+      {"rgg-s", "rgg_n_24", "gm",
+       "random geometric: low even degree, large diameter"},
+      {"roadnet-s", "roadnet_CA", "rm",
+       "road mesh: degree <= 5, very large diameter"},
+  };
+  return specs;
+}
+
+Csr build_dataset(std::string_view name, int shrink) {
+  if (name == "soc-orkut-s") {
+    return finalize(
+        rmat(shrunk(15, shrink), 40, /*seed=*/0x50C0u, 0.45, 0.22, 0.22, 0.11),
+        0x11);
+  }
+  if (name == "hollywood-s") {
+    return finalize(
+        rmat(shrunk(14, shrink), 56, /*seed=*/0x0711u, 0.45, 0.25, 0.15,
+             0.15),
+        0x22);
+  }
+  if (name == "indochina-s") {
+    return finalize(
+        rmat(shrunk(15, shrink), 20, /*seed=*/0x14D0u, 0.60, 0.19, 0.19, 0.02),
+        0x33);
+  }
+  if (name == "kron-s") {
+    return finalize(
+        rmat(shrunk(15, shrink), 48, /*seed=*/0xC500u, 0.57, 0.19, 0.19, 0.05),
+        0x44);
+  }
+  if (name == "rgg-s") {
+    const std::uint32_t n = 1u << shrunk(17, shrink);
+    return finalize(random_geometric(n, rgg_radius_for_degree(n, 15.0),
+                                     /*seed=*/0x4260u),
+                    0x55);
+  }
+  if (name == "roadnet-s") {
+    const std::uint32_t w = 1u << shrunk(9, shrink);
+    const std::uint32_t h = (1u << shrunk(9, shrink)) * 3 / 4;
+    return finalize(road_grid(w, h, 0.22, 0.01, /*seed=*/0x60ADu), 0x66);
+  }
+  GRX_CHECK_MSG(false, "unknown dataset '" + std::string(name) + "'");
+}
+
+}  // namespace grx

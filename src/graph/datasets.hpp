@@ -1,0 +1,34 @@
+// Scaled-down analogs of the paper's six evaluation datasets (Table 1).
+//
+// The originals (up to 302M edges) do not fit a one-core CI budget; these
+// analogs reproduce each dataset's *topology class* — degree distribution
+// shape, average degree regime, and diameter regime — at roughly 1/64
+// scale, deterministically seeded. DESIGN.md Section 2 documents the
+// substitution argument.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct DatasetSpec {
+  std::string name;        ///< e.g. "soc-orkut-s"
+  std::string paper_name;  ///< e.g. "soc-orkut"
+  std::string kind;        ///< Table 1 type code: rs / gs / gm / rm
+  std::string summary;     ///< one-line topology description
+};
+
+/// The six Table-1 analogs, in the paper's order.
+const std::vector<DatasetSpec>& datasets();
+
+/// Builds a dataset by name. The result is undirected (symmetrized, like
+/// the paper's preprocessing), deduplicated, self-loop-free, and carries
+/// symmetric random integer weights in [1, 64] for SSSP.
+/// `shrink` halves the vertex count `shrink` times (tests use 4-6).
+Csr build_dataset(std::string_view name, int shrink = 0);
+
+}  // namespace grx

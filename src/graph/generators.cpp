@@ -1,0 +1,196 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace grx {
+
+EdgeList rmat(std::uint32_t scale, std::uint32_t edge_factor,
+              std::uint64_t seed, double a, double b, double c, double d) {
+  GRX_CHECK(scale > 0 && scale < 31);
+  GRX_CHECK_MSG(std::abs(a + b + c + d - 1.0) < 1e-9,
+                "R-MAT probabilities must sum to 1");
+  const std::uint32_t n = 1u << scale;
+  const std::uint64_t m = static_cast<std::uint64_t>(n) * edge_factor;
+  Rng rng(seed);
+
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      // Per-level noise (+-10%) keeps the degree distribution heavy-tailed
+      // without the artificial self-similarity of exact R-MAT.
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double aa = a * noise;
+      const double r = rng.next_double() * (aa + b + c + d);
+      src <<= 1;
+      dst <<= 1;
+      if (r < aa) {
+        // top-left quadrant: neither bit set
+      } else if (r < aa + b) {
+        dst |= 1;
+      } else if (r < aa + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    out.edges.push_back(Edge{src, dst, 1});
+  }
+  return out;
+}
+
+double rgg_radius_for_degree(std::uint32_t num_vertices,
+                             double target_avg_degree) {
+  GRX_CHECK(num_vertices > 0);
+  return std::sqrt(target_avg_degree /
+                   (M_PI * static_cast<double>(num_vertices)));
+}
+
+EdgeList random_geometric(std::uint32_t num_vertices, double radius,
+                          std::uint64_t seed) {
+  GRX_CHECK(radius > 0 && radius < 1.0);
+  Rng rng(seed);
+  std::vector<double> xs(num_vertices), ys(num_vertices);
+  for (std::uint32_t i = 0; i < num_vertices; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+
+  // Cell list: cells of side `radius`, so neighbors lie in the 3x3 stencil.
+  const auto cells = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(1.0 / radius)));
+  const double cell_w = 1.0 / cells;
+  std::vector<std::vector<std::uint32_t>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double x, double y) {
+    auto cx = std::min<std::uint32_t>(cells - 1,
+                                      static_cast<std::uint32_t>(x / cell_w));
+    auto cy = std::min<std::uint32_t>(cells - 1,
+                                      static_cast<std::uint32_t>(y / cell_w));
+    return static_cast<std::size_t>(cy) * cells + cx;
+  };
+  for (std::uint32_t i = 0; i < num_vertices; ++i)
+    grid[cell_of(xs[i], ys[i])].push_back(i);
+
+  EdgeList out;
+  out.num_vertices = num_vertices;
+  const double r2 = radius * radius;
+  for (std::uint32_t i = 0; i < num_vertices; ++i) {
+    const auto cx = static_cast<std::int64_t>(
+        std::min<double>(cells - 1, xs[i] / cell_w));
+    const auto cy = static_cast<std::int64_t>(
+        std::min<double>(cells - 1, ys[i] / cell_w));
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (std::uint32_t j : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (j <= i) continue;  // emit each pair once (i < j)
+          const double ddx = xs[i] - xs[j], ddy = ys[i] - ys[j];
+          if (ddx * ddx + ddy * ddy <= r2)
+            out.edges.push_back(Edge{i, j, 1});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList road_grid(std::uint32_t width, std::uint32_t height,
+                   double delete_fraction, double diagonal_fraction,
+                   std::uint64_t seed) {
+  GRX_CHECK(width > 1 && height > 1);
+  Rng rng(seed);
+  EdgeList out;
+  out.num_vertices = width * height;
+  auto id = [&](std::uint32_t x, std::uint32_t y) { return y * width + x; };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width && !rng.next_bool(delete_fraction))
+        out.edges.push_back(Edge{id(x, y), id(x + 1, y), 1});
+      if (y + 1 < height && !rng.next_bool(delete_fraction))
+        out.edges.push_back(Edge{id(x, y), id(x, y + 1), 1});
+      if (x + 1 < width && y + 1 < height && rng.next_bool(diagonal_fraction))
+        out.edges.push_back(Edge{id(x, y), id(x + 1, y + 1), 1});
+    }
+  }
+  return out;
+}
+
+EdgeList erdos_renyi(std::uint32_t num_vertices, std::uint64_t num_edges,
+                     std::uint64_t seed) {
+  GRX_CHECK(num_vertices > 1);
+  Rng rng(seed);
+  EdgeList out;
+  out.num_vertices = num_vertices;
+  out.edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    const auto u = static_cast<VertexId>(rng.next_below(num_vertices));
+    const auto v = static_cast<VertexId>(rng.next_below(num_vertices));
+    out.edges.push_back(Edge{u, v, 1});
+  }
+  return out;
+}
+
+EdgeList path_graph(std::uint32_t n) {
+  EdgeList out;
+  out.num_vertices = n;
+  for (std::uint32_t i = 0; i + 1 < n; ++i)
+    out.edges.push_back(Edge{i, i + 1, 1});
+  return out;
+}
+
+EdgeList cycle_graph(std::uint32_t n) {
+  EdgeList out = path_graph(n);
+  if (n > 2) out.edges.push_back(Edge{n - 1, 0, 1});
+  return out;
+}
+
+EdgeList star_graph(std::uint32_t n) {
+  EdgeList out;
+  out.num_vertices = n;
+  for (std::uint32_t i = 1; i < n; ++i) out.edges.push_back(Edge{0, i, 1});
+  return out;
+}
+
+EdgeList complete_graph(std::uint32_t n) {
+  EdgeList out;
+  out.num_vertices = n;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = i + 1; j < n; ++j)
+      out.edges.push_back(Edge{i, j, 1});
+  return out;
+}
+
+EdgeList binary_tree(std::uint32_t levels) {
+  GRX_CHECK(levels > 0 && levels < 31);
+  const std::uint32_t n = (1u << levels) - 1;
+  EdgeList out;
+  out.num_vertices = n;
+  for (std::uint32_t i = 1; i < n; ++i)
+    out.edges.push_back(Edge{(i - 1) / 2, i, 1});
+  return out;
+}
+
+EdgeList two_cliques_bridge(std::uint32_t k) {
+  GRX_CHECK(k >= 2);
+  EdgeList out;
+  out.num_vertices = 2 * k;
+  for (std::uint32_t i = 0; i < k; ++i)
+    for (std::uint32_t j = i + 1; j < k; ++j) {
+      out.edges.push_back(Edge{i, j, 1});
+      out.edges.push_back(Edge{k + i, k + j, 1});
+    }
+  out.edges.push_back(Edge{k - 1, k, 1});  // the bridge
+  return out;
+}
+
+}  // namespace grx

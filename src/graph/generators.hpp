@@ -1,0 +1,51 @@
+// Deterministic graph generators covering the topology classes of Table 1:
+// scale-free social / web / Kronecker graphs, random geometric graphs, and
+// road-network-like meshes, plus small closed-form shapes for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace grx {
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.); produces
+/// `num_vertices * edge_factor` directed edges with partition probabilities
+/// (a, b, c, d). Graph500's Kronecker uses (0.57, 0.19, 0.19, 0.05).
+EdgeList rmat(std::uint32_t scale, std::uint32_t edge_factor,
+              std::uint64_t seed, double a = 0.57, double b = 0.19,
+              double c = 0.19, double d = 0.05);
+
+/// Random geometric graph: n points uniform in the unit square, an edge
+/// between every pair within `radius`. Expected degree = n * pi * r^2.
+/// Mesh-like: low even degree, huge diameter — the rgg_n_24 analog.
+EdgeList random_geometric(std::uint32_t num_vertices, double radius,
+                          std::uint64_t seed);
+
+/// Chooses the radius that yields `target_avg_degree` in expectation.
+double rgg_radius_for_degree(std::uint32_t num_vertices,
+                             double target_avg_degree);
+
+/// Road-network-like graph: a width x height 4-connected grid with a
+/// fraction of edges deleted (dead ends, rivers) and a sprinkling of
+/// diagonal shortcuts (highways). The roadnet_CA analog.
+EdgeList road_grid(std::uint32_t width, std::uint32_t height,
+                   double delete_fraction, double diagonal_fraction,
+                   std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m uniform random edges.
+EdgeList erdos_renyi(std::uint32_t num_vertices, std::uint64_t num_edges,
+                     std::uint64_t seed);
+
+// --- closed-form shapes for unit and property tests ----------------------
+EdgeList path_graph(std::uint32_t n);        ///< 0-1-2-...-(n-1)
+EdgeList cycle_graph(std::uint32_t n);       ///< path + closing edge
+EdgeList star_graph(std::uint32_t n);        ///< vertex 0 to all others
+EdgeList complete_graph(std::uint32_t n);    ///< all pairs
+EdgeList binary_tree(std::uint32_t levels);  ///< complete binary tree
+
+/// Two complete graphs of size k joined by a single bridge edge; classic
+/// CC / BC stress shape (the bridge endpoints have maximal centrality).
+EdgeList two_cliques_bridge(std::uint32_t k);
+
+}  // namespace grx

@@ -1,0 +1,92 @@
+#include "graph/mm_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace grx {
+namespace {
+
+// Reads the next non-comment, non-blank line; false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string header;
+  GRX_CHECK_MSG(static_cast<bool>(std::getline(in, header)),
+                "matrix market: empty input");
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  GRX_CHECK_MSG(banner == "%%MatrixMarket", "matrix market: bad banner");
+  GRX_CHECK_MSG(object == "matrix", "matrix market: object must be 'matrix'");
+  GRX_CHECK_MSG(format == "coordinate",
+                "matrix market: only coordinate format is supported");
+  const bool pattern = field == "pattern";
+  GRX_CHECK_MSG(pattern || field == "integer" || field == "real",
+                "matrix market: unsupported field type '" + field + "'");
+  const bool symmetric = symmetry == "symmetric";
+  GRX_CHECK_MSG(symmetric || symmetry == "general",
+                "matrix market: unsupported symmetry '" + symmetry + "'");
+
+  std::string line;
+  GRX_CHECK_MSG(next_data_line(in, line), "matrix market: missing size line");
+  std::istringstream ss(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  ss >> rows >> cols >> nnz;
+  GRX_CHECK_MSG(!ss.fail() && rows > 0 && cols > 0 && nnz >= 0,
+                "matrix market: bad size line '" + line + "'");
+
+  EdgeList out;
+  out.num_vertices = static_cast<VertexId>(std::max(rows, cols));
+  out.edges.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+  for (long long i = 0; i < nnz; ++i) {
+    GRX_CHECK_MSG(next_data_line(in, line),
+                  "matrix market: truncated after " + std::to_string(i) +
+                      " of " + std::to_string(nnz) + " entries");
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double w = 1.0;
+    es >> r >> c;
+    if (!pattern) es >> w;
+    GRX_CHECK_MSG(!es.fail(), "matrix market: bad entry '" + line + "'");
+    GRX_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  "matrix market: index out of bounds in '" + line + "'");
+    const auto weight =
+        static_cast<Weight>(std::max(0.0, std::llround(std::abs(w)) * 1.0));
+    const auto src = static_cast<VertexId>(r - 1);
+    const auto dst = static_cast<VertexId>(c - 1);
+    out.edges.push_back(Edge{src, dst, weight});
+    if (symmetric && src != dst) out.edges.push_back(Edge{dst, src, weight});
+  }
+  return out;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  GRX_CHECK_MSG(f.good(), "cannot open '" + path + "'");
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& graph) {
+  out << "%%MatrixMarket matrix coordinate integer general\n";
+  out << graph.num_vertices << ' ' << graph.num_vertices << ' '
+      << graph.edges.size() << '\n';
+  for (const Edge& e : graph.edges)
+    out << (e.src + 1) << ' ' << (e.dst + 1) << ' ' << e.weight << '\n';
+}
+
+}  // namespace grx

@@ -1,0 +1,22 @@
+// Matrix Market coordinate-format IO — the input format the paper's
+// artifact consumes ("We currently only support matrix market format").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace grx {
+
+/// Parses a Matrix Market `coordinate` stream. Supports field types
+/// pattern / integer / real (real weights are rounded to Weight) and
+/// symmetry general / symmetric (symmetric entries are mirrored).
+/// Throws CheckError with a descriptive message on malformed input.
+EdgeList read_matrix_market(std::istream& in);
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Writes an EdgeList as `matrix coordinate integer general` (1-based).
+void write_matrix_market(std::ostream& out, const EdgeList& graph);
+
+}  // namespace grx

@@ -1,0 +1,28 @@
+// Topology statistics: the columns of the paper's Table 1.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::uint32_t pseudo_diameter = 0;  ///< double-sweep BFS lower bound
+  double degree_skew = 0.0;           ///< max_degree / avg_degree
+};
+
+/// Computes stats; pseudo-diameter uses `sweeps` alternating BFS passes
+/// from the farthest vertex found so far (the standard lower-bound trick —
+/// exact diameters of the paper's datasets were also BFS-derived).
+GraphStats compute_stats(const Csr& g, int sweeps = 4);
+
+/// "rs"/"gs"/"gm"/"rm" classification string as in Table 1
+/// (r=real-world-analog, g=generated; s=scale-free, m=mesh-like).
+std::string classify(const GraphStats& s);
+
+}  // namespace grx

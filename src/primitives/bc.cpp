@@ -1,0 +1,143 @@
+#include "primitives/bc.hpp"
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+struct BcProblem {
+  std::vector<std::uint32_t> depth;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  AtomicBitset visited;
+  std::uint32_t iteration = 0;
+};
+
+/// Forward phase: BFS discovery + sigma accumulation fused into one
+/// advance (the kernel-fusion story of Section 4.3: the "compute" runs
+/// inside the traversal kernel).
+struct ForwardFunctor {
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId, BcProblem& p) {
+    const bool claimed = p.visited.test_and_set(dst);
+    if (claimed) simt::atomic_store(p.depth[dst], p.iteration + 1);
+    // Every edge into the next level contributes its sigma, discovery edge
+    // or not (Brandes: sigma(dst) = sum over parents of sigma(parent)).
+    // A dst showing kInfinity here was claimed concurrently this iteration
+    // (its depth store may not be visible yet), so it also counts.
+    const std::uint32_t dd = simt::atomic_load(p.depth[dst]);
+    if (dd == p.iteration + 1 || dd == kInfinity)
+      simt::atomic_add(p.sigma[dst], simt::atomic_load(p.sigma[src]));
+    return claimed;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, BcProblem&) {}
+  static bool cond_vertex(VertexId, BcProblem&) { return true; }
+  static void apply_vertex(VertexId, BcProblem&) {}
+};
+
+/// Backward phase: for v at level L and neighbor u at level L+1,
+/// delta(v) += sigma(v)/sigma(u) * (1 + delta(u)).
+struct BackwardFunctor {
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId, BcProblem& p) {
+    if (p.depth[dst] != p.iteration + 1) return false;
+    const double su = p.sigma[dst];
+    if (su <= 0.0) return false;
+    simt::atomic_add(p.delta[src],
+                     p.sigma[src] / su * (1.0 + p.delta[dst]));
+    return false;  // backward pass emits no new frontier
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, BcProblem&) {}
+};
+
+class BcEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  BcResult enact(const Csr& g, VertexId source, const BcOptions& opts) {
+    GRX_CHECK_MSG(source < g.num_vertices(), "BC source out of range");
+    Timer wall;
+    dev_.reset();
+
+    BcProblem p;
+    p.depth.assign(g.num_vertices(), kInfinity);
+    p.sigma.assign(g.num_vertices(), 0.0);
+    p.delta.assign(g.num_vertices(), 0.0);
+    p.visited.resize(g.num_vertices());
+    p.depth[source] = 0;
+    p.sigma[source] = 1.0;
+    p.visited.test_and_set(source);
+
+    AdvanceConfig acfg;
+    acfg.strategy = opts.strategy;
+    acfg.idempotent = false;
+    FilterConfig fcfg;
+
+    // Forward sweep, storing each level's frontier for the backward pass.
+    std::vector<std::vector<std::uint32_t>> levels;
+    in_.assign_single(source);
+    std::uint64_t edges = 0;
+    while (!in_.empty()) {
+      GRX_CHECK(log_.size() < kMaxIterations);
+      levels.push_back(in_.items());
+      const AdvanceStats a =
+          advance<ForwardFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
+      edges += a.edges_processed;
+      Frontier filtered(FrontierKind::kVertex);
+      filter_vertices<ForwardFunctor>(dev_, out_.items(), filtered.items(),
+                                      p, fcfg, filter_ws_);
+      record({0, in_.size(), filtered.size(), a.edges_processed, false});
+      in_.swap(filtered);
+      p.iteration++;
+    }
+
+    // Backward sweep over stored levels, deepest first.
+    BcResult out;
+    out.bc_values.assign(g.num_vertices(), 0.0);
+    AdvanceConfig bcfg = acfg;
+    bcfg.collect_outputs = false;
+    for (std::size_t li = levels.size(); li-- > 0;) {
+      p.iteration = static_cast<std::uint32_t>(li);
+      Frontier level(FrontierKind::kVertex);
+      level.assign(levels[li]);
+      const AdvanceStats a = advance<BackwardFunctor>(dev_, g, level, out_,
+                                                      p, bcfg, advance_ws_);
+      edges += a.edges_processed;
+      // Fold this level's dependencies into the BC scores (fused compute).
+      compute(dev_, level, p, [&](std::uint32_t v, BcProblem& prob) {
+        if (v != source) out.bc_values[v] += prob.delta[v];
+      });
+    }
+
+    out.sigma = std::move(p.sigma);
+    out.depth = std::move(p.depth);
+    out.summary = finish(edges, wall.elapsed_ms());
+    return out;
+  }
+};
+
+}  // namespace
+
+BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
+                    const BcOptions& opts) {
+  return BcEnactor(dev).enact(g, source, opts);
+}
+
+std::vector<double> gunrock_bc_sampled(simt::Device& dev, const Csr& g,
+                                       std::uint32_t num_sources,
+                                       std::uint64_t seed,
+                                       const BcOptions& opts) {
+  std::vector<double> acc(g.num_vertices(), 0.0);
+  Rng rng(seed);
+  for (std::uint32_t s = 0; s < num_sources; ++s) {
+    const auto src = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    const BcResult r = gunrock_bc(dev, g, src, opts);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      acc[v] += r.bc_values[v];
+  }
+  return acc;
+}
+
+}  // namespace grx

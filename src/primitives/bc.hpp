@@ -1,0 +1,35 @@
+// Betweenness centrality (Section 5.3), Brandes's two-phase formulation:
+// a forward BFS accumulating shortest-path counts (sigma), then a backward
+// sweep over the stored per-level frontiers accumulating dependencies
+// (delta) — both expressed as Gunrock advance steps with fused compute.
+#pragma once
+
+#include "core/advance.hpp"
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct BcOptions {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+};
+
+struct BcResult {
+  std::vector<double> bc_values;   ///< per-vertex centrality (one source)
+  std::vector<double> sigma;       ///< shortest-path counts
+  std::vector<std::uint32_t> depth;
+  EnactSummary summary;
+};
+
+/// Single-source BC contribution from `source` (Brandes accumulation).
+BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
+                    const BcOptions& opts = {});
+
+/// Accumulated BC over `num_sources` deterministic sample sources — the
+/// usual approximate-BC workload; used by the social_influence example.
+std::vector<double> gunrock_bc_sampled(simt::Device& dev, const Csr& g,
+                                       std::uint32_t num_sources,
+                                       std::uint64_t seed,
+                                       const BcOptions& opts = {});
+
+}  // namespace grx

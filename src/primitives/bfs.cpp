@@ -1,0 +1,124 @@
+#include "primitives/bfs.hpp"
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "util/bitset.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+/// Problem data slice (the paper's `Problem` class).
+struct BfsProblem {
+  std::vector<std::uint32_t> depth;
+  std::vector<VertexId> pred;
+  AtomicBitset visited;        // for the non-idempotent atomic claim
+  std::uint32_t iteration = 0; // current BFS level
+  bool record_preds = true;
+};
+
+/// Idempotent functor: benign races — concurrent discoverers write the
+/// same depth, so no atomics are needed (Section 4.5).
+struct IdempotentFunctor {
+  static bool cond_edge(VertexId, VertexId dst, EdgeId, BfsProblem& p) {
+    return simt::atomic_load(p.depth[dst]) == kInfinity;
+  }
+  static void apply_edge(VertexId src, VertexId dst, EdgeId, BfsProblem& p) {
+    simt::atomic_store(p.depth[dst], p.iteration + 1);
+    if (p.record_preds) simt::atomic_store(p.pred[dst], src);
+  }
+  static bool is_unvisited(VertexId v, BfsProblem& p) {
+    return p.depth[v] == kInfinity;
+  }
+  static bool cond_vertex(VertexId, BfsProblem&) { return true; }
+  static void apply_vertex(VertexId, BfsProblem&) {}
+};
+
+/// Non-idempotent functor: exact unique discovery via an atomic claim.
+struct AtomicFunctor {
+  static bool cond_edge(VertexId, VertexId dst, EdgeId, BfsProblem& p) {
+    return p.visited.test_and_set(dst);
+  }
+  static void apply_edge(VertexId src, VertexId dst, EdgeId, BfsProblem& p) {
+    simt::atomic_store(p.depth[dst], p.iteration + 1);
+    if (p.record_preds) simt::atomic_store(p.pred[dst], src);
+  }
+  static bool is_unvisited(VertexId v, BfsProblem& p) {
+    return !p.visited.test(v);
+  }
+  static bool cond_vertex(VertexId, BfsProblem&) { return true; }
+  static void apply_vertex(VertexId, BfsProblem&) {}
+};
+
+class BfsEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  BfsResult enact(const Csr& g, VertexId source, const BfsOptions& opts) {
+    GRX_CHECK_MSG(source < g.num_vertices(), "BFS source out of range");
+    Timer wall;
+    dev_.reset();
+
+    BfsProblem p;
+    p.depth.assign(g.num_vertices(), kInfinity);
+    p.pred.assign(opts.record_predecessors ? g.num_vertices() : 0,
+                  kInvalidVertex);
+    p.record_preds = opts.record_predecessors;
+    if (!opts.idempotent || opts.direction != Direction::kPush)
+      p.visited.resize(g.num_vertices());
+    p.depth[source] = 0;
+    if (!opts.idempotent) p.visited.test_and_set(source);
+
+    AdvanceConfig acfg;
+    acfg.strategy = opts.strategy;
+    acfg.direction = opts.direction;
+    acfg.idempotent = opts.idempotent;
+    acfg.lb_node_edge_threshold = opts.lb_node_edge_threshold;
+    acfg.pull_alpha = opts.pull_alpha;
+    acfg.pull_beta = opts.pull_beta;
+    FilterConfig fcfg;
+    fcfg.dedup_heuristic = opts.idempotent;
+
+    in_.assign_single(source);
+    std::uint64_t edges = 0;
+    while (!in_.empty()) {
+      GRX_CHECK(log_.size() < kMaxIterations);
+      AdvanceStats a;
+      if (opts.idempotent) {
+        a = advance<IdempotentFunctor>(dev_, g, in_, out_, p, acfg,
+                                       advance_ws_);
+      } else {
+        a = advance<AtomicFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
+      }
+      edges += a.edges_processed;
+      Frontier filtered(FrontierKind::kVertex);
+      if (opts.idempotent) {
+        filter_vertices<IdempotentFunctor>(dev_, out_.items(),
+                                           filtered.items(), p, fcfg,
+                                           filter_ws_);
+      } else {
+        filter_vertices<AtomicFunctor>(dev_, out_.items(), filtered.items(),
+                                       p, fcfg, filter_ws_);
+      }
+      record({0, in_.size(), filtered.size(), a.edges_processed,
+              a.used_pull});
+      in_.swap(filtered);
+      p.iteration++;
+    }
+
+    BfsResult out;
+    out.depth = std::move(p.depth);
+    out.pred = std::move(p.pred);
+    out.summary = finish(edges, wall.elapsed_ms());
+    return out;
+  }
+};
+
+}  // namespace
+
+BfsResult gunrock_bfs(simt::Device& dev, const Csr& g, VertexId source,
+                      const BfsOptions& opts) {
+  return BfsEnactor(dev).enact(g, source, opts);
+}
+
+}  // namespace grx

@@ -1,0 +1,38 @@
+// Breadth-first search (Section 5.1).
+//
+// Advance discovers neighbors and sets depth/predecessor; filter compacts
+// and (in idempotent mode) culls duplicates heuristically. The fastest
+// configuration — matching the paper — is idempotent + direction-optimal.
+#pragma once
+
+#include "core/advance.hpp"
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct BfsOptions {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  Direction direction = Direction::kPush;
+  /// Idempotent advance: plain reads/writes, duplicates tolerated,
+  /// filter-side heuristic dedup. Non-idempotent uses an atomic claim.
+  bool idempotent = true;
+  /// Record predecessor (parent) ids alongside depths.
+  bool record_predecessors = true;
+  /// Pass-throughs to AdvanceConfig for ablation sweeps.
+  std::uint32_t lb_node_edge_threshold = 4096;
+  double pull_alpha = 14.0;
+  double pull_beta = 24.0;
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> depth;  ///< kInfinity where unreached
+  std::vector<VertexId> pred;        ///< kInvalidVertex where unreached/off
+  EnactSummary summary;
+};
+
+/// Runs Gunrock BFS from `source` on the virtual device.
+BfsResult gunrock_bfs(simt::Device& dev, const Csr& g, VertexId source,
+                      const BfsOptions& opts = {});
+
+}  // namespace grx

@@ -1,0 +1,119 @@
+#include "primitives/cc.hpp"
+
+#include <numeric>
+
+#include "core/filter.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+struct CcProblem {
+  const Csr* g = nullptr;
+  std::vector<VertexId> comp;           // component label per vertex
+  std::vector<std::uint32_t> edge_src;  // flat edge list (one direction)
+  std::vector<std::uint32_t> edge_dst;
+  std::uint32_t changed = 0;  // hooking progress flag (atomic)
+
+  std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const {
+    return {edge_src[e], edge_dst[e]};
+  }
+};
+
+/// Hooking: roots of differing components merge — the larger root label is
+/// atomically lowered to the smaller (monotone, so races converge; Soman's
+/// odd/even alternation serves the same purpose on a PRAM).
+/// An edge whose endpoints already share a component is removed.
+struct HookFunctor {
+  static bool cond_edge(VertexId s, VertexId d, EdgeId, CcProblem& p) {
+    const VertexId cs = simt::atomic_load(p.comp[s]);
+    const VertexId cd = simt::atomic_load(p.comp[d]);
+    if (cs == cd) return false;  // settled: drop from the edge frontier
+    const VertexId hi = std::max(cs, cd), lo = std::min(cs, cd);
+    if (simt::atomic_min(p.comp[hi], lo) > lo)
+      simt::atomic_store(p.changed, 1u);
+    return true;  // keep: endpoints may still need future hooks
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, CcProblem&) {}
+};
+
+/// Pointer jumping: c[v] <- c[c[v]] until every label is a root. A vertex
+/// whose label is already a root leaves the frontier.
+struct JumpFunctor {
+  static bool cond_vertex(VertexId v, CcProblem& p) {
+    const VertexId c = simt::atomic_load(p.comp[v]);
+    const VertexId cc = simt::atomic_load(p.comp[c]);
+    if (c == cc) return false;  // star reached: remove from frontier
+    simt::atomic_min(p.comp[v], cc);
+    return true;
+  }
+  static void apply_vertex(VertexId, CcProblem&) {}
+};
+
+class CcEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  CcResult enact(const Csr& g) {
+    Timer wall;
+    dev_.reset();
+
+    CcProblem p;
+    p.g = &g;
+    p.comp.resize(g.num_vertices());
+    std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
+    // One direction per undirected edge suffices for hooking.
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      for (VertexId u : g.neighbors(v))
+        if (v < u) {
+          p.edge_src.push_back(v);
+          p.edge_dst.push_back(u);
+        }
+
+    std::uint64_t work = 0;
+    std::vector<std::uint32_t> edge_frontier(p.edge_src.size());
+    std::iota(edge_frontier.begin(), edge_frontier.end(), 0u);
+    std::vector<std::uint32_t> next_edges;
+
+    // Outer loop: hook until no label moves, then fully compress.
+    // Both phases run on shrinking frontiers, per Figure 6.
+    while (true) {
+      GRX_CHECK(log_.size() < kMaxIterations);
+      p.changed = 0;
+      const FilterStats hs =
+          filter_edges<HookFunctor>(dev_, edge_frontier, next_edges, p);
+      work += hs.inputs;
+      edge_frontier.swap(next_edges);
+      record({0, hs.inputs, hs.outputs, hs.inputs, false});
+
+      // Pointer-jumping rounds (vertex filter) until all labels are roots.
+      std::vector<std::uint32_t> vf(g.num_vertices());
+      std::iota(vf.begin(), vf.end(), 0u);
+      std::vector<std::uint32_t> nvf;
+      while (!vf.empty()) {
+        const FilterStats js = filter_vertices<JumpFunctor>(
+            dev_, vf, nvf, p, FilterConfig{}, filter_ws_);
+        work += js.inputs;
+        vf.swap(nvf);
+      }
+
+      if (p.changed == 0) break;
+    }
+
+    CcResult out;
+    out.component = std::move(p.comp);
+    // Count roots = components.
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (out.component[v] == v) out.num_components++;
+    out.summary = finish(work, wall.elapsed_ms());
+    return out;
+  }
+};
+
+}  // namespace
+
+CcResult gunrock_cc(simt::Device& dev, const Csr& g) {
+  return CcEnactor(dev).enact(g);
+}
+
+}  // namespace grx

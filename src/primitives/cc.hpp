@@ -1,0 +1,21 @@
+// Connected components (Section 5.4): Soman et al.'s hooking +
+// pointer-jumping, expressed as Gunrock filters — hooking as a filter on an
+// edge frontier (edges whose endpoints agree are removed), pointer-jumping
+// as a filter on a vertex frontier (vertices whose label is a root are
+// removed).
+#pragma once
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct CcResult {
+  std::vector<VertexId> component;  ///< canonical: min vertex id in component
+  std::uint32_t num_components = 0;
+  EnactSummary summary;
+};
+
+CcResult gunrock_cc(simt::Device& dev, const Csr& g);
+
+}  // namespace grx

@@ -1,0 +1,119 @@
+#include "primitives/coloring.hpp"
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+struct ColorProblem {
+  std::vector<std::uint32_t> color;     // kInfinity while undecided
+  std::vector<std::uint64_t> priority;  // per-round draw
+  std::uint64_t seed = 0;
+  std::uint32_t round = 0;
+};
+
+struct UncoloredFunctor {
+  static bool cond_vertex(VertexId v, ColorProblem& p) {
+    return simt::atomic_load(p.color[v]) == kInfinity;
+  }
+  static void apply_vertex(VertexId, ColorProblem&) {}
+};
+
+}  // namespace
+
+ColoringResult gunrock_coloring(simt::Device& dev, const Csr& g,
+                                std::uint64_t seed) {
+  Timer wall;
+  dev.reset();
+  ColoringResult out;
+  const VertexId n = g.num_vertices();
+  out.color.assign(n, kInfinity);
+  if (n == 0) return out;
+
+  ColorProblem p;
+  p.color.assign(n, kInfinity);
+  p.priority.assign(n, 0);
+  p.seed = seed;
+
+  Frontier frontier;
+  frontier.assign_iota(n);
+  FilterWorkspace fws;
+  std::uint64_t edges = 0;
+  std::vector<IterationStats> log;
+
+  while (!frontier.empty()) {
+    GRX_CHECK(p.round < 10000);
+    // 1. Per-round priorities (stateless hash, compute step).
+    compute(dev, frontier, p, [&](std::uint32_t v, ColorProblem& prob) {
+      Rng h(prob.seed ^ (static_cast<std::uint64_t>(prob.round) << 40) ^ v);
+      prob.priority[v] = (h.next_u64() << 20) | v;
+    });
+
+    // 2. Local maxima color themselves with the smallest color missing
+    //    from their colored neighborhood (a fused gather + compute; the
+    //    64-bit occupancy mask covers the first 64 colors, with a linear
+    //    fallback beyond — rare, since colors <= maxdegree+1).
+    const auto& items = frontier.items();
+    std::uint64_t edge_acc = 0;
+    dev.for_each("color_select", items.size(),
+                 [&](simt::Lane& lane, std::size_t i) {
+                   const VertexId v = items[i];
+                   const auto nbrs = g.neighbors(v);
+                   lane.charge(nbrs.size() * simt::CostModel::kScattered);
+                   simt::atomic_add(edge_acc,
+                                    static_cast<std::uint64_t>(nbrs.size()));
+                   std::uint64_t used_mask = 0;
+                   for (VertexId u : nbrs) {
+                     const std::uint32_t cu = simt::atomic_load(p.color[u]);
+                     if (cu == kInfinity) {
+                       if (p.priority[u] > p.priority[v]) return;  // defer
+                     } else if (cu < 64) {
+                       used_mask |= 1ull << cu;
+                     }
+                   }
+                   std::uint32_t c =
+                       used_mask == ~0ull
+                           ? 64u
+                           : static_cast<std::uint32_t>(
+                                 __builtin_ctzll(~used_mask));
+                   if (c >= 64) {
+                     // Linear probe beyond 64 colors.
+                     for (c = 64;; ++c) {
+                       bool used = false;
+                       for (VertexId u : nbrs)
+                         used |= simt::atomic_load(p.color[u]) == c;
+                       if (!used) break;
+                     }
+                   }
+                   // Winners are an independent set, so no two adjacent
+                   // vertices write in the same round: plain store.
+                   simt::atomic_store(p.color[v], c);
+                 });
+    edges += edge_acc;
+
+    // 3. Filter the still-uncolored into the next round.
+    Frontier next;
+    const FilterStats fs = filter_vertices<UncoloredFunctor>(
+        dev, frontier.items(), next.items(), p, FilterConfig{}, fws);
+    log.push_back(IterationStats{p.round, fs.inputs, fs.outputs, edge_acc,
+                                 false});
+    frontier.swap(next);
+    p.round++;
+  }
+
+  out.color = std::move(p.color);
+  for (std::uint32_t c : out.color)
+    out.num_colors = std::max(out.num_colors, c + 1);
+  out.summary.iterations = p.round;
+  out.summary.edges_processed = edges;
+  out.summary.counters = dev.counters();
+  out.summary.device_time_ms = out.summary.counters.time_ms();
+  out.summary.host_wall_ms = wall.elapsed_ms();
+  out.summary.per_iteration = std::move(log);
+  return out;
+}
+
+}  // namespace grx

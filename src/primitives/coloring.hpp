@@ -1,0 +1,26 @@
+// Greedy graph coloring — third in Section 5.5's list of primitives under
+// active development in Gunrock.
+//
+// Jones-Plassmann: each round, every uncolored vertex whose random
+// priority beats all uncolored neighbors takes the smallest color absent
+// from its already-colored neighborhood, then leaves the frontier (a
+// filter). Produces at most maxdegree+1 colors in O(log n) expected
+// rounds — independent rounds are exactly MIS rounds, so this shares the
+// frontier/filter machinery.
+#pragma once
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct ColoringResult {
+  std::vector<std::uint32_t> color;  ///< per-vertex color, 0-based
+  std::uint32_t num_colors = 0;
+  EnactSummary summary;
+};
+
+ColoringResult gunrock_coloring(simt::Device& dev, const Csr& g,
+                                std::uint64_t seed = 2016);
+
+}  // namespace grx

@@ -1,0 +1,32 @@
+// HITS (Hyperlink-Induced Topic Search) — one of the three bipartite
+// node-ranking algorithms Section 5.5 describes being built on Gunrock's
+// advance operator ("WTF, GPU! Computing Twitter's who-to-follow", Geil
+// et al.): hub and authority scores via alternating neighborhood sums.
+//
+// Expressed with the gather-reduce extension operator (neighbor_reduce):
+// each iteration is two reduction sweeps plus a normalization compute —
+// no atomics, exactly the pattern the Section-7 "global, neighborhood,
+// and sampling operations" paragraph motivates.
+#pragma once
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct HitsOptions {
+  std::uint32_t iterations = 30;
+};
+
+struct HitsResult {
+  std::vector<double> hub;        ///< L2-normalized hub scores
+  std::vector<double> authority;  ///< L2-normalized authority scores
+  EnactSummary summary;
+};
+
+/// Runs HITS on `g` (directed or undirected CSR; `gT` must be the
+/// transpose — pass the same graph for undirected inputs).
+HitsResult gunrock_hits(simt::Device& dev, const Csr& g, const Csr& gT,
+                        const HitsOptions& opts = {});
+
+}  // namespace grx

@@ -1,0 +1,118 @@
+#include "primitives/mis.hpp"
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "core/neighbor_reduce.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+enum State : std::uint8_t { kUndecided = 0, kInSet = 1, kExcluded = 2 };
+
+struct MisProblem {
+  std::vector<std::uint8_t> state;
+  std::vector<std::uint64_t> priority;  // per-round random draw
+  std::uint64_t seed = 0;
+  std::uint32_t round = 0;
+};
+
+/// Filter functor: keep only still-undecided vertices in the frontier.
+struct UndecidedFunctor {
+  static bool cond_vertex(VertexId v, MisProblem& p) {
+    return simt::atomic_load(p.state[v]) == kUndecided;
+  }
+  static void apply_vertex(VertexId, MisProblem&) {}
+};
+
+}  // namespace
+
+MisResult gunrock_mis(simt::Device& dev, const Csr& g, std::uint64_t seed) {
+  Timer wall;
+  dev.reset();
+  MisResult out;
+  const VertexId n = g.num_vertices();
+  out.in_set.assign(n, 0);
+  if (n == 0) return out;
+
+  MisProblem p;
+  p.state.assign(n, kUndecided);
+  p.priority.assign(n, 0);
+  p.seed = seed;
+
+  Frontier frontier;
+  frontier.assign_iota(n);
+  FilterWorkspace fws;
+  std::uint64_t edges = 0;
+  std::vector<IterationStats> log;
+
+  while (!frontier.empty()) {
+    GRX_CHECK(p.round < 10000);
+    // 1. Draw per-round priorities (compute step; stateless hash so lanes
+    //    are independent).
+    compute(dev, frontier, p, [&](std::uint32_t v, MisProblem& prob) {
+      Rng h(prob.seed ^ (static_cast<std::uint64_t>(prob.round) << 40) ^ v);
+      prob.priority[v] = (h.next_u64() << 20) | v;  // tie-break by id
+    });
+
+    // 2. Gather-reduce: the max priority among undecided neighbors.
+    std::vector<std::uint64_t> nbr_max;
+    neighbor_reduce<std::uint64_t>(
+        dev, g, frontier, nbr_max, p, 0,
+        [](VertexId, VertexId u, EdgeId, MisProblem& prob) {
+          return prob.state[u] == kUndecided ? prob.priority[u] : 0;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    for (std::uint32_t v : frontier.items()) edges += g.degree(v);
+
+    // 3. Local maxima join the set; mark them (compute step).
+    const auto& items = frontier.items();
+    dev.for_each("mis_select", items.size(),
+                 [&](simt::Lane& lane, std::size_t i) {
+                   lane.load_coalesced(2);
+                   const VertexId v = items[i];
+                   if (p.priority[v] > nbr_max[i]) p.state[v] = kInSet;
+                 });
+
+    // 4. Winners exclude their neighbors (advance-style scatter; plain
+    //    stores suffice — all writers write kExcluded).
+    dev.for_each("mis_exclude", items.size(),
+                 [&](simt::Lane& lane, std::size_t i) {
+                   const VertexId v = items[i];
+                   if (p.state[v] != kInSet) return;
+                   const EdgeId end = g.row_end(v);
+                   lane.charge((end - g.row_start(v)) *
+                               simt::CostModel::kScattered);
+                   for (EdgeId e = g.row_start(v); e < end; ++e) {
+                     const VertexId u = g.col_index(e);
+                     if (simt::atomic_load(p.state[u]) == kUndecided)
+                       simt::atomic_store(p.state[u],
+                           static_cast<std::uint8_t>(kExcluded));
+                   }
+                 });
+
+    // 5. Filter undecided survivors into the next round's frontier.
+    Frontier next;
+    const FilterStats fs = filter_vertices<UndecidedFunctor>(
+        dev, frontier.items(), next.items(), p, FilterConfig{}, fws);
+    log.push_back(IterationStats{p.round, fs.inputs, fs.outputs, 0, false});
+    frontier.swap(next);
+    p.round++;
+  }
+
+  for (VertexId v = 0; v < n; ++v)
+    if (p.state[v] == kInSet) {
+      out.in_set[v] = 1;
+      out.set_size++;
+    }
+  out.summary.iterations = p.round;
+  out.summary.edges_processed = edges;
+  out.summary.counters = dev.counters();
+  out.summary.device_time_ms = out.summary.counters.time_ms();
+  out.summary.host_wall_ms = wall.elapsed_ms();
+  out.summary.per_iteration = std::move(log);
+  return out;
+}
+
+}  // namespace grx

@@ -1,0 +1,25 @@
+// Maximal independent set — one of the primitives Section 5.5 lists as
+// under active development in Gunrock ("minimal spanning tree, maximal
+// independent set, graph coloring, ...").
+//
+// Luby-style: every undecided vertex draws a per-round random priority; a
+// vertex joins the set iff its priority beats all undecided neighbors
+// (a neighbor_reduce max), then it and its neighbors leave the frontier
+// (a filter). Runs in O(log n) BSP rounds with high probability.
+#pragma once
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct MisResult {
+  std::vector<std::uint8_t> in_set;  ///< 1 iff vertex is in the MIS
+  std::uint32_t set_size = 0;
+  EnactSummary summary;
+};
+
+MisResult gunrock_mis(simt::Device& dev, const Csr& g,
+                      std::uint64_t seed = 2016);
+
+}  // namespace grx

@@ -1,0 +1,181 @@
+#include "primitives/mst.hpp"
+
+#include <numeric>
+
+#include "core/filter.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+using CM = simt::CostModel;
+
+struct MstProblem {
+  std::vector<VertexId> comp;  // component label (a root id) per vertex
+  // Flat undirected edge arrays (one direction per edge).
+  std::vector<VertexId> esrc, edst;
+  std::vector<Weight> ew;
+  // Per-root candidate: packed (weight << 30 | edge id), atomicMin'd.
+  std::vector<std::uint64_t> best;
+
+  std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const {
+    return {esrc[e], edst[e]};
+  }
+};
+
+constexpr std::uint64_t kNoEdge = ~std::uint64_t{0};
+constexpr std::uint32_t kEdgeBits = 30;
+
+std::uint64_t pack(Weight w, std::uint32_t edge_id) {
+  // Weight in the high bits; edge id as a deterministic tie-break so all
+  // packed keys are distinct — then the "each component follows its
+  // minimum edge" graph has no cycles except mutual pairs.
+  return (static_cast<std::uint64_t>(w) << kEdgeBits) | edge_id;
+}
+
+std::uint32_t unpack_edge(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key & ((1u << kEdgeBits) - 1));
+}
+
+/// Edge-frontier filter: drop edges whose endpoints merged.
+struct CrossComponentFunctor {
+  static bool cond_edge(VertexId s, VertexId d, EdgeId, MstProblem& p) {
+    return simt::atomic_load(p.comp[s]) != simt::atomic_load(p.comp[d]);
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, MstProblem&) {}
+};
+
+}  // namespace
+
+MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
+  GRX_CHECK_MSG(g.has_weights(), "MST requires edge weights");
+  Timer wall;
+  dev.reset();
+  MstResult out;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return out;
+
+  MstProblem p;
+  p.comp.resize(n);
+  std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (v < nbrs[i]) {
+        p.esrc.push_back(v);
+        p.edst.push_back(nbrs[i]);
+        p.ew.push_back(ws[i]);
+      }
+  }
+  GRX_CHECK_MSG(p.esrc.size() < (1u << kEdgeBits), "edge id space exceeded");
+  p.best.assign(n, kNoEdge);
+
+  std::vector<std::uint32_t> frontier(p.esrc.size());
+  std::iota(frontier.begin(), frontier.end(), 0u);
+  std::vector<std::uint8_t> in_mst(p.esrc.size(), 0);
+  std::vector<VertexId> partner(n, kInvalidVertex);
+  std::uint64_t work = 0;
+  std::vector<IterationStats> log;
+  std::uint32_t round = 0;
+
+  while (!frontier.empty()) {
+    GRX_CHECK(round < 10000);
+    // 1. Min-edge selection: every cross edge bids for both endpoint
+    //    components (compute fused into an edge-frontier advance).
+    dev.for_each("mst_select", frontier.size(),
+                 [&](simt::Lane& lane, std::size_t i) {
+                   const std::uint32_t e = frontier[i];
+                   lane.load_coalesced(2);
+                   const VertexId rs = p.comp[p.esrc[e]];
+                   const VertexId rd = p.comp[p.edst[e]];
+                   if (rs == rd) return;
+                   const std::uint64_t key = pack(p.ew[e], e);
+                   lane.atomic(2);
+                   simt::atomic_min(p.best[rs], key);
+                   simt::atomic_min(p.best[rd], key);
+                 });
+    work += frontier.size();
+
+    // 2a. Partner resolution (read-only): each root with a candidate edge
+    //     finds the root on the other side and records the edge. Mutual
+    //     pairs (two roots picking the same edge) record it once, via the
+    //     CAS on in_mst.
+    dev.for_each("mst_partner", n, [&](simt::Lane& lane, std::size_t vi) {
+      const auto r = static_cast<VertexId>(vi);
+      lane.load_coalesced();
+      partner[r] = kInvalidVertex;
+      if (p.comp[r] != r) return;  // not a root
+      const std::uint64_t key = p.best[r];
+      if (key == kNoEdge) return;
+      const std::uint32_t e = unpack_edge(key);
+      const VertexId rs = p.comp[p.esrc[e]];
+      const VertexId rd = p.comp[p.edst[e]];
+      const VertexId other = (rs == r) ? rd : rs;
+      GRX_CHECK(other != r);
+      // Mutual-pair cycle breaking: the smaller root stays put.
+      if (p.best[other] == key && r < other) return;
+      partner[r] = other;
+      lane.atomic();
+      if (simt::atomic_cas(in_mst[e], std::uint8_t{0}, std::uint8_t{1}) == 0)
+        simt::atomic_add(out.total_weight,
+                         static_cast<std::uint64_t>(p.ew[e]));
+    });
+
+    // 2b. Hook: each root writes only its own label (no lost updates);
+    //     with cycles broken above, the hook graph is a forest.
+    std::uint32_t hooked = 0;
+    dev.for_each("mst_hook", n, [&](simt::Lane& lane, std::size_t vi) {
+      const auto r = static_cast<VertexId>(vi);
+      if (partner[r] == kInvalidVertex) return;
+      lane.load_coalesced();
+      p.comp[r] = partner[r];
+      simt::atomic_store(hooked, 1u);
+    });
+    if (hooked == 0) break;  // only isolated components remain
+
+    // 3. Pointer jumping until every label is a root (as in CC; plain
+    //    stores — the structure is a forest, so this converges by depth
+    //    halving regardless of interleaving).
+    bool jumping = true;
+    while (jumping) {
+      std::uint32_t jchanged = 0;
+      dev.for_each("mst_jump", n, [&](simt::Lane& lane, std::size_t vi) {
+        lane.load_coalesced();
+        const VertexId c = simt::atomic_load(p.comp[vi]);
+        const VertexId cc = simt::atomic_load(p.comp[c]);
+        if (c == cc) return;
+        lane.load_scattered();
+        simt::atomic_store(p.comp[vi], cc);
+        simt::atomic_store(jchanged, 1u);
+      });
+      jumping = jchanged != 0;
+    }
+    std::fill(p.best.begin(), p.best.end(), kNoEdge);
+    dev.charge_pass("mst_reset", n, CM::kCoalesced);
+
+    // 4. Filter the edge frontier down to still-cross-component edges.
+    std::vector<std::uint32_t> next;
+    const FilterStats fs =
+        filter_edges<CrossComponentFunctor>(dev, frontier, next, p);
+    log.push_back(
+        IterationStats{round, fs.inputs, fs.outputs, fs.inputs, false});
+    frontier = std::move(next);
+    ++round;
+  }
+
+  for (std::size_t e = 0; e < p.esrc.size(); ++e)
+    if (in_mst[e]) out.edges.emplace_back(p.esrc[e], p.edst[e], p.ew[e]);
+  for (VertexId v = 0; v < n; ++v)
+    if (p.comp[v] == v) out.num_components++;
+
+  out.summary.iterations = round;
+  out.summary.edges_processed = work;
+  out.summary.counters = dev.counters();
+  out.summary.device_time_ms = out.summary.counters.time_ms();
+  out.summary.host_wall_ms = wall.elapsed_ms();
+  out.summary.per_iteration = std::move(log);
+  return out;
+}
+
+}  // namespace grx

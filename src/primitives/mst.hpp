@@ -1,0 +1,33 @@
+// Minimum spanning tree — first in Section 5.5's list of primitives under
+// development in Gunrock ("minimum spanning tree, maximal independent
+// set, graph coloring, ..."), and an example of a primitive that
+// "internally modifies graph topology" (Section 7, dynamic graphs).
+//
+// Borůvka's algorithm on frontiers: each round, every component selects
+// its minimum-weight outgoing edge (an atomicMin gather over an edge
+// frontier), the selected edges join the forest, components merge via the
+// same hooking + pointer-jumping machinery as CC, and intra-component
+// edges are filtered out of the edge frontier. O(log V) rounds.
+#pragma once
+
+#include <tuple>
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct MstResult {
+  /// Edge list of the spanning forest, as (u, v, w) triples.
+  std::vector<std::tuple<VertexId, VertexId, Weight>> edges;
+  std::uint64_t total_weight = 0;
+  std::uint32_t num_components = 0;  ///< trees in the forest
+  EnactSummary summary;
+};
+
+/// Computes a minimum spanning forest of the undirected weighted graph.
+/// Ties are broken by edge id, so the result is deterministic; the total
+/// weight equals that of every MSF of the graph.
+MstResult gunrock_mst(simt::Device& dev, const Csr& g);
+
+}  // namespace grx

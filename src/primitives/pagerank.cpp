@@ -1,0 +1,120 @@
+#include "primitives/pagerank.hpp"
+
+#include <cmath>
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+// Delta-residual formulation: every vertex v keeps `sent[v]`, the
+// contribution (rank/degree) it last pushed; the advance pushes only the
+// *change* into a persistent per-vertex accumulator `incoming`. When the
+// filter prunes a converged vertex from the frontier (Section 5.5), its
+// last contribution stays in its neighbors' accumulators, so the pruning
+// error is bounded by epsilon rather than by the vertex's whole rank.
+struct PrProblem {
+  const Csr* g = nullptr;
+  std::vector<double> rank;
+  std::vector<double> incoming;  // persistent sum of neighbor contributions
+  std::vector<double> sent;      // last contribution distributed per vertex
+  std::vector<std::uint8_t> converged;
+  double epsilon = 0.0;
+};
+
+struct DistributeFunctor {
+  /// Scatter the contribution delta to dst. Returns false: PageRank's
+  /// advance emits no output frontier (collect_outputs = false).
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId, PrProblem& p) {
+    const double delta =
+        p.rank[src] / static_cast<double>(p.g->degree(src)) - p.sent[src];
+    if (delta != 0.0) simt::atomic_add(p.incoming[dst], delta);
+    return false;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, PrProblem&) {}
+  /// Filter: keep vertices that have not converged.
+  static bool cond_vertex(VertexId v, PrProblem& p) {
+    return !p.converged[v];
+  }
+  static void apply_vertex(VertexId, PrProblem&) {}
+};
+
+class PrEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  PagerankResult enact(const Csr& g, const PagerankOptions& opts) {
+    Timer wall;
+    dev_.reset();
+    const auto n = g.num_vertices();
+    GRX_CHECK(n > 0);
+
+    PrProblem p;
+    p.g = &g;
+    p.rank.assign(n, 1.0 / n);
+    p.incoming.assign(n, 0.0);
+    p.sent.assign(n, 0.0);
+    p.converged.assign(n, 0);
+    p.epsilon = opts.epsilon;
+
+    AdvanceConfig acfg;
+    acfg.strategy = opts.strategy;
+    acfg.idempotent = true;  // atomicAdd cost is charged via the cost model
+    acfg.collect_outputs = false;
+    FilterConfig fcfg;
+
+    in_.assign_iota(n);
+    std::uint64_t edges = 0;
+    std::uint32_t iter = 0;
+    while (!in_.empty() && iter < opts.max_iterations) {
+      const AdvanceStats a = advance<DistributeFunctor>(dev_, g, in_, out_,
+                                                        p, acfg, advance_ws_);
+      edges += a.edges_processed;
+      // Record what each active vertex has now distributed in total.
+      compute(dev_, in_, p, [&](std::uint32_t v, PrProblem& prob) {
+        if (g.degree(v))
+          prob.sent[v] = prob.rank[v] / static_cast<double>(g.degree(v));
+      });
+
+      // Dangling mass: vertices with no edges spread uniformly.
+      double dangling = 0.0;
+      for (VertexId v = 0; v < n; ++v)
+        if (g.degree(v) == 0) dangling += p.rank[v];
+      dev_.charge_pass("pr_dangling", n, simt::CostModel::kCoalesced);
+
+      // PageRank update + convergence test (fused compute over all).
+      const double base =
+          (1.0 - opts.damping) / n + opts.damping * dangling / n;
+      compute_all(dev_, n, p, [&](std::uint32_t v, PrProblem& prob) {
+        const double next = base + opts.damping * prob.incoming[v];
+        if (p.epsilon > 0.0 &&
+            std::abs(next - prob.rank[v]) < p.epsilon * (1.0 / n))
+          prob.converged[v] = 1;
+        prob.rank[v] = next;
+      });
+
+      Frontier pruned(FrontierKind::kVertex);
+      filter_vertices<DistributeFunctor>(dev_, in_.items(), pruned.items(),
+                                         p, fcfg, filter_ws_);
+      record({0, in_.size(), pruned.size(), a.edges_processed, false});
+      if (opts.epsilon > 0.0) in_.swap(pruned);
+      ++iter;
+    }
+
+    PagerankResult out;
+    out.rank = std::move(p.rank);
+    out.summary = finish(edges, wall.elapsed_ms());
+    return out;
+  }
+};
+
+}  // namespace
+
+PagerankResult gunrock_pagerank(simt::Device& dev, const Csr& g,
+                                const PagerankOptions& opts) {
+  return PrEnactor(dev).enact(g, opts);
+}
+
+}  // namespace grx

@@ -1,0 +1,31 @@
+// PageRank (Section 5.5): the frontier starts as all vertices; each
+// iteration is one advance (scatter rank/degree to neighbors with
+// atomicAdd) plus one filter (drop vertices whose rank has converged).
+#pragma once
+
+#include "core/advance.hpp"
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct PagerankOptions {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  double damping = 0.85;
+  /// Per-vertex convergence threshold for frontier pruning. 0 disables
+  /// pruning (every vertex iterates to max_iterations — the mode used for
+  /// oracle comparison and for per-iteration timing, as in Table 3 where
+  /// "all PageRank times are normalized to one iteration").
+  double epsilon = 1e-6;
+  std::uint32_t max_iterations = 50;
+};
+
+struct PagerankResult {
+  std::vector<double> rank;  ///< sums to 1 over all vertices
+  EnactSummary summary;
+};
+
+PagerankResult gunrock_pagerank(simt::Device& dev, const Csr& g,
+                                const PagerankOptions& opts = {});
+
+}  // namespace grx

@@ -1,0 +1,35 @@
+// SALSA (Stochastic Approach for Link-Structure Analysis) — the second of
+// the three bipartite node-ranking algorithms from Section 5.5 ("WTF,
+// GPU!"), and the paper's own yardstick for programmability: "users only
+// need to write from 133 (simple primitive, BFS) to 261 (complex
+// primitive, SALSA) lines of code."
+//
+// SALSA performs a two-sided random walk: authority mass moves backward
+// across an edge and is split by the *source's* out-degree; hub mass moves
+// forward and is split by the *target's* in-degree. Both updates are
+// degree-normalized neighborhood sums — gather-reduce operators, like
+// HITS, but normalized by the far endpoint's degree.
+#pragma once
+
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct SalsaOptions {
+  std::uint32_t iterations = 30;
+};
+
+struct SalsaResult {
+  std::vector<double> hub;        ///< L1-normalized hub scores
+  std::vector<double> authority;  ///< L1-normalized authority scores
+  EnactSummary summary;
+};
+
+/// Runs SALSA on directed `g` with transpose `gT` (pass g twice for
+/// undirected graphs). Vertices with no out-edges have hub score 0; with
+/// no in-edges, authority 0.
+SalsaResult gunrock_salsa(simt::Device& dev, const Csr& g, const Csr& gT,
+                          const SalsaOptions& opts = {});
+
+}  // namespace grx

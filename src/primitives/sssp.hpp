@@ -1,0 +1,34 @@
+// Single-source shortest path (Sections 4.1 and 5.2).
+//
+// Per iteration: advance relaxes all frontier-incident edges with an
+// atomicMin; filter removes redundant vertex ids; an optional two-level
+// near/far priority queue (delta-stepping, Davidson et al.) defers
+// long-distance work.
+#pragma once
+
+#include "core/advance.hpp"
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+struct SsspOptions {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  /// Enable the near/far priority queue. 0 delta means "auto": the paper's
+  /// weights are uniform in [1, 64]; delta defaults to avg weight x avg
+  /// degree, the standard delta-stepping sizing.
+  bool use_priority_queue = true;
+  std::uint32_t delta = 0;
+};
+
+struct SsspResult {
+  std::vector<std::uint32_t> dist;  ///< kInfinity where unreachable
+  std::vector<VertexId> pred;
+  EnactSummary summary;
+};
+
+/// Runs Gunrock SSSP from `source`. The graph must carry edge weights.
+SsspResult gunrock_sssp(simt::Device& dev, const Csr& g, VertexId source,
+                        const SsspOptions& opts = {});
+
+}  // namespace grx

@@ -1,0 +1,62 @@
+// Host-side atomic helpers mirroring the CUDA intrinsics the paper relies
+// on (atomicMin for SSSP relaxation, atomicAdd for PageRank/BC, atomicCAS
+// for unique discovery). Built on std::atomic_ref so plain arrays stay
+// plain for the serial baselines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace grx::simt {
+
+/// atomicMin(addr, value): returns the previous value.
+template <typename T>
+T atomic_min(T& target, T value) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+/// atomicAdd(addr, value): returns the previous value.
+template <typename T>
+T atomic_add(T& target, T value) {
+  if constexpr (std::is_integral_v<T>) {
+    std::atomic_ref<T> ref(target);
+    return ref.fetch_add(value, std::memory_order_relaxed);
+  } else {
+    // Floating point: CAS loop (CUDA's atomicAdd(float*) in spirit).
+    std::atomic_ref<T> ref(target);
+    T cur = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(cur, cur + value,
+                                      std::memory_order_relaxed)) {
+    }
+    return cur;
+  }
+}
+
+/// atomicCAS(addr, expected, desired): returns the value before the op.
+template <typename T>
+T atomic_cas(T& target, T expected, T desired) {
+  std::atomic_ref<T> ref(target);
+  ref.compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+  return expected;  // compare_exchange updates `expected` to the old value.
+}
+
+template <typename T>
+T atomic_load(const T& target) {
+  std::atomic_ref<const T> ref(target);
+  return ref.load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void atomic_store(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  ref.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace grx::simt

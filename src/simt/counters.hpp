@@ -1,0 +1,42 @@
+// Device-wide instrumentation counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+
+namespace grx::simt {
+
+/// Statistics for a single kernel launch.
+struct KernelStats {
+  std::string name;
+  std::uint64_t warps = 0;            ///< warps launched
+  std::uint64_t total_warp_cycles = 0; ///< sum over warps of warp cycles
+  std::uint64_t max_warp_cycles = 0;   ///< critical path (longest warp)
+  std::uint64_t active_lane_cycles = 0; ///< sum over lanes of busy cycles
+  double time_us = 0.0;               ///< simulated time incl. launch cost
+};
+
+/// Aggregate over all launches since the last reset().
+struct DeviceCounters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t total_warp_cycles = 0;
+  std::uint64_t active_lane_cycles = 0;
+  double time_us = 0.0;
+
+  /// Fraction of lane slots doing useful work while their warp is running.
+  /// This is the paper's Table 4 metric ("warp execution efficiency").
+  double warp_efficiency() const {
+    if (total_warp_cycles == 0) return 1.0;
+    return static_cast<double>(active_lane_cycles) /
+           (static_cast<double>(CostModel::kWarpSize) *
+            static_cast<double>(total_warp_cycles));
+  }
+
+  double time_ms() const { return time_us / 1e3; }
+};
+
+}  // namespace grx::simt

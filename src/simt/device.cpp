@@ -1,0 +1,32 @@
+#include "simt/device.hpp"
+
+namespace grx::simt {
+
+void Device::finish_kernel(const char* name, std::uint64_t warps,
+                           std::uint64_t total_warp_cycles,
+                           std::uint64_t max_warp_cycles,
+                           std::uint64_t active_lane_cycles,
+                           bool count_launch) {
+  // A kernel is bounded below by its critical warp (latency bound) and by
+  // aggregate issue throughput (bandwidth bound). See cost_model.hpp.
+  const double throughput_cycles =
+      static_cast<double>(total_warp_cycles) /
+      (CostModel::kNumSm * CostModel::kIssuePerSm);
+  const double cycles =
+      std::max(static_cast<double>(max_warp_cycles), throughput_cycles);
+  const double time_us = cycles / (CostModel::kClockGhz * 1e3) +
+                         (count_launch ? CostModel::kLaunchUs : 0.0);
+
+  counters_.kernel_launches += count_launch ? 1 : 0;
+  counters_.warps += warps;
+  counters_.total_warp_cycles += total_warp_cycles;
+  counters_.active_lane_cycles += active_lane_cycles;
+  counters_.time_us += time_us;
+
+  if (profiling_) {
+    log_.push_back(KernelStats{name, warps, total_warp_cycles,
+                               max_warp_cycles, active_lane_cycles, time_us});
+  }
+}
+
+}  // namespace grx::simt

@@ -1,0 +1,73 @@
+#include "simt/primitives.hpp"
+
+#include <algorithm>
+
+namespace grx::simt {
+
+std::uint64_t exclusive_scan(Device& dev, std::span<const std::uint32_t> in,
+                             std::span<std::uint64_t> out) {
+  GRX_CHECK(out.size() == in.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  dev.charge_pass("scan", in.size(), 2 * CostModel::kCoalesced);
+  return acc;
+}
+
+std::uint64_t reduce_sum(Device& dev, std::span<const std::uint32_t> in) {
+  std::uint64_t acc = 0;
+  for (std::uint32_t v : in) acc += v;
+  dev.charge_pass("reduce", in.size(), CostModel::kCoalesced);
+  return acc;
+}
+
+std::size_t compact(Device& dev, std::span<const std::uint32_t> in,
+                    std::span<const std::uint8_t> flags,
+                    std::vector<std::uint32_t>& out) {
+  GRX_CHECK(flags.size() == in.size());
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    if (flags[i]) out.push_back(in[i]);
+  // scan of flags + gather/scatter of survivors.
+  dev.charge_pass("compact", in.size(), 3 * CostModel::kCoalesced);
+  return out.size();
+}
+
+std::uint32_t upper_row(std::span<const std::uint64_t> offsets,
+                        std::uint64_t key) {
+  GRX_CHECK(!offsets.empty());
+  // Largest i with offsets[i] <= key.
+  auto it = std::upper_bound(offsets.begin(), offsets.end(), key);
+  GRX_CHECK(it != offsets.begin());
+  return static_cast<std::uint32_t>((it - offsets.begin()) - 1);
+}
+
+std::vector<std::uint32_t> sorted_search_chunks(
+    Device& dev, std::span<const std::uint64_t> offsets,
+    std::uint64_t chunk_size) {
+  GRX_CHECK(chunk_size > 0);
+  GRX_CHECK(!offsets.empty());
+  const std::uint64_t total = offsets.back();
+  const std::size_t num_chunks =
+      static_cast<std::size_t>((total + chunk_size - 1) / chunk_size);
+  std::vector<std::uint32_t> starts(num_chunks);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(num_chunks); ++c) {
+    starts[static_cast<std::size_t>(c)] =
+        upper_row(offsets, static_cast<std::uint64_t>(c) * chunk_size);
+  }
+  // One binary search per chunk: log2(n) scattered probes. Fused into the
+  // enclosing traversal kernel (no separate launch), as in Gunrock's
+  // load-balanced advance.
+  std::uint64_t probes = 1;
+  for (std::size_t n = offsets.size(); n > 1; n >>= 1) ++probes;
+  dev.charge_pass("lb_search", num_chunks,
+                  probes * CostModel::kScattered / CostModel::kWarpSize + 1,
+                  /*fused=*/true);
+  return starts;
+}
+
+}  // namespace grx::simt

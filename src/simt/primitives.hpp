@@ -1,0 +1,46 @@
+// Device-side data-parallel primitives: scan, reduce, compact, and the
+// merge-path sorted search used by the load-balanced advance (Section 4.4).
+//
+// Host execution is straightforward (and OpenMP-parallel where it matters);
+// each primitive charges the device the cost of the memory-bound passes a
+// real GPU implementation performs, so engine comparisons include the
+// overhead of e.g. the LB advance's scan + sorted search.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "util/common.hpp"
+
+namespace grx::simt {
+
+/// Exclusive prefix sum of `in` into `out` (same length); returns the total.
+/// Charged as two coalesced passes (up-sweep + down-sweep).
+std::uint64_t exclusive_scan(Device& dev, std::span<const std::uint32_t> in,
+                             std::span<std::uint64_t> out);
+
+/// Sum-reduction; charged as one coalesced pass.
+std::uint64_t reduce_sum(Device& dev, std::span<const std::uint32_t> in);
+
+/// Stream compaction: copies in[i] where flags[i] != 0, preserving order.
+/// Charged as scan + scatter. Returns number of survivors.
+std::size_t compact(Device& dev, std::span<const std::uint32_t> in,
+                    std::span<const std::uint8_t> flags,
+                    std::vector<std::uint32_t>& out);
+
+/// Merge-path style sorted search: given the exclusive-scanned row offsets
+/// of the frontier's neighbor lists (`offsets`, length n+1, offsets[n] ==
+/// total work) and a chunk size, computes for each chunk the index of the
+/// frontier item whose neighbor list contains the chunk's first edge.
+/// This is the "load balancing search" of Davidson et al. (Figure 5).
+std::vector<std::uint32_t> sorted_search_chunks(
+    Device& dev, std::span<const std::uint64_t> offsets,
+    std::uint64_t chunk_size);
+
+/// Binary search: largest i such that offsets[i] <= key. offsets sorted.
+std::uint32_t upper_row(std::span<const std::uint64_t> offsets,
+                        std::uint64_t key);
+
+}  // namespace grx::simt

@@ -1,0 +1,65 @@
+// Concurrent bitset used for visited maps and frontier bitmaps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+/// Fixed-size bitset with thread-safe set/test. The pull-direction advance
+/// converts the current frontier into exactly this structure (Section 4.5).
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    // vector<atomic> is not copy-assignable; rebuild (value-initialized).
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  bool test(std::size_t i) const {
+    GRX_CHECK(i < bits_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    GRX_CHECK(i < bits_);
+    words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Sets bit i; returns true iff this call flipped it from 0 to 1.
+  /// This is the "unique discovery" primitive for non-idempotent advance.
+  bool test_and_set(std::size_t i) {
+    GRX_CHECK(i < bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& w : words_)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    return n;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  // vector<atomic> is fine: we never copy after resize.
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace grx

@@ -1,0 +1,45 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace grx {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags_.emplace(std::string(arg), "1");
+      } else {
+        flags_.emplace(std::string(arg.substr(0, eq)),
+                       std::string(arg.substr(eq + 1)));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(std::string_view key) const {
+  return flags_.find(key) != flags_.end();
+}
+
+std::string Cli::get(std::string_view key, std::string_view def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? std::string(def) : it->second;
+}
+
+long Cli::get_int(std::string_view key, long def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(std::string_view key, double def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace grx

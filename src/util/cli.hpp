@@ -1,0 +1,30 @@
+// Minimal --key=value command-line parsing for bench and example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grx {
+
+/// Parses flags of the form `--key=value` or bare `--flag` (value "1").
+/// Positional arguments are collected in order. Unknown flags are kept —
+/// binaries validate the keys they care about via `known()`.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(std::string_view key) const;
+  std::string get(std::string_view key, std::string_view def = "") const;
+  long get_int(std::string_view key, long def) const;
+  double get_double(std::string_view key, double def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace grx

@@ -1,0 +1,53 @@
+// Common type aliases and checking macros shared by every grx library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace grx {
+
+/// Vertex identifier. 32 bits: the scaled datasets stay well under 4B nodes.
+using VertexId = std::uint32_t;
+/// Edge identifier / CSR offset. 64 bits so |E| is never the limiting factor.
+using EdgeId = std::uint64_t;
+/// Edge weight. The paper draws integer weights uniformly from [1, 64].
+using Weight = std::uint32_t;
+
+/// Sentinel for "no vertex" (e.g. unreached BFS parent).
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+/// Sentinel distance for unreached vertices.
+inline constexpr std::uint32_t kInfinity = static_cast<std::uint32_t>(-1);
+
+/// Thrown by GRX_CHECK on contract violation; carries the failed expression.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("GRX_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw CheckError(full);
+}
+}  // namespace detail
+
+}  // namespace grx
+
+/// Precondition/invariant check that stays on in release builds. Graph code
+/// is routinely fed hostile input files, so contracts are always enforced.
+#define GRX_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::grx::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GRX_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::grx::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

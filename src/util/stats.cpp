@@ -1,0 +1,61 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+double geometric_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    GRX_CHECK_MSG(x > 0.0, "geometric mean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  GRX_CHECK(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t buckets) {
+  GRX_CHECK(buckets > 0);
+  GRX_CHECK(hi > lo);
+  std::vector<std::size_t> out(buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double x : xs) {
+    if (x < lo || x >= hi) continue;
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    out[std::min(b, buckets - 1)]++;
+  }
+  return out;
+}
+
+}  // namespace grx

@@ -1,0 +1,27 @@
+// Small statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grx {
+
+/// Geometric mean of strictly positive samples. Returns 0 for empty input.
+/// The paper reports cross-dataset speedups as geometric means (Table 2).
+double geometric_mean(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0,100]. Input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
+/// Histogram of values into `buckets` equal-width bins over [lo, hi).
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t buckets);
+
+}  // namespace grx

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GRX_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  GRX_CHECK_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int digits) {
+  if (std::isnan(v)) return "--";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace grx

@@ -1,0 +1,41 @@
+// Aligned text-table printer for bench output.
+//
+// Every bench binary prints its rows through this so the paper tables are
+// regenerated in a uniform, diff-friendly format (and also as CSV for
+// machine consumption).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace grx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `digits` significant decimals; "--" for NaN
+  /// (the paper uses a dash for OOM / unavailable cells).
+  static std::string num(double v, int digits = 2);
+
+  /// Renders as an aligned, pipe-delimited table.
+  std::string to_string() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  /// Convenience: to_string() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grx

@@ -1,0 +1,34 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace grx {
+
+/// Monotonic wall-clock stopwatch with millisecond reporting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` once and returns its wall-clock duration in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.elapsed_ms();
+}
+
+}  // namespace grx

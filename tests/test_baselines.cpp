@@ -1,0 +1,209 @@
+// Every reimplemented comparison system must itself be correct: each
+// baseline engine is validated against the serial oracles, so the bench
+// comparisons measure performance models, not bugs.
+#include <gtest/gtest.h>
+
+#include "baselines/gas/gas.hpp"
+#include "baselines/hardwired/hardwired.hpp"
+#include "baselines/ligra/ligra.hpp"
+#include "baselines/medusa/medusa.hpp"
+#include "baselines/serial/serial.hpp"
+#include "graph/datasets.hpp"
+#include "test_common.hpp"
+
+namespace grx {
+namespace {
+
+Csr test_graph() { return build_dataset("soc-orkut-s", /*shrink=*/6); }
+Csr mesh_graph() { return build_dataset("roadnet-s", /*shrink=*/5); }
+
+// --- serial self-consistency ----------------------------------------------
+
+TEST(SerialBaseline, DijkstraAgreesWithBellmanFord) {
+  const Csr g = testing::random_graph(512, 2048, 1);
+  EXPECT_EQ(serial::dijkstra(g, 0), serial::bellman_ford(g, 0));
+}
+
+TEST(SerialBaseline, BfsIsUnweightedDijkstra) {
+  EdgeList el = erdos_renyi(256, 1024, 2);
+  for (auto& e : el.edges) e.weight = 1;
+  BuildOptions b;
+  b.symmetrize = true;
+  const Csr g = build_csr(el, b);
+  EXPECT_EQ(serial::bfs(g, 0), serial::dijkstra(g, 0));
+}
+
+// --- Ligra engine -----------------------------------------------------------
+
+TEST(LigraBaseline, BfsMatchesOracle) {
+  const Csr g = test_graph();
+  EXPECT_EQ(ligra::bfs(g, 0), serial::bfs(g, 0));
+}
+
+TEST(LigraBaseline, BfsDensePathTriggersPull) {
+  // High-frontier-volume graph so the |E|/20 threshold flips to dense.
+  const Csr g = testing::undirected(complete_graph(128));
+  EXPECT_EQ(ligra::bfs(g, 3), serial::bfs(g, 3));
+}
+
+TEST(LigraBaseline, SsspMatchesDijkstra) {
+  const Csr g = test_graph();
+  EXPECT_EQ(ligra::sssp(g, 0), serial::dijkstra(g, 0));
+}
+
+TEST(LigraBaseline, BcMatchesBrandes) {
+  const Csr g = testing::random_graph(256, 1024, 4);
+  EXPECT_TRUE(
+      testing::near_vectors(ligra::bc(g, 2), serial::brandes_bc(g, 2), 1e-6));
+}
+
+TEST(LigraBaseline, CcMatchesUnionFind) {
+  const Csr g = build_dataset("kron-s", /*shrink=*/6);
+  EXPECT_TRUE(testing::same_partition(ligra::connected_components(g),
+                                      serial::connected_components(g)));
+}
+
+TEST(LigraBaseline, PagerankMatchesPowerIteration) {
+  const Csr g = mesh_graph();
+  EXPECT_TRUE(testing::near_vectors(ligra::pagerank(g, 0.85, 15),
+                                    serial::pagerank(g, 0.85, 15), 1e-10));
+}
+
+// --- GAS engine -------------------------------------------------------------
+
+class GasFlavorTest : public ::testing::TestWithParam<gas::Flavor> {};
+
+TEST_P(GasFlavorTest, BfsMatchesOracle) {
+  const Csr g = test_graph();
+  simt::Device dev;
+  const auto r = gas::bfs(dev, g, 0, GetParam());
+  EXPECT_EQ(r.depth, serial::bfs(g, 0));
+}
+
+TEST_P(GasFlavorTest, SsspMatchesDijkstra) {
+  const Csr g = test_graph();
+  simt::Device dev;
+  const auto r = gas::sssp(dev, g, 0, GetParam());
+  EXPECT_EQ(r.dist, serial::dijkstra(g, 0));
+}
+
+TEST_P(GasFlavorTest, CcMatchesUnionFind) {
+  const Csr g = build_dataset("rgg-s", /*shrink=*/6);
+  simt::Device dev;
+  const auto r = gas::connected_components(dev, g, GetParam());
+  EXPECT_TRUE(
+      testing::same_partition(r.component, serial::connected_components(g)));
+}
+
+TEST_P(GasFlavorTest, PagerankMatchesPowerIteration) {
+  const Csr g = mesh_graph();
+  simt::Device dev;
+  const auto r = gas::pagerank(dev, g, 0.85, 15, GetParam());
+  EXPECT_TRUE(
+      testing::near_vectors(r.rank, serial::pagerank(g, 0.85, 15), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, GasFlavorTest,
+                         ::testing::Values(gas::Flavor::kFrontier,
+                                           gas::Flavor::kFullSweep),
+                         [](const auto& info) {
+                           return info.param == gas::Flavor::kFrontier
+                                      ? "MapGraphLike"
+                                      : "CuShaLike";
+                         });
+
+TEST(GasBaseline, FragmentationShowsInLaunchCount) {
+  const Csr g = mesh_graph();
+  simt::Device dev;
+  const auto r = gas::bfs(dev, g, 0);
+  // >= 3 kernels per BFS level (apply + scatter + compact) on a graph with
+  // hundreds of levels: fragmentation is structural, not incidental.
+  EXPECT_GE(r.summary.counters.kernel_launches,
+            3ull * r.summary.iterations);
+  EXPECT_GT(r.summary.iterations, 20u);
+}
+
+// --- Medusa engine ----------------------------------------------------------
+
+TEST(MedusaBaseline, BfsMatchesOracle) {
+  const Csr g = test_graph();
+  simt::Device dev;
+  EXPECT_EQ(medusa::bfs(dev, g, 0).depth, serial::bfs(g, 0));
+}
+
+TEST(MedusaBaseline, SsspMatchesDijkstra) {
+  const Csr g = build_dataset("hollywood-s", /*shrink=*/6);
+  simt::Device dev;
+  EXPECT_EQ(medusa::sssp(dev, g, 0).dist, serial::dijkstra(g, 0));
+}
+
+TEST(MedusaBaseline, PagerankMatchesPowerIteration) {
+  const Csr g = test_graph();
+  simt::Device dev;
+  const auto r = medusa::pagerank(dev, g, 0.85, 15);
+  EXPECT_TRUE(
+      testing::near_vectors(r.rank, serial::pagerank(g, 0.85, 15), 1e-10));
+}
+
+TEST(MedusaBaseline, MessageCountMatchesTraversedEdges) {
+  const Csr g = testing::undirected(complete_graph(16));
+  simt::Device dev;
+  const auto r = medusa::bfs(dev, g, 0);
+  // Super-step 1 sends deg(source) = 15 messages; step 2 the rest.
+  EXPECT_GE(r.summary.messages_sent, g.num_edges() / 2);
+}
+
+// --- hardwired implementations ---------------------------------------------
+
+class HardwiredDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HardwiredDatasetTest, MerrillBfs) {
+  const Csr g = build_dataset(GetParam(), /*shrink=*/5);
+  simt::Device dev;
+  EXPECT_EQ(hardwired::merrill_bfs(dev, g, 0).depth, serial::bfs(g, 0));
+}
+
+TEST_P(HardwiredDatasetTest, DavidsonSssp) {
+  const Csr g = build_dataset(GetParam(), /*shrink=*/5);
+  simt::Device dev;
+  EXPECT_EQ(hardwired::davidson_sssp(dev, g, 0).dist,
+            serial::dijkstra(g, 0));
+}
+
+TEST_P(HardwiredDatasetTest, SomanCc) {
+  const Csr g = build_dataset(GetParam(), /*shrink=*/5);
+  simt::Device dev;
+  const auto r = hardwired::soman_cc(dev, g);
+  const auto oracle = serial::connected_components(g);
+  EXPECT_TRUE(testing::same_partition(r.component, oracle));
+  EXPECT_EQ(r.num_components, serial::count_components(oracle));
+}
+
+TEST_P(HardwiredDatasetTest, EdgeBc) {
+  const Csr g = build_dataset(GetParam(), /*shrink=*/4);
+  simt::Device dev;
+  EXPECT_TRUE(testing::near_vectors(hardwired::edge_bc(dev, g, 0).bc_values,
+                                    serial::brandes_bc(g, 0), 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, HardwiredDatasetTest,
+                         ::testing::Values("soc-orkut-s", "roadnet-s"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(Hardwired, DeltaSweepAgrees) {
+  const Csr g = testing::random_graph(512, 2048, 6);
+  const auto oracle = serial::dijkstra(g, 1);
+  simt::Device dev;
+  for (std::uint32_t delta : {4u, 32u, 512u}) {
+    EXPECT_EQ(hardwired::davidson_sssp(dev, g, 1, delta).dist, oracle)
+        << "delta " << delta;
+  }
+}
+
+}  // namespace
+}  // namespace grx

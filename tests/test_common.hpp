@@ -1,0 +1,82 @@
+// Shared helpers for the grx test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace grx::testing {
+
+/// Builds an undirected weighted CSR from a generator edge list.
+inline Csr undirected(const EdgeList& el, std::uint64_t weight_seed = 7) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  Csr g = build_csr(el, opts);
+  return with_random_weights(g, weight_seed);
+}
+
+/// Builds an undirected CSR with *symmetric* weights (w(u,v) == w(v,u)),
+/// required for SSSP correctness checks on undirected graphs.
+inline Csr undirected_symw(EdgeList el, std::uint64_t weight_seed = 7) {
+  Rng rng(weight_seed);
+  for (Edge& e : el.edges) e.weight = static_cast<Weight>(1 + rng.next_below(64));
+  BuildOptions opts;
+  opts.symmetrize = true;
+  return build_csr(el, opts);
+}
+
+/// A deterministic connected-ish random graph for property tests.
+inline Csr random_graph(std::uint32_t n, std::uint64_t m,
+                        std::uint64_t seed) {
+  EdgeList el = erdos_renyi(n, m, seed);
+  // Thread a path through all vertices so the graph is connected: property
+  // assertions over reachability then cover every vertex.
+  for (std::uint32_t i = 0; i + 1 < n; ++i)
+    el.edges.push_back(Edge{i, i + 1, 1});
+  return undirected_symw(std::move(el), seed ^ 0x5eed);
+}
+
+/// True iff two component labelings induce the same partition.
+inline ::testing::AssertionResult same_partition(
+    const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "label vector sizes differ";
+  std::map<VertexId, VertexId> a2b;
+  std::map<VertexId, VertexId> b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [ia, oka] = a2b.emplace(a[v], b[v]);
+    if (!oka && ia->second != b[v])
+      return ::testing::AssertionFailure()
+             << "label " << a[v] << " maps to both " << ia->second << " and "
+             << b[v] << " (vertex " << v << ")";
+    auto [ib, okb] = b2a.emplace(b[v], a[v]);
+    if (!okb && ib->second != a[v])
+      return ::testing::AssertionFailure()
+             << "label " << b[v] << " maps to both " << ib->second << " and "
+             << a[v] << " (vertex " << v << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Elementwise comparison with an absolute tolerance.
+inline ::testing::AssertionResult near_vectors(const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               double tol) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "sizes differ";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol)
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i]
+             << " (tol " << tol << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace grx::testing

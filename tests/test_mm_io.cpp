@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/mm_io.hpp"
+#include "util/common.hpp"
+
+namespace grx {
+namespace {
+
+EdgeList parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in);
+}
+
+TEST(MatrixMarket, ParsesGeneralInteger) {
+  const auto g = parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "% comment line\n"
+      "3 3 2\n"
+      "1 2 5\n"
+      "3 1 7\n");
+  EXPECT_EQ(g.num_vertices, 3u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.edges[0], (Edge{0, 1, 5}));
+  EXPECT_EQ(g.edges[1], (Edge{2, 0, 7}));
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  const auto g = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_EQ(g.edges[0].weight, 1u);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsEntries) {
+  const auto g = parse(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  // (2,1) mirrored to (1,2); diagonal (3,3) not duplicated.
+  EXPECT_EQ(g.edges.size(), 3u);
+}
+
+TEST(MatrixMarket, RealWeightsRounded) {
+  const auto g = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 2 2.7\n");
+  EXPECT_EQ(g.edges[0].weight, 3u);
+}
+
+TEST(MatrixMarket, RectangularUsesMaxDimension) {
+  const auto g = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 5 1\n"
+      "1 5\n");
+  EXPECT_EQ(g.num_vertices, 5u);
+}
+
+// --- failure injection ----------------------------------------------------
+
+TEST(MatrixMarket, RejectsEmptyInput) {
+  EXPECT_THROW(parse(""), CheckError);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  EXPECT_THROW(parse("%%NotMM matrix coordinate real general\n1 1 0\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n1 1\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsComplexField) {
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+      CheckError);
+}
+
+TEST(MatrixMarket, RejectsMissingSizeLine) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "3 3 2\n"
+                     "1 2\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsIndex) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 1\n"
+                     "1 9\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsZeroBasedIndex) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 1\n"
+                     "0 1\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, RejectsGarbageEntry) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 1\n"
+                     "one two\n"),
+               CheckError);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), CheckError);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1, 5}, {2, 3, 9}, {3, 0, 1}};
+  std::ostringstream out;
+  write_matrix_market(out, el);
+  std::istringstream in(out.str());
+  const EdgeList back = read_matrix_market(in);
+  EXPECT_EQ(back.num_vertices, el.num_vertices);
+  EXPECT_EQ(back.edges, el.edges);
+}
+
+}  // namespace
+}  // namespace grx

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simt/atomic.hpp"
+#include "simt/device.hpp"
+#include "simt/primitives.hpp"
+
+namespace grx::simt {
+namespace {
+
+TEST(Device, ForEachCountsWarpsAndLaunches) {
+  Device dev;
+  dev.for_each("k", 100, [](Lane&, std::size_t) {});
+  const auto& c = dev.counters();
+  EXPECT_EQ(c.kernel_launches, 1u);
+  EXPECT_EQ(c.warps, 4u);  // ceil(100/32)
+  EXPECT_GT(c.time_us, 0.0);
+}
+
+TEST(Device, UniformWorkIsFullyEfficient) {
+  Device dev;
+  dev.for_each("k", 64, [](Lane& lane, std::size_t) { lane.alu(10); });
+  EXPECT_DOUBLE_EQ(dev.counters().warp_efficiency(), 1.0);
+}
+
+TEST(Device, SkewedWorkLowersEfficiency) {
+  Device dev;
+  // One heavy lane per warp: warp serializes to it, others idle.
+  dev.for_each("k", 64, [](Lane& lane, std::size_t i) {
+    if (i % 32 == 0) lane.alu(1000);
+  });
+  EXPECT_LT(dev.counters().warp_efficiency(), 0.10);
+}
+
+TEST(Device, TailWarpCountsOnlyLiveLanes) {
+  Device dev;
+  dev.for_each("k", 1, [](Lane& lane, std::size_t) { lane.alu(9); });
+  // One lane of 32 active: efficiency 1/32.
+  EXPECT_NEAR(dev.counters().warp_efficiency(), 1.0 / 32.0, 1e-9);
+}
+
+TEST(Device, ResetClearsCounters) {
+  Device dev;
+  dev.for_each("k", 10, [](Lane&, std::size_t) {});
+  dev.reset();
+  EXPECT_EQ(dev.counters().kernel_launches, 0u);
+  EXPECT_EQ(dev.counters().time_us, 0.0);
+}
+
+TEST(Device, LaunchOverheadDominatesEmptyKernels) {
+  Device dev;
+  for (int i = 0; i < 10; ++i) dev.for_each("k", 1, [](Lane&, std::size_t) {});
+  // 10 launches at ~kLaunchUs each.
+  EXPECT_GE(dev.counters().time_us, 10 * CostModel::kLaunchUs);
+}
+
+TEST(Device, ThroughputBoundForLargeUniformKernels) {
+  Device dev;
+  const std::size_t n = 32 * 1024;
+  dev.for_each("k", n, [](Lane& lane, std::size_t) { lane.alu(60); });
+  // 1024 warps x ~61 cycles >> critical path 61: throughput bound.
+  const double expected_cycles =
+      1024.0 * 61.0 / (CostModel::kNumSm * CostModel::kIssuePerSm);
+  const double expected_us =
+      expected_cycles / (CostModel::kClockGhz * 1e3) + CostModel::kLaunchUs;
+  EXPECT_NEAR(dev.counters().time_us, expected_us, expected_us * 0.01);
+}
+
+TEST(Device, CriticalPathBoundForOneLongWarp) {
+  Device dev;
+  dev.for_each_warp("k", 4, [](Warp& w) {
+    if (w.id() == 0) w.charge(100000, 100000 * 32ull);
+  });
+  // Time is set by the 100000-cycle warp, not aggregate throughput.
+  const double expected_us =
+      100000.0 / (CostModel::kClockGhz * 1e3) + CostModel::kLaunchUs;
+  EXPECT_NEAR(dev.counters().time_us, expected_us, expected_us * 0.01);
+}
+
+TEST(Device, WarpBulkChargesTail) {
+  Device dev;
+  dev.for_each_warp("k", 1, [](Warp& w) { w.bulk(40, 8); });
+  // ceil(40/32) = 2 steps of 8 cycles; 40 of 64 lane-slots active.
+  const auto& c = dev.counters();
+  EXPECT_EQ(c.total_warp_cycles, 16u);
+  EXPECT_EQ(c.active_lane_cycles, 320u);
+}
+
+TEST(Device, WarpChargeValidatesActiveBound) {
+  // Checked outside a kernel: exceptions must not escape an OpenMP region.
+  Warp w(0);
+  EXPECT_THROW(w.charge(1, 33), CheckError);
+  EXPECT_NO_THROW(w.charge(1, 32));
+}
+
+TEST(Device, ProfilingLogRecordsKernels) {
+  Device dev;
+  dev.set_profiling(true);
+  dev.for_each("alpha", 10, [](Lane&, std::size_t) {});
+  dev.charge_pass("beta", 100, 4);
+  ASSERT_EQ(dev.kernel_log().size(), 2u);
+  EXPECT_EQ(dev.kernel_log()[0].name, "alpha");
+  EXPECT_EQ(dev.kernel_log()[1].name, "beta");
+}
+
+TEST(Atomics, MinReturnsPrevious) {
+  std::uint32_t x = 10;
+  EXPECT_EQ(atomic_min(x, 5u), 10u);
+  EXPECT_EQ(x, 5u);
+  EXPECT_EQ(atomic_min(x, 7u), 5u);
+  EXPECT_EQ(x, 5u);
+}
+
+TEST(Atomics, AddIntegralAndFloating) {
+  std::uint64_t i = 1;
+  EXPECT_EQ(atomic_add(i, std::uint64_t{2}), 1u);
+  EXPECT_EQ(i, 3u);
+  double d = 0.5;
+  EXPECT_DOUBLE_EQ(atomic_add(d, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(d, 0.75);
+}
+
+TEST(Atomics, CasSemantics) {
+  std::uint32_t x = 4;
+  EXPECT_EQ(atomic_cas(x, 4u, 9u), 4u);
+  EXPECT_EQ(x, 9u);
+  EXPECT_EQ(atomic_cas(x, 4u, 1u), 9u);  // fails, returns current
+  EXPECT_EQ(x, 9u);
+}
+
+TEST(Primitives, ExclusiveScan) {
+  Device dev;
+  const std::vector<std::uint32_t> in{3, 1, 4, 1, 5};
+  std::vector<std::uint64_t> out(in.size());
+  EXPECT_EQ(exclusive_scan(dev, in, out), 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+  EXPECT_EQ(dev.counters().kernel_launches, 1u);
+}
+
+TEST(Primitives, ReduceSum) {
+  Device dev;
+  const std::vector<std::uint32_t> in{1, 2, 3, 4};
+  EXPECT_EQ(reduce_sum(dev, in), 10u);
+}
+
+TEST(Primitives, CompactKeepsFlaggedInOrder) {
+  Device dev;
+  const std::vector<std::uint32_t> in{10, 11, 12, 13};
+  const std::vector<std::uint8_t> flags{1, 0, 0, 1};
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(compact(dev, in, flags, out), 2u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{10, 13}));
+}
+
+TEST(Primitives, UpperRow) {
+  const std::vector<std::uint64_t> offsets{0, 3, 3, 7, 10};
+  EXPECT_EQ(upper_row(offsets, 0), 0u);
+  EXPECT_EQ(upper_row(offsets, 2), 0u);
+  EXPECT_EQ(upper_row(offsets, 3), 2u);  // empty row 1 skipped
+  EXPECT_EQ(upper_row(offsets, 9), 3u);
+}
+
+TEST(Primitives, SortedSearchChunksCoverAllWork) {
+  Device dev;
+  // Rows of sizes 5, 0, 9, 2 -> offsets 0,5,5,14,16.
+  const std::vector<std::uint64_t> offsets{0, 5, 5, 14, 16};
+  const auto starts = sorted_search_chunks(dev, offsets, 4);
+  ASSERT_EQ(starts.size(), 4u);  // ceil(16/4)
+  EXPECT_EQ(starts[0], 0u);      // edge 0 in row 0
+  EXPECT_EQ(starts[1], 0u);      // edge 4 in row 0
+  EXPECT_EQ(starts[2], 2u);      // edge 8 in row 2
+  EXPECT_EQ(starts[3], 2u);      // edge 12 in row 2
+}
+
+}  // namespace
+}  // namespace grx::simt
