@@ -5,11 +5,54 @@
 // plus the simulated device time as a counter.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/advance.hpp"
 #include "core/filter.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "primitives/bfs.hpp"
 #include "simt/primitives.hpp"
+
+// --- allocation instrumentation ---------------------------------------------
+// Process-wide heap allocation counter: the zero-steady-state-allocation
+// claim for the advance/filter loop is asserted against this, not inferred
+// from timings. Replacing the global operator new interposes for the whole
+// binary, including the library under test.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -136,5 +179,89 @@ void BM_KernelLaunchOverhead(benchmark::State& state) {
   state.counters["sim_device_us"] = sim_us;
 }
 BENCHMARK(BM_KernelLaunchOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// --- frontier-pipeline benchmarks (PR 1 acceptance) -------------------------
+
+// Full BFS on the power-law graph in the paper's flagship configuration
+// (idempotent + direction-optimal). Host wall time is the figure of merit;
+// `allocs_per_run` counts every heap allocation the whole run performs.
+void BM_BfsPowerLaw(benchmark::State& state) {
+  const Csr& g = scale_free();
+  std::uint64_t allocs = 0, runs = 0;
+  for (auto _ : state) {
+    simt::Device dev;
+    BfsOptions opts;
+    opts.idempotent = true;
+    opts.direction = Direction::kOptimal;
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto r = gunrock_bfs(dev, g, 0, opts);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++runs;
+    benchmark::DoNotOptimize(r.depth.data());
+  }
+  state.counters["allocs_per_run"] =
+      static_cast<double>(allocs) / static_cast<double>(runs ? runs : 1);
+}
+BENCHMARK(BM_BfsPowerLaw)->Unit(benchmark::kMillisecond);
+
+// Same shape with a plain push advance: isolates the output-assembly path
+// from the pull-bitmap machinery.
+void BM_BfsPowerLawPush(benchmark::State& state) {
+  const Csr& g = scale_free();
+  for (auto _ : state) {
+    simt::Device dev;
+    BfsOptions opts;
+    opts.idempotent = true;
+    opts.direction = Direction::kPush;
+    const auto r = gunrock_bfs(dev, g, 0, opts);
+    benchmark::DoNotOptimize(r.depth.data());
+  }
+}
+BENCHMARK(BM_BfsPowerLawPush)->Unit(benchmark::kMillisecond);
+
+// Steady-state advance+filter loop on persistent workspaces: after the
+// warm-up call has sized every pool, each further advance+filter pair must
+// allocate nothing. `steady_allocs` reports the mean heap allocations per
+// advance+filter pair across the measured iterations (acceptance: 0).
+void BM_AdvanceFilterSteadyAllocs(benchmark::State& state) {
+  const Csr& g = scale_free();
+  std::vector<std::uint32_t> seed;
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) seed.push_back(v);
+
+  simt::Device dev;
+  MarkProblem p;
+  p.seen.assign(g.num_vertices(), 0);
+  Frontier in, out, filtered;
+  in.assign(seed);
+  AdvanceConfig cfg;
+  cfg.strategy = AdvanceStrategy::kLoadBalanced;
+  AdvanceWorkspace aws;
+  FilterConfig fcfg;
+  fcfg.dedup_heuristic = true;
+  FilterWorkspace fws;
+
+  // Warm-up: size every pooled buffer.
+  advance<MarkFunctor>(dev, g, in, out, p, cfg, aws);
+  filter_vertices<MarkFunctor>(dev, out.items(), filtered.items(), p, fcfg,
+                               fws);
+
+  std::uint64_t allocs = 0, iters = 0;
+  for (auto _ : state) {
+    std::fill(p.seen.begin(), p.seen.end(), std::uint8_t{0});
+    in.items().assign(seed.begin(), seed.end());  // capacity reuse, no alloc
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    advance<MarkFunctor>(dev, g, in, out, p, cfg, aws);
+    filter_vertices<MarkFunctor>(dev, out.items(), filtered.items(), p, fcfg,
+                                 fws);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++iters;
+    benchmark::DoNotOptimize(filtered.items().data());
+  }
+  state.counters["steady_allocs"] =
+      static_cast<double>(allocs) / static_cast<double>(iters ? iters : 1);
+}
+BENCHMARK(BM_AdvanceFilterSteadyAllocs);
 
 }  // namespace

@@ -1,0 +1,10 @@
+// Single-threaded stand-in for the OpenMP runtime, used only when the
+// toolchain has no OpenMP support. `#pragma omp` lines are ignored by the
+// compiler in that configuration; these shims satisfy the few omp_* runtime
+// calls the library makes.
+#pragma once
+
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+inline int omp_get_num_threads() { return 1; }
+inline void omp_set_num_threads(int) {}

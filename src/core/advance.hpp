@@ -36,7 +36,7 @@
 #include "simt/atomic.hpp"
 #include "simt/device.hpp"
 #include "simt/primitives.hpp"
-#include "util/per_thread.hpp"
+#include "util/bitset.hpp"
 
 namespace grx {
 
@@ -82,55 +82,113 @@ struct AdvanceStats {
   AdvanceStrategy used_strategy = AdvanceStrategy::kAuto;
 };
 
-/// Reusable scratch across advance calls (bitmap for pull, degree/offset
-/// arrays for LB). Owned by the primitive's enactor.
+/// Reusable scratch across advance calls, owned by the primitive's enactor:
+/// the pull bitmap (maintained incrementally), the frontier degree/offset
+/// arrays shared by every push strategy and the direction heuristic, and the
+/// two-phase output-assembly pools. All buffers only ever grow, so the
+/// steady-state advance loop allocates nothing.
 struct AdvanceWorkspace {
+  // Pull direction: frontier bitmap plus the vertices currently set in it,
+  // so each iteration clears only the previous frontier's bits instead of
+  // wiping all |V|.
   AtomicBitset bitmap;
+  std::vector<std::uint32_t> bitmap_frontier;
+
+  // Per-frontier degree gather, computed once per advance and shared by the
+  // chunk-placement logic of every push strategy, the kAuto dispatch, and
+  // the kOptimal direction heuristic. warp_bases is the exclusive scan of
+  // per-warp degree sums (num_warps + 1 entries) — 32x less scan work than
+  // a per-item scan, and exactly the granularity the warp-chunked kernels
+  // place their scratch slices at. The per-item scan (offsets) is computed
+  // only by the edge-chunked LB advance, which needs per-row edge ranks.
   std::vector<std::uint32_t> degrees;
+  std::vector<std::uint64_t> warp_bases;
   std::vector<std::uint64_t> offsets;
+  std::uint64_t frontier_edges = 0;  ///< sum of frontier degrees (m_f)
+  std::uint32_t max_degree = 0;      ///< max frontier degree
+
+  simt::ChunkedOutput out;                 ///< two-phase assembly pools
+  std::vector<std::uint32_t> lb_starts;    ///< LB sorted-search chunk rows
+  std::vector<std::uint64_t> warp_probes;  ///< pull probe counts per warp
+
   std::size_t prev_frontier_size = 0;
   bool pulling = false;  ///< sticky direction state for kOptimal
+
+  /// Clears cross-enactment state (sticky direction); pooled buffer
+  /// capacity is deliberately retained.
+  void begin_enact() {
+    pulling = false;
+    prev_frontier_size = 0;
+  }
 };
 
 namespace detail {
 
-/// Gathers frontier degrees into ws.degrees; returns (total, max).
-template <typename P>
-std::pair<std::uint64_t, std::uint32_t> gather_degrees(
-    simt::Device& dev, const Csr& g, const std::vector<std::uint32_t>& in,
-    AdvanceWorkspace& ws) {
-  ws.degrees.resize(in.size());
-  std::uint64_t total = 0;
+/// Gathers frontier degrees into ws.degrees, exclusive-scans the per-warp
+/// degree sums into ws.warp_bases, and summarizes totals into
+/// ws.frontier_edges/max_degree. One pass per advance: the caller chain
+/// passes `frontier_prepared = true` downstream once done, so the direction
+/// heuristic, strategy dispatch, and chunk placement all feed from the same
+/// arrays.
+inline void prepare_frontier(simt::Device& dev, const Csr& g,
+                             const std::vector<std::uint32_t>& in,
+                             AdvanceWorkspace& ws) {
+  constexpr unsigned W = simt::CostModel::kWarpSize;
+  const std::size_t n = in.size();
+  const std::size_t num_warps = (n + W - 1) / W;
+  ws.degrees.resize(n);
+  ws.warp_bases.resize(num_warps + 1);
   std::uint32_t max_deg = 0;
-#pragma omp parallel for schedule(static) reduction(+ : total) \
-    reduction(max : max_deg)
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(in.size()); ++i) {
-    const std::uint32_t d = g.degree(in[static_cast<std::size_t>(i)]);
-    ws.degrees[static_cast<std::size_t>(i)] = d;
-    total += d;
-    max_deg = std::max(max_deg, d);
+  auto gather_warp = [&](std::size_t w) {
+    const std::size_t base = w * W;
+    const std::size_t lanes = std::min<std::size_t>(W, n - base);
+    std::uint64_t sum = 0;
+    std::uint32_t wmax = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint32_t d = g.degree(in[base + l]);
+      ws.degrees[base + l] = d;
+      sum += d;
+      wmax = std::max(wmax, d);
+    }
+    ws.warp_bases[w + 1] = sum;  // per-warp sum; scanned below
+    return wmax;
+  };
+  if (num_warps <= simt::Device::kSerialLaunchWarps) {
+    for (std::size_t w = 0; w < num_warps; ++w)
+      max_deg = std::max(max_deg, gather_warp(w));
+  } else {
+#pragma omp parallel for schedule(static) reduction(max : max_deg)
+    for (std::ptrdiff_t w = 0; w < static_cast<std::ptrdiff_t>(num_warps);
+         ++w)
+      max_deg = std::max(max_deg, gather_warp(static_cast<std::size_t>(w)));
   }
-  // Row-offset reads for scattered frontier vertices; a sub-phase of the
-  // LB advance's scan kernel, not a separate launch.
-  dev.charge_pass("gather_degrees", in.size(), simt::CostModel::kScattered,
+  ws.warp_bases[0] = 0;
+  for (std::size_t w = 0; w < num_warps; ++w)
+    ws.warp_bases[w + 1] += ws.warp_bases[w];
+  // Row-offset reads for scattered frontier vertices plus the warp-count
+  // scan; sub-phases of the advance's count/scan kernel, not separate
+  // launches.
+  dev.charge_pass("gather_degrees", n, simt::CostModel::kScattered,
                   /*fused=*/true);
-  return {total, max_deg};
+  dev.charge_pass("count_scan", num_warps, 2 * simt::CostModel::kCoalesced,
+                  /*fused=*/true);
+  ws.frontier_edges = ws.warp_bases[num_warps];
+  ws.max_degree = max_deg;
 }
 
-/// Runs the functor on one edge; appends dst on acceptance. Returns 1 if
-/// the edge was accepted (for atomic-cost accounting).
+/// Runs the functor on one edge; stages dst compactly into the chunk's
+/// scratch slice on acceptance. Returns the updated in-chunk count.
 template <typename F, typename P>
 inline std::uint32_t process_edge(const Csr& g, VertexId src, EdgeId e,
-                                  P& prob,
-                                  std::vector<std::uint32_t>& out_local,
-                                  bool collect) {
+                                  P& prob, std::uint32_t* chunk_scratch,
+                                  std::uint32_t count, bool collect) {
   const VertexId dst = g.col_index(e);
   if (F::cond_edge(src, dst, e, prob)) {
     F::apply_edge(src, dst, e, prob);
-    if (collect) out_local.push_back(dst);
-    return 1;
+    if (collect) chunk_scratch[count] = dst;
+    ++count;
   }
-  return 0;
+  return count;
 }
 
 }  // namespace detail
@@ -142,57 +200,50 @@ AdvanceStats advance_thread_fine(simt::Device& dev, const Csr& g,
                                  const std::vector<std::uint32_t>& in,
                                  std::vector<std::uint32_t>& out, P& prob,
                                  const AdvanceConfig& cfg,
-                                 AdvanceWorkspace& ws) {
+                                 AdvanceWorkspace& ws,
+                                 bool frontier_prepared = false) {
   using CM = simt::CostModel;
-  (void)ws;
   AdvanceStats stats;
   stats.used_strategy = AdvanceStrategy::kThreadFine;
+  if (!frontier_prepared) detail::prepare_frontier(dev, g, in, ws);
   const std::size_t num_warps = (in.size() + CM::kWarpSize - 1) / CM::kWarpSize;
-  PerThread<std::vector<std::uint32_t>> outputs;
-  std::uint64_t edges = 0;
-#pragma omp parallel reduction(+ : edges)
-  {
-    auto& local = outputs.local();
-#pragma omp for schedule(dynamic, 16) nowait
-    for (std::ptrdiff_t wi = 0; wi < static_cast<std::ptrdiff_t>(num_warps);
-         ++wi) {
-      // Cost accounting is folded into one for_each_warp below; here we do
-      // the real work and record per-warp shape (max/sum of lane work).
-      const std::size_t base = static_cast<std::size_t>(wi) * CM::kWarpSize;
-      const std::size_t lanes = std::min<std::size_t>(CM::kWarpSize,
-                                                      in.size() - base);
-      for (std::size_t l = 0; l < lanes; ++l) {
-        const VertexId v = in[base + l];
-        const EdgeId end = g.row_end(v);
-        for (EdgeId e = g.row_start(v); e < end; ++e) {
-          const std::uint32_t accepted =
-              detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
-          (void)accepted;
-          ++edges;
-        }
-      }
-    }
-  }
-  // Charge the SIMT cost: each lane owns one neighbor list; the warp
-  // serializes to its longest (max), idle lanes burn slots; each edge is a
-  // scattered access; non-idempotent ops add an atomic claim per edge.
+  const bool collect = cfg.collect_outputs;
+  ws.out.begin(num_warps, collect ? ws.frontier_edges : 0);
+  // Each lane owns one neighbor list; the warp serializes to its longest
+  // (max), idle lanes burn slots; each edge is a scattered access;
+  // non-idempotent ops add an atomic claim per edge. Work and cost
+  // accounting fused into one warp program.
   const std::uint64_t per_edge =
       CM::kScattered + (cfg.idempotent ? 0 : CM::kAtomic);
   dev.for_each_warp("advance_thread_fine", num_warps, [&](simt::Warp& w) {
     const std::size_t base = w.id() * CM::kWarpSize;
     const std::size_t lanes =
         std::min<std::size_t>(CM::kWarpSize, in.size() - base);
+    std::uint32_t* scratch =
+        collect ? ws.out.scratch.data() + ws.warp_bases[w.id()] : nullptr;
+    std::uint32_t n_out = 0;
     std::uint64_t max_d = 0, sum_d = 0;
     for (std::size_t l = 0; l < lanes; ++l) {
-      const std::uint64_t d = g.degree(in[base + l]);
+      const VertexId v = in[base + l];
+      const std::uint64_t d = ws.degrees[base + l];
       max_d = std::max(max_d, d);
       sum_d += d;
+      const EdgeId end = g.row_end(v);
+      for (EdgeId e = g.row_start(v); e < end; ++e)
+        n_out = detail::process_edge<F>(g, v, e, prob, scratch, n_out,
+                                        collect);
     }
+    ws.out.counts[w.id()] = collect ? n_out : 0;
     w.load_coalesced(static_cast<unsigned>(lanes));  // offset loads
     w.charge(max_d * per_edge, sum_d * per_edge);
   });
-  outputs.drain_into(out);
-  stats.edges_processed = edges;
+  if (collect) {
+    simt::scatter_into(dev, ws.out, num_warps, out,
+                       [&](std::size_t c) { return ws.warp_bases[c]; });
+  } else {
+    out.clear();
+  }
+  stats.edges_processed = ws.frontier_edges;
   stats.outputs = out.size();
   return stats;
 }
@@ -203,36 +254,37 @@ template <typename F, typename P>
 AdvanceStats advance_twc(simt::Device& dev, const Csr& g,
                          const std::vector<std::uint32_t>& in,
                          std::vector<std::uint32_t>& out, P& prob,
-                         const AdvanceConfig& cfg, AdvanceWorkspace& ws) {
+                         const AdvanceConfig& cfg, AdvanceWorkspace& ws,
+                         bool frontier_prepared = false) {
   using CM = simt::CostModel;
-  (void)ws;
   AdvanceStats stats;
   stats.used_strategy = AdvanceStrategy::kTwc;
+  if (!frontier_prepared) detail::prepare_frontier(dev, g, in, ws);
   const std::size_t num_warps = (in.size() + CM::kWarpSize - 1) / CM::kWarpSize;
-  PerThread<std::vector<std::uint32_t>> outputs;
+  const bool collect = cfg.collect_outputs;
+  ws.out.begin(num_warps, collect ? ws.frontier_edges : 0);
   const std::uint64_t atomic_extra = cfg.idempotent ? 0 : CM::kAtomic;
 
   // Real work and cost accounting fused: the warp program does both.
-  std::uint64_t edge_acc = 0;
   dev.for_each_warp("advance_twc", num_warps, [&](simt::Warp& w) {
-    auto& local = outputs.local();
     const std::size_t base = w.id() * CM::kWarpSize;
     const std::size_t lanes =
         std::min<std::size_t>(CM::kWarpSize, in.size() - base);
+    std::uint32_t* scratch =
+        collect ? ws.out.scratch.data() + ws.warp_bases[w.id()] : nullptr;
+    std::uint32_t n_out = 0;
     w.load_coalesced(static_cast<unsigned>(lanes));  // stage offsets
     w.alu(static_cast<unsigned>(lanes));             // size classification
 
-    std::uint64_t warp_edges = 0;
     std::uint64_t small_max = 0, small_sum = 0;
     for (std::size_t l = 0; l < lanes; ++l) {
       const VertexId v = in[base + l];
-      const std::uint32_t d = g.degree(v);
+      const std::uint32_t d = ws.degrees[base + l];
       // Host side: process the list now regardless of class.
       const EdgeId end = g.row_end(v);
-      for (EdgeId e = g.row_start(v); e < end; ++e) {
-        detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
-        ++warp_edges;
-      }
+      for (EdgeId e = g.row_start(v); e < end; ++e)
+        n_out = detail::process_edge<F>(g, v, e, prob, scratch, n_out,
+                                        collect);
       // Device side: charge by class.
       if (d > cfg.twc_cta_threshold) {
         // CTA-cooperative: coalesced, but the whole list streams through a
@@ -256,10 +308,15 @@ AdvanceStats advance_twc(simt::Device& dev, const Csr& g,
     // staged through shared memory, so per-edge cost stays near-coalesced.
     const std::uint64_t per_edge = CM::kCoalesced + atomic_extra;
     w.charge(small_max * per_edge, small_sum * per_edge);
-    simt::atomic_add(edge_acc, warp_edges);
+    ws.out.counts[w.id()] = collect ? n_out : 0;
   });
-  outputs.drain_into(out);
-  stats.edges_processed = edge_acc;
+  if (collect) {
+    simt::scatter_into(dev, ws.out, num_warps, out,
+                       [&](std::size_t c) { return ws.warp_bases[c]; });
+  } else {
+    out.clear();
+  }
+  stats.edges_processed = ws.frontier_edges;
   stats.outputs = out.size();
   return stats;
 }
@@ -271,55 +328,62 @@ AdvanceStats advance_load_balanced(simt::Device& dev, const Csr& g,
                                    const std::vector<std::uint32_t>& in,
                                    std::vector<std::uint32_t>& out, P& prob,
                                    const AdvanceConfig& cfg,
-                                   AdvanceWorkspace& ws) {
+                                   AdvanceWorkspace& ws,
+                                   bool frontier_prepared = false) {
   using CM = simt::CostModel;
   AdvanceStats stats;
   stats.used_strategy = AdvanceStrategy::kLoadBalanced;
-  auto [total_work, max_deg] = detail::gather_degrees<P>(dev, g, in, ws);
-  (void)max_deg;
+  if (!frontier_prepared) detail::prepare_frontier(dev, g, in, ws);
+  const std::uint64_t total_work = ws.frontier_edges;
   if (total_work == 0) {
     out.clear();
     return stats;
   }
-  ws.offsets.resize(in.size() + 1);
-  simt::exclusive_scan(dev, ws.degrees,
-                       std::span(ws.offsets).first(in.size()));
-  ws.offsets[in.size()] = total_work;
 
   const bool over_edges = in.size() >= cfg.lb_node_edge_threshold;
   const std::uint64_t atomic_extra = cfg.idempotent ? 0 : CM::kAtomic;
   const std::uint64_t per_edge = CM::kCoalesced + CM::kAlu + atomic_extra;
-  PerThread<std::vector<std::uint32_t>> outputs;
-  std::uint64_t edges = 0;
+  const bool collect = cfg.collect_outputs;
 
   if (over_edges) {
     // Equal chunks of *edges* per CTA; neighbor lists may split. A sorted
-    // search finds each chunk's first source row (Figure 5).
+    // search over the per-item offset scan (computed here — only the
+    // edge-chunked mapping needs per-row edge ranks) finds each chunk's
+    // first source row (Figure 5).
+    ws.offsets.resize(in.size() + 1);
+    simt::exclusive_scan(dev, ws.degrees,
+                         std::span(ws.offsets).first(in.size()));
+    ws.offsets[in.size()] = total_work;
     const std::uint64_t chunk = CM::kCtaSize;
-    const auto starts =
-        simt::sorted_search_chunks(dev, ws.offsets, chunk);
-    const std::size_t num_chunks = starts.size();
-    std::uint64_t edge_acc = 0;
+    simt::sorted_search_chunks(dev, ws.offsets, chunk, ws.lb_starts);
+    const std::size_t num_chunks = ws.lb_starts.size();
+    ws.out.begin(num_chunks, collect ? total_work : 0);
     dev.for_each_warp("advance_lb_edges", num_chunks, [&](simt::Warp& w) {
-      auto& local = outputs.local();
       const std::uint64_t lo = w.id() * chunk;
       const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, total_work);
-      std::uint32_t row = starts[w.id()];
+      std::uint32_t row = ws.lb_starts[w.id()];
+      std::uint32_t* scratch =
+          collect ? ws.out.scratch.data() + lo : nullptr;
+      std::uint32_t n_out = 0;
       // Binary search charged inside sorted_search_chunks; per-row rank
       // recovery is a few ALU ops.
-      std::uint64_t count = 0;
       for (std::uint64_t k = lo; k < hi; ++k) {
         while (ws.offsets[row + 1] <= k) ++row;  // advance to owning row
         const VertexId src = in[row];
         const EdgeId e = g.row_start(src) + (k - ws.offsets[row]);
-        detail::process_edge<F>(g, src, e, prob, local, cfg.collect_outputs);
-        ++count;
+        n_out = detail::process_edge<F>(g, src, e, prob, scratch, n_out,
+                                        collect);
       }
-      w.bulk(count, per_edge);
+      w.bulk(hi - lo, per_edge);
       w.alu();  // chunk setup
-      simt::atomic_add(edge_acc, count);
+      ws.out.counts[w.id()] = collect ? n_out : 0;
     });
-    edges = edge_acc;
+    if (collect) {
+      simt::scatter_into(dev, ws.out, num_chunks, out,
+                         [&](std::size_t c) { return c * chunk; });
+    } else {
+      out.clear();
+    }
   } else {
     // Equal chunks of *nodes* per CTA: all lists of a chunk processed
     // cooperatively. Balanced within a chunk; imbalance across chunks shows
@@ -328,32 +392,36 @@ AdvanceStats advance_load_balanced(simt::Device& dev, const Csr& g,
     const std::size_t chunk_nodes = CM::kWarpSize;
     const std::size_t num_chunks =
         (in.size() + chunk_nodes - 1) / chunk_nodes;
-    std::uint64_t edge_acc = 0;
+    ws.out.begin(num_chunks, collect ? total_work : 0);
     dev.for_each_warp("advance_lb_nodes", num_chunks, [&](simt::Warp& w) {
-      auto& local = outputs.local();
       const std::size_t base = w.id() * chunk_nodes;
       const std::size_t n_here =
           std::min(chunk_nodes, in.size() - base);
+      // chunk_nodes == kWarpSize, so warp_bases is exactly this chunking.
+      std::uint32_t* scratch =
+          collect ? ws.out.scratch.data() + ws.warp_bases[w.id()] : nullptr;
+      std::uint32_t n_out = 0;
       std::uint64_t count = 0;
       for (std::size_t l = 0; l < n_here; ++l) {
         const VertexId v = in[base + l];
         const EdgeId end = g.row_end(v);
-        for (EdgeId e = g.row_start(v); e < end; ++e) {
-          detail::process_edge<F>(g, v, e, prob, local, cfg.collect_outputs);
-          ++count;
-        }
+        count += end - g.row_start(v);
+        for (EdgeId e = g.row_start(v); e < end; ++e)
+          n_out = detail::process_edge<F>(g, v, e, prob, scratch, n_out,
+                                          collect);
       }
       w.load_coalesced(static_cast<unsigned>(n_here));
       w.bulk(count, per_edge);
-      simt::atomic_add(edge_acc, count);
+      ws.out.counts[w.id()] = collect ? n_out : 0;
     });
-    edges = edge_acc;
+    if (collect) {
+      simt::scatter_into(dev, ws.out, num_chunks, out,
+                         [&](std::size_t c) { return ws.warp_bases[c]; });
+    } else {
+      out.clear();
+    }
   }
-  outputs.drain_into(out);
-  // Output assembly: warp-aggregated queue appends inside the kernel.
-  dev.charge_pass("advance_scatter", out.size(), 2 * CM::kCoalesced,
-                  /*fused=*/true);
-  stats.edges_processed = edges;
+  stats.edges_processed = total_work;
   stats.outputs = out.size();
   return stats;
 }
@@ -371,15 +439,35 @@ AdvanceStats advance_pull(simt::Device& dev, const Csr& g,
   stats.used_pull = true;
   stats.used_strategy = AdvanceStrategy::kLoadBalanced;
 
-  if (ws.bitmap.size() != g.num_vertices()) ws.bitmap.resize(g.num_vertices());
-  ws.bitmap.clear();
-  for (std::uint32_t v : in) ws.bitmap.set(v);
-  dev.charge_pass("frontier_bitmap", in.size(), CM::kScattered);
+  // Incremental bitmap maintenance: clear only the bits set by the previous
+  // frontier (tracked in ws.bitmap_frontier) instead of wiping all |V| words,
+  // then set the current frontier's bits. Single writer, so the bit ops are
+  // plain load/or/store — no locked RMWs.
+  if (ws.bitmap.size() != g.num_vertices()) {
+    ws.bitmap.resize(g.num_vertices());  // fresh bitmaps come zeroed
+    ws.bitmap_frontier.clear();
+  }
+  for (std::uint32_t v : ws.bitmap_frontier) ws.bitmap.reset_unsync(v);
+  const std::size_t stale = ws.bitmap_frontier.size();
+  for (std::uint32_t v : in) ws.bitmap.set_unsync(v);
+  ws.bitmap_frontier.assign(in.begin(), in.end());
+  dev.charge_pass("frontier_bitmap", stale + in.size(), CM::kScattered);
 
-  PerThread<std::vector<std::uint32_t>> outputs;
-  std::uint64_t probes_acc = 0;
+  // Each unvisited vertex emits at most itself: stage per-warp compactly at
+  // the warp's base slot, then scan+scatter (deterministic vertex order).
+  // Probe counts accumulate per warp — a warp reduction on a real GPU —
+  // instead of hammering one cache line with per-lane atomics.
+  const std::size_t num_warps =
+      (g.num_vertices() + CM::kWarpSize - 1) / CM::kWarpSize;
+  ws.out.begin(num_warps, g.num_vertices());
+  if (ws.warp_probes.size() < num_warps) ws.warp_probes.resize(num_warps);
   dev.for_each("advance_pull", g.num_vertices(), [&](simt::Lane& lane,
                                                      std::size_t vi) {
+    const std::size_t warp = vi / CM::kWarpSize;
+    if (vi % CM::kWarpSize == 0) {
+      ws.out.counts[warp] = 0;
+      ws.warp_probes[warp] = 0;
+    }
     const auto v = static_cast<VertexId>(vi);
     lane.load_coalesced();  // visited-status read
     if (!F::is_unvisited(v, prob)) return;
@@ -392,15 +480,18 @@ AdvanceStats advance_pull(simt::Device& dev, const Csr& g,
       // u is in the frontier: pull the value across edge (u -> v).
       if (F::cond_edge(u, v, e, prob)) {
         F::apply_edge(u, v, e, prob);
-        outputs.local().push_back(v);
+        ws.out.scratch[warp * CM::kWarpSize + ws.out.counts[warp]++] = v;
       }
       break;  // Beamer: first valid parent suffices
     }
     lane.charge(probes * CM::kCoalesced);  // sequential list + bitmap reads
-    simt::atomic_add(probes_acc, probes);
+    ws.warp_probes[warp] += probes;
   });
-  outputs.drain_into(out);
-  dev.charge_pass("advance_scatter", out.size(), 2 * CM::kCoalesced);
+  simt::scatter_into(dev, ws.out, num_warps, out, [](std::size_t c) {
+    return c * CM::kWarpSize;
+  });
+  std::uint64_t probes_acc = 0;
+  for (std::size_t w = 0; w < num_warps; ++w) probes_acc += ws.warp_probes[w];
   stats.edges_processed = probes_acc;
   stats.outputs = out.size();
   return stats;
@@ -412,31 +503,35 @@ template <typename F, typename P>
 AdvanceStats advance_push(simt::Device& dev, const Csr& g,
                           const std::vector<std::uint32_t>& in,
                           std::vector<std::uint32_t>& out, P& prob,
-                          const AdvanceConfig& cfg, AdvanceWorkspace& ws) {
+                          const AdvanceConfig& cfg, AdvanceWorkspace& ws,
+                          bool frontier_prepared = false) {
+  if (!frontier_prepared) {
+    detail::prepare_frontier(dev, g, in, ws);
+    frontier_prepared = true;
+  }
   AdvanceStrategy s = cfg.strategy;
   if (s == AdvanceStrategy::kAuto) {
     // Hybrid heuristic (Section 4.4): skewed frontiers -> LB partitioning;
     // evenly-distributed small degrees -> fine-grained dynamic grouping.
-    std::uint32_t max_deg = 0;
-    std::uint64_t total = 0;
-    const std::size_t sample = std::min<std::size_t>(in.size(), 1024);
-    for (std::size_t i = 0; i < sample; ++i) {
-      const std::uint32_t d = g.degree(in[i]);
-      max_deg = std::max(max_deg, d);
-      total += d;
-    }
-    const double avg = sample ? static_cast<double>(total) / sample : 0.0;
-    s = (max_deg > 16 * std::max(1.0, avg) || max_deg > 256)
+    // Fed by the shared degree gather: exact max/avg, no sampling pass.
+    const double avg =
+        in.empty() ? 0.0
+                   : static_cast<double>(ws.frontier_edges) /
+                         static_cast<double>(in.size());
+    s = (ws.max_degree > 16 * std::max(1.0, avg) || ws.max_degree > 256)
             ? AdvanceStrategy::kLoadBalanced
             : AdvanceStrategy::kTwc;
   }
   switch (s) {
     case AdvanceStrategy::kThreadFine:
-      return advance_thread_fine<F>(dev, g, in, out, prob, cfg, ws);
+      return advance_thread_fine<F>(dev, g, in, out, prob, cfg, ws,
+                                    frontier_prepared);
     case AdvanceStrategy::kTwc:
-      return advance_twc<F>(dev, g, in, out, prob, cfg, ws);
+      return advance_twc<F>(dev, g, in, out, prob, cfg, ws,
+                            frontier_prepared);
     default:
-      return advance_load_balanced<F>(dev, g, in, out, prob, cfg, ws);
+      return advance_load_balanced<F>(dev, g, in, out, prob, cfg, ws,
+                                      frontier_prepared);
   }
 }
 
@@ -452,20 +547,33 @@ AdvanceStats advance(simt::Device& dev, const Csr& g, const Frontier& in,
   out.clear();
   AdvanceStats stats;
   Direction dir = cfg.direction;
+  bool prepared = false;
+  if (dir == Direction::kPush) {
+    // One degree gather serves the kAuto dispatch and the push strategies'
+    // chunk placement.
+    detail::prepare_frontier(dev, g, in.items(), ws);
+    prepared = true;
+  }
   if (dir == Direction::kOptimal) {
     if constexpr (PullableFunctor<F, P>) {
-      std::uint64_t m_f = 0;
-      for (std::uint32_t v : in.items()) m_f += g.degree(v);
-      const double alpha_cut =
-          static_cast<double>(g.num_edges()) / cfg.pull_alpha;
       const double beta_cut =
           static_cast<double>(g.num_vertices()) / cfg.pull_beta;
-      if (!ws.pulling && static_cast<double>(m_f) > alpha_cut)
-        ws.pulling = true;
-      else if (ws.pulling &&
-               static_cast<double>(in.size()) < beta_cut &&
-               in.size() < ws.prev_frontier_size)
+      if (!ws.pulling) {
+        // The push->pull switch needs m_f; push is the likely outcome, so
+        // run the full gather now and reuse it for the push strategies —
+        // at most one gather is wasted per direction flip. The pull->push
+        // exit below uses only frontier sizes, so sticky-pull iterations
+        // (the big frontiers) never sweep degrees at all.
+        detail::prepare_frontier(dev, g, in.items(), ws);
+        prepared = true;
+        const double alpha_cut =
+            static_cast<double>(g.num_edges()) / cfg.pull_alpha;
+        if (static_cast<double>(ws.frontier_edges) > alpha_cut)
+          ws.pulling = true;
+      } else if (static_cast<double>(in.size()) < beta_cut &&
+                 in.size() < ws.prev_frontier_size) {
         ws.pulling = false;
+      }
       dir = ws.pulling ? Direction::kPull : Direction::kPush;
     } else {
       dir = Direction::kPush;
@@ -478,7 +586,8 @@ AdvanceStats advance(simt::Device& dev, const Csr& g, const Frontier& in,
       GRX_CHECK_MSG(false, "functor does not support pull traversal");
     }
   } else {
-    stats = advance_push<F>(dev, g, in.items(), out.items(), prob, cfg, ws);
+    stats = advance_push<F>(dev, g, in.items(), out.items(), prob, cfg, ws,
+                            prepared);
   }
   ws.prev_frontier_size = in.size();
   return stats;

@@ -55,6 +55,18 @@ class EnactorBase {
   static constexpr std::uint32_t kMaxIterations = 100000;
 
  protected:
+  /// Resets per-enactment state: device counters, the advance workspace's
+  /// sticky direction, and the filter history generation (so entries from a
+  /// previous enact() on this enactor can never cull vertices from a fresh
+  /// traversal). Pooled buffer capacity is deliberately retained — that is
+  /// what makes the steady-state advance/filter loop allocation-free.
+  void begin_enact() {
+    dev_.reset();
+    log_.clear();
+    advance_ws_.begin_enact();
+    filter_ws_.new_generation();
+  }
+
   void record(IterationStats s) {
     s.iteration = static_cast<std::uint32_t>(log_.size());
     log_.push_back(s);
@@ -75,6 +87,9 @@ class EnactorBase {
   simt::Device& dev_;
   Frontier in_{FrontierKind::kVertex};
   Frontier out_{FrontierKind::kVertex};
+  /// Post-filter staging frontier, pooled across iterations so the BSP loop
+  /// never constructs (and so never allocates) a fresh frontier.
+  Frontier filtered_{FrontierKind::kVertex};
   AdvanceWorkspace advance_ws_;
   FilterWorkspace filter_ws_;
   std::vector<IterationStats> log_;

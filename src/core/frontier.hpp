@@ -41,8 +41,13 @@ class Frontier {
 
   void assign(std::vector<std::uint32_t> ids) { items_ = std::move(ids); }
 
+  /// Swaps items only. Double-buffered frontiers in an enactor must never
+  /// trade kinds — a vertex frontier silently becoming an edge frontier (or
+  /// vice versa) corrupts every downstream operator — so mismatched kinds
+  /// are a contract violation.
   void swap(Frontier& other) {
-    std::swap(kind_, other.kind_);
+    GRX_CHECK_MSG(kind_ == other.kind_,
+                  "swapping frontiers of different kinds");
     items_.swap(other.items_);
   }
 

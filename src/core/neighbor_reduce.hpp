@@ -22,7 +22,10 @@
 namespace grx {
 
 /// Result values are written to out[i] for frontier item i (dense, aligned
-/// with the input frontier order).
+/// with the input frontier order; prior contents are destroyed). `out`'s
+/// capacity is retained across calls, so callers that keep it alive across
+/// BSP iterations (as the primitives do) pay no steady-state allocations —
+/// the same pooling discipline as the advance and filter workspaces.
 ///
 /// `map(src, dst, e, prob) -> T`; `reduce(T, T) -> T`.
 template <typename T, typename P, typename MapFn, typename ReduceFn>

@@ -11,7 +11,6 @@
 
 #include "simt/device.hpp"
 #include "simt/primitives.hpp"
-#include "util/per_thread.hpp"
 
 namespace grx {
 
@@ -21,34 +20,61 @@ struct PriorityQueueStats {
   std::uint64_t far_total = 0;
 };
 
-/// Splits `items` by `is_near(item)`: near items to `near`, rest appended
-/// to `far`. Charged as a scan + two scatters (a GPU split-compaction).
+/// Pooled staging for split_near_far — owned by the enactor so the
+/// re-split loop allocates nothing in steady state.
+struct SplitWorkspace {
+  simt::ChunkedOutput near_stage;
+  simt::ChunkedOutput far_stage;
+};
+
+/// Splits `items` by `is_near(item)`: near items to `near` (replaced), the
+/// rest appended to `far`. Two-phase assembly like advance/filter: each
+/// warp stages its near/far picks compactly, a scan places the slices, so
+/// both piles preserve input order regardless of thread count. Charged as a
+/// scan + two scatters (a GPU split-compaction).
+template <typename Fn>
+void split_near_far(simt::Device& dev, const std::vector<std::uint32_t>& items,
+                    std::vector<std::uint32_t>& near,
+                    std::vector<std::uint32_t>& far, Fn&& is_near,
+                    SplitWorkspace& ws,
+                    PriorityQueueStats* stats = nullptr) {
+  constexpr std::size_t kWarp = simt::CostModel::kWarpSize;
+  const std::size_t num_warps = (items.size() + kWarp - 1) / kWarp;
+  ws.near_stage.begin(num_warps, num_warps * kWarp);
+  ws.far_stage.begin(num_warps, num_warps * kWarp);
+  dev.for_each("pq_split", items.size(), [&](simt::Lane& lane,
+                                             std::size_t i) {
+    const std::size_t warp = i / kWarp;
+    if (i % kWarp == 0) {
+      ws.near_stage.counts[warp] = 0;
+      ws.far_stage.counts[warp] = 0;
+    }
+    lane.load_coalesced();
+    lane.alu();
+    const std::uint32_t v = items[i];
+    auto& stage = is_near(v) ? ws.near_stage : ws.far_stage;
+    stage.scratch[warp * kWarp + stage.counts[warp]++] = v;
+  });
+  simt::scatter_into(dev, ws.near_stage, num_warps, near,
+                     [](std::size_t c) { return c * kWarp; });
+  simt::scatter_into(dev, ws.far_stage, num_warps, far,
+                     [](std::size_t c) { return c * kWarp; },
+                     /*keep_prefix=*/far.size());
+  if (stats) {
+    stats->splits++;
+    stats->near_total += near.size();
+  }
+}
+
+/// Convenience overload with a one-shot workspace, for callers off the
+/// steady-state path.
 template <typename Fn>
 void split_near_far(simt::Device& dev, const std::vector<std::uint32_t>& items,
                     std::vector<std::uint32_t>& near,
                     std::vector<std::uint32_t>& far, Fn&& is_near,
                     PriorityQueueStats* stats = nullptr) {
-  near.clear();
-  PerThread<std::vector<std::uint32_t>> near_buf, far_buf;
-  dev.for_each("pq_split", items.size(), [&](simt::Lane& lane,
-                                             std::size_t i) {
-    lane.load_coalesced();
-    lane.alu();
-    const std::uint32_t v = items[i];
-    if (is_near(v)) {
-      near_buf.local().push_back(v);
-    } else {
-      far_buf.local().push_back(v);
-    }
-  });
-  dev.charge_pass("pq_scatter", items.size(),
-                  3 * simt::CostModel::kCoalesced);
-  near_buf.drain_into(near);
-  far_buf.drain_into(far);
-  if (stats) {
-    stats->splits++;
-    stats->near_total += near.size();
-  }
+  SplitWorkspace ws;
+  split_near_far(dev, items, near, far, std::forward<Fn>(is_near), ws, stats);
 }
 
 }  // namespace grx

@@ -59,7 +59,7 @@ class BcEnactor : public EnactorBase {
   BcResult enact(const Csr& g, VertexId source, const BcOptions& opts) {
     GRX_CHECK_MSG(source < g.num_vertices(), "BC source out of range");
     Timer wall;
-    dev_.reset();
+    begin_enact();
 
     BcProblem p;
     p.depth.assign(g.num_vertices(), kInfinity);
@@ -85,11 +85,10 @@ class BcEnactor : public EnactorBase {
       const AdvanceStats a =
           advance<ForwardFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
       edges += a.edges_processed;
-      Frontier filtered(FrontierKind::kVertex);
-      filter_vertices<ForwardFunctor>(dev_, out_.items(), filtered.items(),
+      filter_vertices<ForwardFunctor>(dev_, out_.items(), filtered_.items(),
                                       p, fcfg, filter_ws_);
-      record({0, in_.size(), filtered.size(), a.edges_processed, false});
-      in_.swap(filtered);
+      record({0, in_.size(), filtered_.size(), a.edges_processed, false});
+      in_.swap(filtered_);
       p.iteration++;
     }
 
@@ -101,7 +100,7 @@ class BcEnactor : public EnactorBase {
     for (std::size_t li = levels.size(); li-- > 0;) {
       p.iteration = static_cast<std::uint32_t>(li);
       Frontier level(FrontierKind::kVertex);
-      level.assign(levels[li]);
+      level.assign(std::move(levels[li]));
       const AdvanceStats a = advance<BackwardFunctor>(dev_, g, level, out_,
                                                       p, bcfg, advance_ws_);
       edges += a.edges_processed;

@@ -57,7 +57,7 @@ class BfsEnactor : public EnactorBase {
   BfsResult enact(const Csr& g, VertexId source, const BfsOptions& opts) {
     GRX_CHECK_MSG(source < g.num_vertices(), "BFS source out of range");
     Timer wall;
-    dev_.reset();
+    begin_enact();
 
     BfsProblem p;
     p.depth.assign(g.num_vertices(), kInfinity);
@@ -78,6 +78,13 @@ class BfsEnactor : public EnactorBase {
     acfg.pull_beta = opts.pull_beta;
     FilterConfig fcfg;
     fcfg.dedup_heuristic = opts.idempotent;
+    // Clamp the history table to cover |V| when the graph is small: same
+    // memory ceiling as Gunrock's 64K default, but slot v holds exactly v,
+    // so the only duplicates that survive are concurrent racers (the cull
+    // stays best-effort under parallelism, per the paper).
+    while (fcfg.history_bits > 1 &&
+           (1u << (fcfg.history_bits - 1)) >= g.num_vertices())
+      --fcfg.history_bits;
 
     in_.assign_single(source);
     std::uint64_t edges = 0;
@@ -91,18 +98,17 @@ class BfsEnactor : public EnactorBase {
         a = advance<AtomicFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
       }
       edges += a.edges_processed;
-      Frontier filtered(FrontierKind::kVertex);
       if (opts.idempotent) {
         filter_vertices<IdempotentFunctor>(dev_, out_.items(),
-                                           filtered.items(), p, fcfg,
+                                           filtered_.items(), p, fcfg,
                                            filter_ws_);
       } else {
-        filter_vertices<AtomicFunctor>(dev_, out_.items(), filtered.items(),
+        filter_vertices<AtomicFunctor>(dev_, out_.items(), filtered_.items(),
                                        p, fcfg, filter_ws_);
       }
-      record({0, in_.size(), filtered.size(), a.edges_processed,
+      record({0, in_.size(), filtered_.size(), a.edges_processed,
               a.used_pull});
-      in_.swap(filtered);
+      in_.swap(filtered_);
       p.iteration++;
     }
 

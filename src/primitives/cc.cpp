@@ -56,7 +56,7 @@ class CcEnactor : public EnactorBase {
 
   CcResult enact(const Csr& g) {
     Timer wall;
-    dev_.reset();
+    begin_enact();
 
     CcProblem p;
     p.g = &g;
@@ -74,22 +74,22 @@ class CcEnactor : public EnactorBase {
     std::vector<std::uint32_t> edge_frontier(p.edge_src.size());
     std::iota(edge_frontier.begin(), edge_frontier.end(), 0u);
     std::vector<std::uint32_t> next_edges;
+    std::vector<std::uint32_t> vf, nvf;  // pointer-jump frontiers, pooled
 
     // Outer loop: hook until no label moves, then fully compress.
     // Both phases run on shrinking frontiers, per Figure 6.
     while (true) {
       GRX_CHECK(log_.size() < kMaxIterations);
       p.changed = 0;
-      const FilterStats hs =
-          filter_edges<HookFunctor>(dev_, edge_frontier, next_edges, p);
+      const FilterStats hs = filter_edges<HookFunctor>(
+          dev_, edge_frontier, next_edges, p, filter_ws_);
       work += hs.inputs;
       edge_frontier.swap(next_edges);
       record({0, hs.inputs, hs.outputs, hs.inputs, false});
 
       // Pointer-jumping rounds (vertex filter) until all labels are roots.
-      std::vector<std::uint32_t> vf(g.num_vertices());
+      vf.resize(g.num_vertices());
       std::iota(vf.begin(), vf.end(), 0u);
-      std::vector<std::uint32_t> nvf;
       while (!vf.empty()) {
         const FilterStats js = filter_vertices<JumpFunctor>(
             dev_, vf, nvf, p, FilterConfig{}, filter_ws_);

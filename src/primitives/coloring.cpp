@@ -41,6 +41,7 @@ ColoringResult gunrock_coloring(simt::Device& dev, const Csr& g,
   Frontier frontier;
   frontier.assign_iota(n);
   FilterWorkspace fws;
+  Frontier next;  // filter staging, pooled across rounds
   std::uint64_t edges = 0;
   std::vector<IterationStats> log;
 
@@ -95,7 +96,6 @@ ColoringResult gunrock_coloring(simt::Device& dev, const Csr& g,
     edges += edge_acc;
 
     // 3. Filter the still-uncolored into the next round.
-    Frontier next;
     const FilterStats fs = filter_vertices<UncoloredFunctor>(
         dev, frontier.items(), next.items(), p, FilterConfig{}, fws);
     log.push_back(IterationStats{p.round, fs.inputs, fs.outputs, edge_acc,

@@ -39,26 +39,29 @@ HitsResult gunrock_hits(simt::Device& dev, const Csr& g, const Csr& gT,
   Frontier all;
   all.assign_iota(g.num_vertices());
   std::uint64_t edges = 0;
+  std::vector<double> scratch;  // gather-reduce staging, pooled
 
   std::vector<IterationStats> log;
   for (std::uint32_t it = 0; it < opts.iterations; ++it) {
     // auth(v) = sum over in-edges (u -> v) of hub(u): a gather-reduce over
     // the transpose's neighborhoods.
-    std::vector<double> new_auth = neighbor_sum(
-        dev, gT, all, p,
+    neighbor_reduce<double>(
+        dev, gT, all, scratch, p, 0.0,
         [&](VertexId, VertexId u, EdgeId, HitsProblem& prob) {
           return prob.hub[u];
-        });
-    p.auth = std::move(new_auth);
+        },
+        [](double a, double b) { return a + b; });
+    p.auth.swap(scratch);
     l2_normalize(dev, p.auth);
 
     // hub(v) = sum over out-edges (v -> u) of auth(u).
-    std::vector<double> new_hub = neighbor_sum(
-        dev, g, all, p,
+    neighbor_reduce<double>(
+        dev, g, all, scratch, p, 0.0,
         [&](VertexId, VertexId u, EdgeId, HitsProblem& prob) {
           return prob.auth[u];
-        });
-    p.hub = std::move(new_hub);
+        },
+        [](double a, double b) { return a + b; });
+    p.hub.swap(scratch);
     l2_normalize(dev, p.hub);
 
     edges += g.num_edges() + gT.num_edges();

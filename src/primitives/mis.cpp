@@ -44,6 +44,8 @@ MisResult gunrock_mis(simt::Device& dev, const Csr& g, std::uint64_t seed) {
   Frontier frontier;
   frontier.assign_iota(n);
   FilterWorkspace fws;
+  Frontier next;                      // filter staging, pooled across rounds
+  std::vector<std::uint64_t> nbr_max; // gather-reduce output, pooled
   std::uint64_t edges = 0;
   std::vector<IterationStats> log;
 
@@ -57,7 +59,6 @@ MisResult gunrock_mis(simt::Device& dev, const Csr& g, std::uint64_t seed) {
     });
 
     // 2. Gather-reduce: the max priority among undecided neighbors.
-    std::vector<std::uint64_t> nbr_max;
     neighbor_reduce<std::uint64_t>(
         dev, g, frontier, nbr_max, p, 0,
         [](VertexId, VertexId u, EdgeId, MisProblem& prob) {
@@ -93,7 +94,6 @@ MisResult gunrock_mis(simt::Device& dev, const Csr& g, std::uint64_t seed) {
                  });
 
     // 5. Filter undecided survivors into the next round's frontier.
-    Frontier next;
     const FilterStats fs = filter_vertices<UndecidedFunctor>(
         dev, frontier.items(), next.items(), p, FilterConfig{}, fws);
     log.push_back(IterationStats{p.round, fs.inputs, fs.outputs, 0, false});

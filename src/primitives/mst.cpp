@@ -73,6 +73,8 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
 
   std::vector<std::uint32_t> frontier(p.esrc.size());
   std::iota(frontier.begin(), frontier.end(), 0u);
+  std::vector<std::uint32_t> next;  // filter staging, pooled
+  FilterWorkspace fws;
   std::vector<std::uint8_t> in_mst(p.esrc.size(), 0);
   std::vector<VertexId> partner(n, kInvalidVertex);
   std::uint64_t work = 0;
@@ -155,12 +157,11 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
     dev.charge_pass("mst_reset", n, CM::kCoalesced);
 
     // 4. Filter the edge frontier down to still-cross-component edges.
-    std::vector<std::uint32_t> next;
     const FilterStats fs =
-        filter_edges<CrossComponentFunctor>(dev, frontier, next, p);
+        filter_edges<CrossComponentFunctor>(dev, frontier, next, p, fws);
     log.push_back(
         IterationStats{round, fs.inputs, fs.outputs, fs.inputs, false});
-    frontier = std::move(next);
+    frontier.swap(next);
     ++round;
   }
 

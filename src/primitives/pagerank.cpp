@@ -47,7 +47,7 @@ class PrEnactor : public EnactorBase {
 
   PagerankResult enact(const Csr& g, const PagerankOptions& opts) {
     Timer wall;
-    dev_.reset();
+    begin_enact();
     const auto n = g.num_vertices();
     GRX_CHECK(n > 0);
 
@@ -95,11 +95,10 @@ class PrEnactor : public EnactorBase {
         prob.rank[v] = next;
       });
 
-      Frontier pruned(FrontierKind::kVertex);
-      filter_vertices<DistributeFunctor>(dev_, in_.items(), pruned.items(),
+      filter_vertices<DistributeFunctor>(dev_, in_.items(), filtered_.items(),
                                          p, fcfg, filter_ws_);
-      record({0, in_.size(), pruned.size(), a.edges_processed, false});
-      if (opts.epsilon > 0.0) in_.swap(pruned);
+      record({0, in_.size(), filtered_.size(), a.edges_processed, false});
+      if (opts.epsilon > 0.0) in_.swap(filtered_);
       ++iter;
     }
 

@@ -52,7 +52,7 @@ class SsspEnactor : public EnactorBase {
     GRX_CHECK_MSG(source < g.num_vertices(), "SSSP source out of range");
     GRX_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
     Timer wall;
-    dev_.reset();
+    begin_enact();
 
     SsspProblem p;
     p.g = &g;
@@ -89,6 +89,7 @@ class SsspEnactor : public EnactorBase {
 
     in_.assign_single(source);
     std::vector<std::uint32_t> far;       // deferred pile
+    std::vector<std::uint32_t> still_far; // re-split staging, pooled
     std::uint64_t cutoff = delta ? delta : 0;
     std::uint64_t edges = 0;
 
@@ -97,7 +98,6 @@ class SsspEnactor : public EnactorBase {
       if (in_.empty()) {
         // Near pile exhausted: advance the priority level and re-split the
         // far pile (Section 4.5, two-level priority queue).
-        std::vector<std::uint32_t> still_far;
         while (in_.empty() && !far.empty()) {
           cutoff += delta;
           split_near_far(
@@ -105,7 +105,8 @@ class SsspEnactor : public EnactorBase {
               [&](std::uint32_t v) {
                 return static_cast<std::uint64_t>(
                            simt::atomic_load(p.dist[v])) < cutoff;
-              });
+              },
+              split_ws_);
           far.swap(still_far);
           still_far.clear();
         }
@@ -117,19 +118,18 @@ class SsspEnactor : public EnactorBase {
       edges += a.edges_processed;
       p.iteration++;
 
-      Frontier updated(FrontierKind::kVertex);
-      filter_vertices<RelaxFunctor>(dev_, out_.items(), updated.items(), p,
+      filter_vertices<RelaxFunctor>(dev_, out_.items(), filtered_.items(), p,
                                     fcfg, filter_ws_);
 
       if (opts.use_priority_queue && delta > 0) {
-        in_.clear();
-        split_near_far(dev_, updated.items(), in_.items(), far,
+        split_near_far(dev_, filtered_.items(), in_.items(), far,
                        [&](std::uint32_t v) {
                          return static_cast<std::uint64_t>(
                                     simt::atomic_load(p.dist[v])) < cutoff;
-                       });
+                       },
+                       split_ws_);
       } else {
-        in_.swap(updated);
+        in_.swap(filtered_);
       }
       record({0, in_.size(), out_.size(), a.edges_processed, false});
     }
@@ -140,6 +140,9 @@ class SsspEnactor : public EnactorBase {
     out.summary = finish(edges, wall.elapsed_ms());
     return out;
   }
+
+ private:
+  SplitWorkspace split_ws_;  // near/far re-split staging, pooled
 };
 
 }  // namespace

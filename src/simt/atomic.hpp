@@ -47,6 +47,13 @@ T atomic_cas(T& target, T expected, T desired) {
   return expected;  // compare_exchange updates `expected` to the old value.
 }
 
+/// atomicExch(addr, value): returns the previous value.
+template <typename T>
+T atomic_exchange(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  return ref.exchange(value, std::memory_order_relaxed);
+}
+
 template <typename T>
 T atomic_load(const T& target) {
   std::atomic_ref<const T> ref(target);

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "simt/cost_model.hpp"
@@ -112,20 +113,39 @@ class Device {
   void set_profiling(bool on) { profiling_ = on; }
   const std::vector<KernelStats>& kernel_log() const { return log_; }
 
+  /// Below this many warps a kernel runs on the calling thread: entering an
+  /// OpenMP parallel region costs a fixed ~0.3-1us, which dwarfs the work of
+  /// a tiny launch (the host-side analog of a latency-bound GPU launch).
+  /// High-diameter graphs issue hundreds of such tiny launches per run.
+  static constexpr std::size_t kSerialLaunchWarps = 32;
+
+  /// Serial-vs-OpenMP dispatch for reduction-free host-side chunk loops
+  /// (output scatters and similar library passes) sharing the same
+  /// threshold as kernel launches. Loops needing OpenMP reductions (the
+  /// cost-accounting launch below, the degree gather) stay hand-written —
+  /// reduction clauses cannot be abstracted over a callable.
+  template <typename Fn>
+  static void parallel_chunks(std::size_t n, Fn&& fn) {
+    if (n <= kSerialLaunchWarps) {
+      for (std::size_t c = 0; c < n; ++c) fn(c);
+    } else {
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(n); ++c)
+        fn(static_cast<std::size_t>(c));
+    }
+  }
+
   /// Launch a kernel of `n` logical threads, one work item per lane, warps
   /// formed from 32 consecutive items. `fn(Lane&, std::size_t i)`.
   template <typename Fn>
   void for_each(const char* name, std::size_t n, Fn&& fn) {
     constexpr unsigned W = CostModel::kWarpSize;
     const std::size_t num_warps = (n + W - 1) / W;
-    std::uint64_t total = 0, active = 0, crit = 0;
-#pragma omp parallel for schedule(dynamic, 64) \
-    reduction(+ : total, active) reduction(max : crit)
-    for (std::ptrdiff_t w = 0; w < static_cast<std::ptrdiff_t>(num_warps); ++w) {
-      std::uint64_t warp_max = 0, warp_sum = 0;
-      const std::size_t base = static_cast<std::size_t>(w) * W;
+    launch(name, num_warps, /*omp_chunk=*/64, [&](std::size_t w) {
+      const std::size_t base = w * W;
       const unsigned lanes =
           static_cast<unsigned>(std::min<std::size_t>(W, n - base));
+      std::uint64_t warp_max = 0, warp_sum = 0;
       for (unsigned l = 0; l < lanes; ++l) {
         Lane lane;
         fn(lane, base + l);
@@ -134,11 +154,8 @@ class Device {
         warp_max = std::max(warp_max, c);
         warp_sum += c;
       }
-      total += warp_max;
-      active += warp_sum;
-      crit = std::max(crit, warp_max);
-    }
-    finish_kernel(name, num_warps, total, crit, active);
+      return std::pair{warp_max, warp_sum};
+    });
   }
 
   /// Launch `num_warps` warp-programs; the engine maps work onto lanes
@@ -146,17 +163,11 @@ class Device {
   /// assignment is not one-item-per-lane.
   template <typename Fn>
   void for_each_warp(const char* name, std::size_t num_warps, Fn&& fn) {
-    std::uint64_t total = 0, active = 0, crit = 0;
-#pragma omp parallel for schedule(dynamic, 16) \
-    reduction(+ : total, active) reduction(max : crit)
-    for (std::ptrdiff_t w = 0; w < static_cast<std::ptrdiff_t>(num_warps); ++w) {
-      Warp warp(static_cast<std::size_t>(w));
+    launch(name, num_warps, /*omp_chunk=*/16, [&](std::size_t w) {
+      Warp warp(w);
       fn(warp);
-      total += warp.cycles();
-      active += warp.active_lane_cycles();
-      crit = std::max(crit, warp.cycles());
-    }
-    finish_kernel(name, num_warps, total, crit, active);
+      return std::pair{warp.cycles(), warp.active_lane_cycles()};
+    });
   }
 
   /// Charge a uniform, fully-coalesced device pass over `n` items at
@@ -176,6 +187,36 @@ class Device {
   }
 
  private:
+  /// Shared launch dispatch: runs `run_warp(w) -> {cycles, active_cycles}`
+  /// over all warps — serially below kSerialLaunchWarps, under OpenMP
+  /// (dynamic schedule, `omp_chunk` warps per grab) above — accumulating
+  /// the kernel's cost totals either way.
+  template <typename RunWarp>
+  void launch(const char* name, std::size_t num_warps, int omp_chunk,
+              RunWarp&& run_warp) {
+    std::uint64_t total = 0, active = 0, crit = 0;
+    if (num_warps <= kSerialLaunchWarps) {
+      for (std::size_t w = 0; w < num_warps; ++w) {
+        const auto [cycles, active_cycles] = run_warp(w);
+        total += cycles;
+        active += active_cycles;
+        crit = std::max(crit, cycles);
+      }
+    } else {
+#pragma omp parallel for schedule(dynamic, omp_chunk) \
+    reduction(+ : total, active) reduction(max : crit)
+      for (std::ptrdiff_t w = 0; w < static_cast<std::ptrdiff_t>(num_warps);
+           ++w) {
+        const auto [cycles, active_cycles] =
+            run_warp(static_cast<std::size_t>(w));
+        total += cycles;
+        active += active_cycles;
+        crit = std::max(crit, cycles);
+      }
+    }
+    finish_kernel(name, num_warps, total, crit, active);
+  }
+
   void finish_kernel(const char* name, std::uint64_t warps,
                      std::uint64_t total_warp_cycles,
                      std::uint64_t max_warp_cycles,

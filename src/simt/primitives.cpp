@@ -48,12 +48,20 @@ std::uint32_t upper_row(std::span<const std::uint64_t> offsets,
 std::vector<std::uint32_t> sorted_search_chunks(
     Device& dev, std::span<const std::uint64_t> offsets,
     std::uint64_t chunk_size) {
+  std::vector<std::uint32_t> starts;
+  sorted_search_chunks(dev, offsets, chunk_size, starts);
+  return starts;
+}
+
+void sorted_search_chunks(Device& dev, std::span<const std::uint64_t> offsets,
+                          std::uint64_t chunk_size,
+                          std::vector<std::uint32_t>& starts) {
   GRX_CHECK(chunk_size > 0);
   GRX_CHECK(!offsets.empty());
   const std::uint64_t total = offsets.back();
   const std::size_t num_chunks =
       static_cast<std::size_t>((total + chunk_size - 1) / chunk_size);
-  std::vector<std::uint32_t> starts(num_chunks);
+  starts.resize(num_chunks);
 #pragma omp parallel for schedule(static)
   for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(num_chunks); ++c) {
     starts[static_cast<std::size_t>(c)] =
@@ -67,7 +75,6 @@ std::vector<std::uint32_t> sorted_search_chunks(
   dev.charge_pass("lb_search", num_chunks,
                   probes * CostModel::kScattered / CostModel::kWarpSize + 1,
                   /*fused=*/true);
-  return starts;
 }
 
 }  // namespace grx::simt

@@ -7,6 +7,7 @@
 // overhead of e.g. the LB advance's scan + sorted search.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -35,6 +36,10 @@ std::size_t compact(Device& dev, std::span<const std::uint32_t> in,
 /// total work) and a chunk size, computes for each chunk the index of the
 /// frontier item whose neighbor list contains the chunk's first edge.
 /// This is the "load balancing search" of Davidson et al. (Figure 5).
+/// The pooled overload reuses `starts`' capacity across iterations.
+void sorted_search_chunks(Device& dev, std::span<const std::uint64_t> offsets,
+                          std::uint64_t chunk_size,
+                          std::vector<std::uint32_t>& starts);
 std::vector<std::uint32_t> sorted_search_chunks(
     Device& dev, std::span<const std::uint64_t> offsets,
     std::uint64_t chunk_size);
@@ -42,5 +47,62 @@ std::vector<std::uint32_t> sorted_search_chunks(
 /// Binary search: largest i such that offsets[i] <= key. offsets sorted.
 std::uint32_t upper_row(std::span<const std::uint64_t> offsets,
                         std::uint64_t key);
+
+// --- two-phase output assembly ----------------------------------------------
+//
+// The GPU pattern behind Gunrock's cheap frontier generation (Section 4.1):
+// phase 1, each warp/chunk stages its accepted items *compactly* into its own
+// slice of a pooled scratch buffer and records how many it kept; phase 2, an
+// exclusive scan of the per-chunk counts places each slice, and a scatter
+// copies the slices into the output queue back to back. Output order is the
+// chunk order — fully deterministic regardless of how chunks were scheduled
+// across host threads — and all buffers are capacity-pooled, so the steady
+// state allocates nothing.
+
+/// Pooled staging for two-phase output assembly. `begin` only ever grows the
+/// buffers; ownership lives in the operator workspaces so capacity persists
+/// across BSP iterations.
+struct ChunkedOutput {
+  std::vector<std::uint32_t> scratch;  ///< per-chunk compacted staging slices
+  std::vector<std::uint32_t> counts;   ///< items accepted per chunk
+  std::vector<std::uint64_t> offsets;  ///< scanned output placement (n+1)
+
+  void begin(std::size_t num_chunks, std::size_t capacity) {
+    if (scratch.size() < capacity) scratch.resize(capacity);
+    if (counts.size() < num_chunks) counts.resize(num_chunks);
+    if (offsets.size() < num_chunks + 1) offsets.resize(num_chunks + 1);
+  }
+};
+
+/// Phase 2: scan the per-chunk counts and gather every chunk's staged slice
+/// (starting at `chunk_base(c)` in `co.scratch`) into `out`, preserving
+/// chunk order. The first `keep_prefix` elements of `out` are retained and
+/// appended after (the priority queue's far pile accumulates across
+/// splits). Returns the total item count staged. Charged as a fused scan
+/// over the chunk counts plus a read+write pass over the output (the
+/// warp-aggregated queue assembly of a real advance/filter kernel).
+template <typename BaseFn>
+std::size_t scatter_into(Device& dev, ChunkedOutput& co,
+                         std::size_t num_chunks,
+                         std::vector<std::uint32_t>& out,
+                         BaseFn&& chunk_base, std::size_t keep_prefix = 0) {
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    co.offsets[c] = total;
+    total += co.counts[c];
+  }
+  co.offsets[num_chunks] = total;
+  out.resize(keep_prefix + total);
+  Device::parallel_chunks(num_chunks, [&](std::size_t c) {
+    const std::uint64_t base = chunk_base(c);
+    std::copy_n(co.scratch.data() + base, co.counts[c],
+                out.data() + keep_prefix + co.offsets[c]);
+  });
+  dev.charge_pass("assemble_scan", num_chunks, 2 * CostModel::kCoalesced,
+                  /*fused=*/true);
+  dev.charge_pass("assemble_scatter", total, 2 * CostModel::kCoalesced,
+                  /*fused=*/true);
+  return total;
+}
 
 }  // namespace grx::simt

@@ -38,6 +38,29 @@ class AtomicBitset {
     words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
   }
 
+  /// Clears bit i. Enables incremental bitmap maintenance: clear only the
+  /// previous frontier's bits instead of a full O(bits) wipe per iteration.
+  void reset(std::size_t i) {
+    GRX_CHECK(i < bits_);
+    words_[i >> 6].fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+  }
+
+  /// Non-atomic set/reset for single-writer phases (e.g. the serial bitmap
+  /// rebuild between kernels). A plain load/modify/store is ~10x cheaper
+  /// than a locked RMW; the caller guarantees no concurrent writers.
+  void set_unsync(std::size_t i) {
+    GRX_CHECK(i < bits_);
+    auto& w = words_[i >> 6];
+    w.store(w.load(std::memory_order_relaxed) | (1ULL << (i & 63)),
+            std::memory_order_relaxed);
+  }
+  void reset_unsync(std::size_t i) {
+    GRX_CHECK(i < bits_);
+    auto& w = words_[i >> 6];
+    w.store(w.load(std::memory_order_relaxed) & ~(1ULL << (i & 63)),
+            std::memory_order_relaxed);
+  }
+
   /// Sets bit i; returns true iff this call flipped it from 0 to 1.
   /// This is the "unique discovery" primitive for non-idempotent advance.
   bool test_and_set(std::size_t i) {

@@ -225,7 +225,8 @@ TEST(Filter, EdgeFrontierFilter) {
   EdgeProblem p;
   p.edges = {{0, 1}, {2, 2}, {3, 4}};
   std::vector<std::uint32_t> in{0, 1, 2}, out;
-  const FilterStats s = filter_edges<KeepDifferent>(dev, in, out, p);
+  FilterWorkspace ws;
+  const FilterStats s = filter_edges<KeepDifferent>(dev, in, out, p, ws);
   std::sort(out.begin(), out.end());
   EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 2}));
   EXPECT_EQ(s.outputs, 2u);
@@ -286,6 +287,52 @@ TEST(Frontier, AssignHelpers) {
   EXPECT_EQ(f.items()[4], 4u);
   f.clear();
   EXPECT_TRUE(f.empty());
+}
+
+TEST(Frontier, SwapPreservesKind) {
+  Frontier a(FrontierKind::kVertex), b(FrontierKind::kVertex);
+  a.assign({1, 2});
+  b.assign({3});
+  a.swap(b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.kind(), FrontierKind::kVertex);
+  // Swapping a vertex frontier with an edge frontier would silently trade
+  // kinds through the double-buffer; it is a contract violation.
+  Frontier e(FrontierKind::kEdge);
+  EXPECT_THROW(a.swap(e), CheckError);
+}
+
+TEST(Filter, HistoryInvalidatedByNewGeneration) {
+  // Regression test: a vertex recorded in the history table by a previous
+  // enactment must not be culled from a fresh traversal on the same
+  // workspace. new_generation() (called by EnactorBase::begin_enact)
+  // invalidates the whole table in O(1).
+  simt::Device dev;
+  struct P {
+  } p;
+  struct PassAll {
+    static bool cond_vertex(VertexId, P&) { return true; }
+    static void apply_vertex(VertexId, P&) {}
+  };
+  FilterConfig cfg;
+  cfg.dedup_heuristic = true;
+  FilterWorkspace ws;
+  std::vector<std::uint32_t> in{5, 5, 9}, out;
+  FilterStats s = filter_vertices<PassAll>(dev, in, out, p, cfg, ws);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{5, 9}));
+  EXPECT_EQ(s.culled_by_history, 1u);
+
+  // Without a generation bump, 5 and 9 are still "seen" and get culled.
+  std::vector<std::uint32_t> in2{5, 9, 11};
+  s = filter_vertices<PassAll>(dev, in2, out, p, cfg, ws);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{11}));
+
+  // A fresh enactment must see all of them again.
+  ws.new_generation();
+  s = filter_vertices<PassAll>(dev, in2, out, p, cfg, ws);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{5, 9, 11}));
+  EXPECT_EQ(s.culled_by_history, 0u);
 }
 
 }  // namespace
