@@ -1,0 +1,165 @@
+// bench_batch: aggregate throughput of the batched multi-source engine
+// (core/batch_enactor.hpp) vs. sequential single-query enactment.
+//
+//   $ ./bench_batch [--scale=13] [--batch=64] [--repeats=3] [--check]
+//   $ ./bench_batch --smoke        # small graph + full per-lane verify (CI)
+//
+// Measures B BFS / SSSP queries on the power-law bench graph two ways —
+// B sequential enactments (each in the paper's fastest single-query
+// configuration) and one lane-packed batch — and reports wall-clock and
+// simulated-device aggregate queries/sec. Timing is interleaved A/B: the
+// two arms alternate inside every repeat so drift (thermal, page cache,
+// competing load) lands on both equally; best-of-repeats is reported. See
+// docs/benchmarks.md for the methodology.
+//
+// Acceptance (ISSUE 2): batched >= 4x sequential aggregate queries/sec at
+// B=64 on the power-law graph.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "primitives/batch.hpp"
+
+namespace {
+
+using namespace grx;
+using grx::bench::scattered_sources;
+
+struct Arm {
+  double wall_ms = 1e300;    ///< best-of-repeats host wall clock
+  double device_ms = 1e300;  ///< best-of-repeats simulated device time
+};
+
+/// Per-lane verification of batched results against single-query runs.
+/// Returns the number of mismatching (vertex, lane) cells.
+std::uint64_t verify(const Csr& g, const std::vector<VertexId>& sources,
+                     const BatchBfsResult& bfs_batch,
+                     const BatchSsspResult& sssp_batch) {
+  simt::Device dev;
+  std::uint64_t bad = 0;
+  for (std::uint32_t q = 0; q < bfs_batch.num_lanes; ++q) {
+    BfsOptions opts;
+    opts.record_predecessors = false;
+    const BfsResult bfs_single = gunrock_bfs(dev, g, sources[q], opts);
+    const SsspResult sssp_single = gunrock_sssp(dev, g, sources[q]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      bad += bfs_batch.depth_at(v, q) != bfs_single.depth[v];
+      bad += sssp_batch.dist_at(v, q) != sssp_single.dist[v];
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const auto scale =
+      static_cast<std::uint32_t>(cli.get_int("scale", smoke ? 10 : 13));
+  const auto batch =
+      static_cast<std::uint32_t>(cli.get_int("batch", smoke ? 32 : 64));
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
+  const bool check = smoke || cli.has("check");
+
+  // The power-law bench graph (bench_micro's scale_free shape), weighted
+  // so the same sources drive both BFS and SSSP.
+  BuildOptions bo;
+  bo.symmetrize = true;
+  const Csr g =
+      with_random_weights(build_csr(rmat(scale, 16, 11), bo), /*seed=*/7);
+  const std::vector<VertexId> sources = scattered_sources(g, batch);
+  std::printf("power-law graph: scale=%u, %u vertices, %llu edges, B=%u\n",
+              scale, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), batch);
+
+  Arm bfs_seq, bfs_bat, sssp_seq, sssp_bat;
+  // Each sequential query constructs its own device (bench_common idiom);
+  // the batched arm reuses one enactor across repeats so later repeats
+  // exercise the pooled steady state.
+  simt::Device dev_batch;
+  BatchEnactor batch_enactor(dev_batch);
+  BatchBfsResult bfs_last;
+  BatchSsspResult sssp_last;
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    // --- BFS, sequential arm -------------------------------------------
+    {
+      double device_ms = 0.0;
+      Timer t;
+      for (const VertexId s : sources) {
+        simt::Device dev;
+        BfsOptions opts;
+        opts.direction = Direction::kOptimal;  // paper-fastest single query
+        opts.idempotent = true;
+        opts.record_predecessors = false;
+        const BfsResult r = gunrock_bfs(dev, g, s, opts);
+        device_ms += r.summary.device_time_ms;
+      }
+      bfs_seq.wall_ms = std::min(bfs_seq.wall_ms, t.elapsed_ms());
+      bfs_seq.device_ms = std::min(bfs_seq.device_ms, device_ms);
+    }
+    // --- BFS, batched arm ----------------------------------------------
+    {
+      BatchOptions bopts;
+      bopts.direction = Direction::kOptimal;  // symmetric graph: pull OK
+      Timer t;
+      bfs_last = batch_enactor.bfs(g, sources, bopts);
+      bfs_bat.wall_ms = std::min(bfs_bat.wall_ms, t.elapsed_ms());
+      bfs_bat.device_ms =
+          std::min(bfs_bat.device_ms, bfs_last.summary.device_time_ms);
+    }
+    // --- SSSP, sequential arm ------------------------------------------
+    {
+      double device_ms = 0.0;
+      Timer t;
+      for (const VertexId s : sources) {
+        simt::Device dev;
+        const SsspResult r = gunrock_sssp(dev, g, s);
+        device_ms += r.summary.device_time_ms;
+      }
+      sssp_seq.wall_ms = std::min(sssp_seq.wall_ms, t.elapsed_ms());
+      sssp_seq.device_ms = std::min(sssp_seq.device_ms, device_ms);
+    }
+    // --- SSSP, batched arm ---------------------------------------------
+    {
+      Timer t;
+      sssp_last = batch_enactor.sssp(g, sources);
+      sssp_bat.wall_ms = std::min(sssp_bat.wall_ms, t.elapsed_ms());
+      sssp_bat.device_ms =
+          std::min(sssp_bat.device_ms, sssp_last.summary.device_time_ms);
+    }
+  }
+
+  const auto qps = [&](double ms) { return batch / (ms / 1e3); };
+  Table t({"primitive", "B", "seq wall ms", "batch wall ms", "wall speedup",
+           "seq dev ms", "batch dev ms", "dev speedup", "batch q/s (wall)"});
+  const auto row = [&](const char* name, const Arm& seq, const Arm& bat) {
+    t.add_row({name, std::to_string(batch), Table::num(seq.wall_ms, 2),
+               Table::num(bat.wall_ms, 2),
+               Table::num(seq.wall_ms / bat.wall_ms, 2),
+               Table::num(seq.device_ms, 2), Table::num(bat.device_ms, 2),
+               Table::num(seq.device_ms / bat.device_ms, 2),
+               Table::num(qps(bat.wall_ms), 0)});
+  };
+  row("BFS", bfs_seq, bfs_bat);
+  row("SSSP", sssp_seq, sssp_bat);
+  std::printf("%s", t.to_string().c_str());
+
+  if (check) {
+    const std::uint64_t bad = verify(g, sources, bfs_last, sssp_last);
+    if (bad != 0) {
+      std::printf("FAIL: %llu (vertex, lane) cells differ from single-query "
+                  "runs\n",
+                  static_cast<unsigned long long>(bad));
+      return 1;
+    }
+    std::printf("verified: batched BFS/SSSP equal single-query runs on all "
+                "%u lanes\n",
+                batch);
+  }
+  if (smoke) std::printf("smoke OK\n");
+  return 0;
+}

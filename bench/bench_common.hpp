@@ -20,6 +20,7 @@
 #include "baselines/medusa/medusa.hpp"
 #include "baselines/serial/serial.hpp"
 #include "graph/datasets.hpp"
+#include "graph/generators.hpp"
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
 #include "primitives/cc.hpp"
@@ -32,6 +33,14 @@
 namespace grx::bench {
 
 inline constexpr std::uint32_t kPrIterations = 20;
+
+/// Csr-taking convenience over the shared source picker
+/// (grx::scattered_sources in graph/generators.hpp) — benches and the
+/// determinism/batch test suites sample the same distribution.
+inline std::vector<VertexId> scattered_sources(const Csr& g,
+                                               std::uint32_t count) {
+  return grx::scattered_sources(g.num_vertices(), count);
+}
 
 inline int shrink_from(const Cli& cli, int def = 2) {
   if (cli.has("shrink")) return static_cast<int>(cli.get_int("shrink", def));

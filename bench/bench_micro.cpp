@@ -9,10 +9,12 @@
 #include <cstdlib>
 #include <new>
 
+#include "bench_common.hpp"
 #include "core/advance.hpp"
 #include "core/filter.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "primitives/batch.hpp"
 #include "primitives/bfs.hpp"
 #include "simt/primitives.hpp"
 
@@ -263,5 +265,35 @@ void BM_AdvanceFilterSteadyAllocs(benchmark::State& state) {
       static_cast<double>(allocs) / static_cast<double>(iters ? iters : 1);
 }
 BENCHMARK(BM_AdvanceFilterSteadyAllocs);
+
+// Batched traversal steady state: a warm BatchEnactor serving repeated
+// B=64 BFS batches. Per-enactment allocations must be a small constant —
+// the result matrices handed back to the caller — never proportional to
+// BSP iterations: every loop-internal buffer (lane masks, claim marks,
+// advance/filter/staging pools) is pooled, preserving the PR 1 guarantee.
+void BM_BatchBfsSteadyAllocs(benchmark::State& state) {
+  const Csr& g = scale_free();
+  const std::vector<VertexId> sources = bench::scattered_sources(g, 64);
+  simt::Device dev;
+  BatchEnactor enactor(dev);
+  BatchOptions opts;
+  opts.direction = Direction::kOptimal;  // symmetrized graph: pull OK
+  (void)enactor.bfs(g, sources, opts);  // warm-up: size every pooled buffer
+
+  std::uint64_t allocs = 0, iters = 0, bsp_iters = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const BatchBfsResult r = enactor.bfs(g, sources, opts);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++iters;
+    bsp_iters = r.summary.iterations;
+    benchmark::DoNotOptimize(r.depth.data());
+  }
+  state.counters["allocs_per_enact"] =
+      static_cast<double>(allocs) / static_cast<double>(iters ? iters : 1);
+  state.counters["bsp_iterations"] = static_cast<double>(bsp_iters);
+}
+BENCHMARK(BM_BatchBfsSteadyAllocs)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -24,6 +24,8 @@
 //  * kOptimal       — switch push->pull when the frontier's edge volume
 //                     exceeds |E|/alpha, back when it shrinks below
 //                     |V|/beta (direction-optimizing BFS).
+//
+// Operator contracts and configuration semantics: docs/operators.md.
 #pragma once
 
 #include <algorithm>

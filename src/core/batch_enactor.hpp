@@ -1,0 +1,191 @@
+// BatchEnactor: the multi-source (MS-query) traversal engine.
+//
+// Runs B simultaneous queries — BFS distances, SSSP, the BC forward pass,
+// or plain reachability — over one shared CSR. Per-query frontier
+// membership is a bit-packed lane per vertex (`BatchFrontier`, 64 queries
+// per word), so one neighbor expansion serves the whole batch: the active
+// vertex list each iteration is the *union* of the B per-query frontiers,
+// and each edge visit updates up to 64 queries with a handful of word ops.
+//
+// The engine reuses the single-query operator stack unchanged: the lane
+// logic lives entirely in batch functors handed to the same `advance` /
+// `filter_vertices` templates (and thus the same workload-mapping
+// strategies and the same count -> scan -> scatter output assembler), so
+// the zero-steady-state-allocation and deterministic-assembly guarantees
+// of the single-query pipeline carry over. See docs/architecture.md for
+// where this slots into the operator data flow and docs/operators.md for
+// the lane-functor contract.
+//
+// Determinism: batched BFS / BC-forward / reachability results are
+// byte-identical across OMP thread counts and equal, lane for lane, to B
+// independent single-query runs — lane updates are commutative (OR,
+// equal-value depth stores, atomicMin) and frontier membership is decided
+// by monotone per-word races whose outcome is order-independent. Batched
+// SSSP converges to the exact per-lane distances (same contract as
+// single-query SSSP: per-round schedules may vary benignly, final
+// distances do not). tests/test_determinism.cpp asserts both.
+//
+// BFS and reachability support direction-optimal traversal (opt-in via
+// BatchOptions::direction, symmetric CSR required): a lane-parallel
+// bottom-up (pull) step — every vertex with undiscovered lanes probes its
+// incoming neighbors and stops once all pending lanes found a parent —
+// takes over when the union frontier saturates, exactly as Beamer's
+// switch does for one query. Limits: SSSP and the BC forward pass are
+// push-only (per-lane
+// relaxation / sigma accumulation admit no early-exit pull form), and
+// there is no per-lane near/far priority queue for SSSP (plain
+// Bellman-Ford rounds over the union frontier).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/batch_frontier.hpp"
+#include "core/enactor.hpp"
+#include "graph/csr.hpp"
+
+namespace grx {
+
+/// Configuration shared by every batched primitive. Idempotence is implied
+/// by the commutative lane updates (no per-edge atomic claim is charged —
+/// exact vertex-level dedup happens in the filter's claim, as in
+/// single-query SSSP).
+struct BatchOptions {
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  /// BFS/reachability traversal direction. kOptimal switches between the
+  /// push advance and the lane-parallel bottom-up (pull) step by Beamer's
+  /// heuristic on union-frontier edge volume — essential for batches,
+  /// whose union frontier saturates the graph within a few levels.
+  /// kPull/kOptimal REQUIRE a symmetric (undirected) CSR: the pull step
+  /// probes the graph's own rows as incoming edges, exactly like the
+  /// single-query advance_pull — which is why, like single-query
+  /// BfsOptions, the default is the direction-agnostic kPush and pull is
+  /// opt-in. SSSP and the BC forward pass are push-only (per-lane
+  /// relaxation / sigma accumulation admit no early-exit pull form) and
+  /// ignore this field.
+  Direction direction = Direction::kPush;
+  /// Pass-through to AdvanceConfig (paper Section 4.4).
+  std::uint32_t lb_node_edge_threshold = 4096;
+  /// Direction-switch thresholds (Beamer), applied to the *union*
+  /// frontier: pull when its edge volume exceeds |E|/alpha, back to push
+  /// below |V|/beta. Same defaults as AdvanceConfig.
+  double pull_alpha = 14.0;
+  double pull_beta = 24.0;
+};
+
+/// Dense per-(vertex, lane) value matrix layout shared by the batched
+/// results: element (v, q) lives at v * num_lanes + q, so one vertex's B
+/// values are contiguous (the layout the lane-sweep kernel writes).
+struct BatchBfsResult {
+  std::uint32_t num_lanes = 0;
+  std::vector<std::uint32_t> depth;  ///< |V| x B, kInfinity where unreached
+  EnactSummary summary;
+
+  std::uint32_t depth_at(VertexId v, std::uint32_t lane) const {
+    return depth[static_cast<std::size_t>(v) * num_lanes + lane];
+  }
+};
+
+struct BatchSsspResult {
+  std::uint32_t num_lanes = 0;
+  std::vector<std::uint32_t> dist;  ///< |V| x B, kInfinity where unreachable
+  EnactSummary summary;
+
+  std::uint32_t dist_at(VertexId v, std::uint32_t lane) const {
+    return dist[static_cast<std::size_t>(v) * num_lanes + lane];
+  }
+};
+
+/// Reachability keeps only the visited lane masks — 1 bit per (vertex,
+/// query) pair, the cheapest batched result shape.
+struct BatchReachabilityResult {
+  std::uint32_t num_lanes = 0;
+  LaneMatrix visited;  ///< bit (v, q) set iff v reachable from sources[q]
+  EnactSummary summary;
+
+  bool reachable(VertexId v, std::uint32_t lane) const {
+    return visited.test(v, lane);
+  }
+};
+
+/// Forward (Brandes sigma-accumulation) pass of betweenness centrality for
+/// B sources at once; feeds the per-source backward sweeps of
+/// gunrock_bc_batched (primitives/bc.hpp).
+struct BatchBcForwardResult {
+  std::uint32_t num_lanes = 0;
+  std::vector<std::uint32_t> depth;  ///< |V| x B BFS levels
+  std::vector<double> sigma;         ///< |V| x B shortest-path counts
+  EnactSummary summary;
+
+  std::uint32_t depth_at(VertexId v, std::uint32_t lane) const {
+    return depth[static_cast<std::size_t>(v) * num_lanes + lane];
+  }
+  double sigma_at(VertexId v, std::uint32_t lane) const {
+    return sigma[static_cast<std::size_t>(v) * num_lanes + lane];
+  }
+};
+
+/// The batched enactor. One instance owns the lane masks and the pooled
+/// operator workspaces (via EnactorBase); repeated enactments on the same
+/// graph shape reuse every buffer — a serving loop (examples/
+/// query_server.cpp) allocates only while the first batch warms the pools.
+class BatchEnactor : public EnactorBase {
+ public:
+  explicit BatchEnactor(simt::Device& dev) : EnactorBase(dev) {}
+
+  /// Hard cap on B: 64 words of lane masks per vertex. Batches this large
+  /// are better split — per-vertex state grows linearly with B while the
+  /// edge-scan amortization saturates once frontiers overlap.
+  static constexpr std::uint32_t kMaxLanes = 64 * kLanesPerWord;
+
+  /// B-source BFS: depth_at(v, q) is the hop distance from sources[q].
+  /// sources.size() == B; duplicate sources are allowed (lanes stay
+  /// independent).
+  BatchBfsResult bfs(const Csr& g, std::span<const VertexId> sources,
+                     const BatchOptions& opts = {});
+
+  /// B-source SSSP (weighted; Bellman-Ford rounds over the union
+  /// frontier). The graph must carry edge weights.
+  BatchSsspResult sssp(const Csr& g, std::span<const VertexId> sources,
+                       const BatchOptions& opts = {});
+
+  /// B-source reachability: visited lane masks only, no distance writes.
+  BatchReachabilityResult reachability(const Csr& g,
+                                       std::span<const VertexId> sources,
+                                       const BatchOptions& opts = {});
+
+  /// B-source Brandes forward pass: per-lane depth + sigma.
+  BatchBcForwardResult bc_forward(const Csr& g,
+                                  std::span<const VertexId> sources,
+                                  const BatchOptions& opts = {});
+
+ private:
+  /// Seeds lane state: cur bit + initial value per source lane, and the
+  /// initial union frontier (unique sources, ascending). Returns B.
+  std::uint32_t seed(const Csr& g, std::span<const VertexId> sources);
+
+  /// Shared BFS-shaped BSP loop (direction-optimal discovery over lane
+  /// masks) behind bfs() and reachability(): when `depth` is non-null,
+  /// newly discovered (vertex, lane) cells get their level written.
+  /// Returns total edges visited / probes.
+  std::uint64_t traverse_lanes(const Csr& g, const BatchOptions& opts,
+                               std::uint32_t* depth, std::uint32_t num_lanes);
+
+  /// Shared per-iteration tail of every batched BSP loop: log the round,
+  /// rotate the lane masks (incremental clear of the retiring frontier's
+  /// rows), promote the fresh frontier, bump the claim tag.
+  template <typename P>
+  void finish_round(P& p, std::uint64_t iter_edges, bool used_pull) {
+    record({0, in_.size(), filtered_.size(), iter_edges, used_pull});
+    lanes_.rotate(in_.items());
+    in_.swap(filtered_);
+    p.iteration++;
+  }
+
+  BatchFrontier lanes_;               ///< cur/next lane masks
+  LaneMatrix visited_;                ///< BFS/reach/BC discovery masks
+  std::vector<std::uint32_t> mark_;   ///< filter claim tags (exact dedup)
+};
+
+}  // namespace grx

@@ -1,0 +1,130 @@
+// Bit-packed multi-query frontier state for batched traversal.
+//
+// The single-query pipeline (frontier -> advance -> filter) amortizes
+// nothing across queries: serving Q traversals costs Q full edge sweeps.
+// Batched traversal (MS-BFS style) runs B queries over one shared CSR by
+// giving every vertex a B-bit *lane mask* — bit q set means "vertex is in
+// query q's frontier" — packed 64 lanes per std::uint64_t word. One
+// neighbor expansion of vertex v then serves every query whose bit is set
+// in v's mask: the edge scan, the CSR reads, and the output-frontier
+// assembly are paid once per *union* frontier vertex instead of once per
+// query. On graphs with overlapping frontiers (every power-law graph after
+// level ~2) this is the single biggest aggregate-throughput lever.
+//
+// Determinism: all lane-mask updates are bitwise ORs and per-lane
+// min/equal-value writes — commutative and idempotent — so query results
+// are byte-identical regardless of host thread count or edge visit order
+// (see docs/architecture.md, "Batched traversal").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "util/common.hpp"
+
+namespace grx {
+
+/// Lanes packed per mask word. One word serves 64 concurrent queries.
+inline constexpr std::uint32_t kLanesPerWord = 64;
+
+/// A |V| x B bit matrix: row v is vertex v's lane mask, stored as
+/// ceil(B / 64) contiguous words. The batched advance kernels operate on
+/// whole rows (word-at-a-time OR/AND-NOT); per-lane access exists for
+/// seeding sources and reading results.
+///
+/// Concurrency contract: `set`/`clear_row`/`swap` are single-writer
+/// (enactor setup and between-iteration rotation); concurrent mutation
+/// during a kernel goes through simt::atomic_fetch_or on `row()` words.
+class LaneMatrix {
+ public:
+  LaneMatrix() = default;
+
+  /// Sizes to `num_vertices` rows of ceil(num_lanes/64) words, all zero.
+  /// Buffer capacity is retained across calls (pooling discipline): an
+  /// enactor reusing one LaneMatrix across enactments of the same shape
+  /// pays a fill, never an allocation.
+  void reset(VertexId num_vertices, std::uint32_t num_lanes) {
+    n_ = num_vertices;
+    lanes_ = num_lanes;
+    wpv_ = (num_lanes + kLanesPerWord - 1) / kLanesPerWord;
+    words_.assign(static_cast<std::size_t>(n_) * wpv_, 0);
+  }
+
+  VertexId num_vertices() const { return n_; }
+  std::uint32_t num_lanes() const { return lanes_; }
+  std::uint32_t words_per_vertex() const { return wpv_; }
+
+  /// Pointer to vertex v's `words_per_vertex()` mask words.
+  std::uint64_t* row(VertexId v) {
+    return words_.data() + static_cast<std::size_t>(v) * wpv_;
+  }
+  const std::uint64_t* row(VertexId v) const {
+    return words_.data() + static_cast<std::size_t>(v) * wpv_;
+  }
+
+  /// Single-writer per-lane set (seeding); kernels use atomic_fetch_or.
+  void set(VertexId v, std::uint32_t lane) {
+    GRX_CHECK(lane < lanes_);
+    row(v)[lane >> 6] |= 1ull << (lane & 63);
+  }
+
+  bool test(VertexId v, std::uint32_t lane) const {
+    GRX_CHECK(lane < lanes_);
+    return (row(v)[lane >> 6] >> (lane & 63)) & 1ull;
+  }
+
+  /// True iff any lane is set for v.
+  bool any(VertexId v) const {
+    const std::uint64_t* r = row(v);
+    for (std::uint32_t w = 0; w < wpv_; ++w)
+      if (r[w]) return true;
+    return false;
+  }
+
+  void clear_row(VertexId v) { std::fill_n(row(v), wpv_, std::uint64_t{0}); }
+
+  /// Swaps payloads with a same-shape matrix (the cur/next rotation).
+  void swap(LaneMatrix& other) {
+    GRX_CHECK_MSG(n_ == other.n_ && wpv_ == other.wpv_,
+                  "swapping lane matrices of different shapes");
+    words_.swap(other.words_);
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  VertexId n_ = 0;
+  std::uint32_t lanes_ = 0;
+  std::uint32_t wpv_ = 0;
+  std::vector<std::uint64_t> words_;  // plain words; atomics via atomic_ref
+};
+
+/// Double-buffered lane masks for the batched BSP loop: `cur` holds the
+/// lanes active this iteration, kernels OR newly activated lanes into
+/// `next`, and `rotate` swaps them at iteration end.
+///
+/// Like the pull bitmap, maintenance is *incremental*: `rotate` clears only
+/// the rows the old frontier touched (the caller passes its vertex list)
+/// rather than wiping all |V| rows, so the steady-state loop does
+/// O(|frontier|) mask writes and zero allocations.
+struct BatchFrontier {
+  LaneMatrix cur;   ///< lanes active this iteration
+  LaneMatrix next;  ///< lanes activated for the coming iteration
+
+  void init(VertexId num_vertices, std::uint32_t num_lanes) {
+    cur.reset(num_vertices, num_lanes);
+    next.reset(num_vertices, num_lanes);
+  }
+
+  /// End-of-iteration rotation: zero the retiring frontier's rows in `cur`
+  /// (after this swap they become the staging buffer for iteration i+2),
+  /// then swap buffers so `cur` holds the freshly built masks.
+  void rotate(const std::vector<std::uint32_t>& old_active) {
+    for (const std::uint32_t v : old_active) cur.clear_row(v);
+    cur.swap(next);
+  }
+};
+
+}  // namespace grx

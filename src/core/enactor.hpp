@@ -18,11 +18,11 @@ namespace grx {
 
 /// Per-BSP-iteration record, for convergence plots and debugging.
 struct IterationStats {
-  std::uint32_t iteration = 0;
-  std::uint64_t input_size = 0;
-  std::uint64_t output_size = 0;
-  std::uint64_t edges_processed = 0;
-  bool used_pull = false;
+  std::uint32_t iteration = 0;        ///< 0-based BSP step (set by record())
+  std::uint64_t input_size = 0;       ///< frontier items entering the step
+  std::uint64_t output_size = 0;      ///< post-filter frontier items
+  std::uint64_t edges_processed = 0;  ///< edges visited (or pull probes)
+  bool used_pull = false;             ///< bottom-up direction this step
 };
 
 /// Result summary returned by every primitive's enact().

@@ -7,6 +7,8 @@
 //    but not eliminate, redundant entries", Section 4.5);
 //  * filter_edges — CondEdge over an *edge* frontier (CC hooking operates
 //    on edges; the problem supplies endpoint lookup).
+//
+// Operator contracts and dedup semantics: docs/operators.md.
 #pragma once
 
 #include <cstdint>

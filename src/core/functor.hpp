@@ -12,6 +12,10 @@
 // computation is inlined into the traversal loop at compile time — the
 // paper's "automatic kernel fusion" (Section 4.3). An optional
 // `is_unvisited(VertexId, Problem&)` enables the pull-direction advance.
+//
+// Full contracts — preconditions, concurrency rules, determinism
+// guarantees, and the batched lane-functor variant — are documented in
+// docs/operators.md.
 #pragma once
 
 #include <concepts>

@@ -48,4 +48,15 @@ EdgeList binary_tree(std::uint32_t levels);  ///< complete binary tree
 /// CC / BC stress shape (the bridge endpoints have maximal centrality).
 EdgeList two_cliques_bridge(std::uint32_t k);
 
+/// Deterministic scattered vertex ids (Knuth multiplicative hash) — the
+/// shared source picker for multi-source / batched traversal: tests and
+/// benches sample the same distribution from one definition.
+inline std::vector<VertexId> scattered_sources(VertexId num_vertices,
+                                               std::uint32_t count) {
+  std::vector<VertexId> src(count);
+  for (std::uint32_t q = 0; q < count; ++q)
+    src[q] = static_cast<VertexId>((q * 2654435761u) % num_vertices);
+  return src;
+}
+
 }  // namespace grx

@@ -1,0 +1,695 @@
+// Batched multi-source traversal: the lane-packed BSP loops behind
+// BatchEnactor (core/batch_enactor.hpp).
+//
+// Shape of every loop: the union frontier (a plain vertex Frontier) feeds
+// the *same* advance/filter templates as the single-query primitives; the
+// batch semantics live in the functors, whose per-edge work is a few
+// 64-lane word operations against the BatchFrontier masks:
+//
+//   cond_edge(src, dst):  D = cur[src] & ~visited[dst]   (BFS/BC/reach)
+//                         next[dst] |= D  (atomic OR; emit dst iff it won
+//                         at least one new bit -> duplicates are rare and
+//                         the filter's claim dedups them exactly)
+//   filter cond_vertex:   first claim of (vertex, iteration) survives —
+//                         the union frontier carries each vertex once
+//   lane sweep (compute): for the deduped new frontier, commit per-lane
+//                         values (depth/sigma) and fold next into visited
+//
+// Lane updates are commutative (OR, equal-value stores, atomicMin), so
+// results are independent of edge visit order and host thread count; the
+// two-phase assembler keeps the frontier *assembly* deterministic exactly
+// as in the single-query pipeline.
+#include "primitives/batch.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "core/compute.hpp"
+#include "core/filter.hpp"
+#include "util/timer.hpp"
+
+namespace grx {
+namespace {
+
+/// Exact vertex-level dedup of the advance output: first claim of
+/// (vertex, iteration) survives, everything later is dropped — the
+/// output_queue_id idiom single-query SSSP uses, shared by every batched
+/// primitive via the problem's `mark`/`iteration` members.
+template <typename P>
+struct LaneClaimFunctor {
+  static bool cond_vertex(VertexId v, P& p) {
+    const std::uint32_t tag = p.iteration;
+    if (p.serial) {
+      if ((*p.mark)[v] == tag) return false;
+      (*p.mark)[v] = tag;
+      return true;
+    }
+    const std::uint32_t old = simt::atomic_load((*p.mark)[v]);
+    if (old == tag) return false;  // already queued this iteration
+    return simt::atomic_cas((*p.mark)[v], old, tag) == old;
+  }
+  static void apply_vertex(VertexId, P&) {}
+};
+
+// --- BFS / reachability ------------------------------------------------------
+
+struct BatchBfsProblem {
+  LaneMatrix* cur = nullptr;
+  LaneMatrix* next = nullptr;
+  LaneMatrix* visited = nullptr;
+  std::vector<std::uint32_t>* mark = nullptr;
+  std::uint32_t num_lanes = 0;
+  std::uint32_t wpv = 0;
+  std::uint32_t iteration = 0;
+  /// One host thread -> no concurrency -> plain word ops instead of locked
+  /// RMWs (~10x cheaper; the host-side analog of AtomicBitset's _unsync
+  /// path). Results are identical either way: the updates commute.
+  bool serial = false;
+};
+
+/// Discovery across all lanes of one edge. Emits dst iff this edge set at
+/// least one lane bit no other edge had set yet — so each newly reached
+/// vertex is emitted at least once, duplicates only on racing words.
+struct BatchBfsFunctor {
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId,
+                        BatchBfsProblem& p) {
+    const std::uint64_t* fsrc = p.cur->row(src);
+    const std::uint64_t* vdst = p.visited->row(dst);
+    std::uint64_t* ndst = p.next->row(dst);
+    bool won = false;
+    for (std::uint32_t w = 0; w < p.wpv; ++w) {
+      const std::uint64_t d = fsrc[w] & ~simt::atomic_load(vdst[w]);
+      if (!d) continue;
+      std::uint64_t prev;
+      if (p.serial) {
+        prev = ndst[w];
+        ndst[w] = prev | d;
+      } else {
+        prev = simt::atomic_fetch_or(ndst[w], d);
+      }
+      won |= (d & ~prev) != 0;
+    }
+    return won;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, BatchBfsProblem&) {}
+};
+
+// --- SSSP --------------------------------------------------------------------
+
+struct BatchSsspProblem {
+  const Csr* g = nullptr;
+  LaneMatrix* cur = nullptr;
+  LaneMatrix* next = nullptr;
+  std::uint32_t* dist = nullptr;  ///< |V| x B
+  std::vector<std::uint32_t>* mark = nullptr;
+  std::uint32_t num_lanes = 0;
+  std::uint32_t wpv = 0;
+  std::uint32_t iteration = 0;
+  bool serial = false;  ///< see BatchBfsProblem::serial
+};
+
+/// Per-lane relaxation with atomicMin, Bellman-Ford rounds over the union
+/// frontier. Emits dst iff some lane's distance improved.
+struct BatchRelaxFunctor {
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId e,
+                        BatchSsspProblem& p) {
+    const std::uint64_t* fsrc = p.cur->row(src);
+    std::uint64_t* ndst = p.next->row(dst);
+    const Weight wt = p.g->weight(e);
+    const std::size_t src_base =
+        static_cast<std::size_t>(src) * p.num_lanes;
+    const std::size_t dst_base =
+        static_cast<std::size_t>(dst) * p.num_lanes;
+    bool any = false;
+    for (std::uint32_t w = 0; w < p.wpv; ++w) {
+      std::uint64_t m = fsrc[w];
+      if (!m) continue;
+      std::uint64_t improved = 0;
+      const std::uint32_t lane_base = w * kLanesPerWord;
+      do {
+        const auto q =
+            lane_base + static_cast<std::uint32_t>(__builtin_ctzll(m));
+        m &= m - 1;
+        const std::uint32_t ds = simt::atomic_load(p.dist[src_base + q]);
+        if (ds == kInfinity) continue;  // stale lane, nothing to relax
+        const std::uint32_t cand = ds + wt;
+        if (p.serial) {
+          std::uint32_t& dd = p.dist[dst_base + q];
+          if (cand < dd) {
+            dd = cand;
+            improved |= 1ull << (q - lane_base);
+          }
+        } else if (cand < simt::atomic_min(p.dist[dst_base + q], cand)) {
+          improved |= 1ull << (q - lane_base);
+        }
+      } while (m);
+      if (improved) {
+        if (p.serial) {
+          ndst[w] |= improved;
+        } else {
+          simt::atomic_fetch_or(ndst[w], improved);
+        }
+        any = true;
+      }
+    }
+    return any;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, BatchSsspProblem&) {}
+};
+
+// --- BC forward --------------------------------------------------------------
+
+struct BatchBcProblem {
+  LaneMatrix* cur = nullptr;
+  LaneMatrix* next = nullptr;
+  LaneMatrix* visited = nullptr;
+  double* sigma = nullptr;  ///< |V| x B
+  std::vector<std::uint32_t>* mark = nullptr;
+  std::uint32_t num_lanes = 0;
+  std::uint32_t wpv = 0;
+  std::uint32_t iteration = 0;
+  bool serial = false;  ///< see BatchBfsProblem::serial
+};
+
+/// Brandes forward step across lanes: every edge from a frontier lane into
+/// a not-yet-visited lane contributes the source's sigma (sigma values are
+/// integer counts in doubles, so the atomic adds commute exactly).
+struct BatchBcForwardFunctor {
+  static bool cond_edge(VertexId src, VertexId dst, EdgeId,
+                        BatchBcProblem& p) {
+    const std::uint64_t* fsrc = p.cur->row(src);
+    const std::uint64_t* vdst = p.visited->row(dst);
+    std::uint64_t* ndst = p.next->row(dst);
+    const std::size_t src_base =
+        static_cast<std::size_t>(src) * p.num_lanes;
+    const std::size_t dst_base =
+        static_cast<std::size_t>(dst) * p.num_lanes;
+    bool won = false;
+    for (std::uint32_t w = 0; w < p.wpv; ++w) {
+      std::uint64_t contrib = fsrc[w] & ~simt::atomic_load(vdst[w]);
+      if (!contrib) continue;
+      std::uint64_t prev;
+      if (p.serial) {
+        prev = ndst[w];
+        ndst[w] = prev | contrib;
+      } else {
+        prev = simt::atomic_fetch_or(ndst[w], contrib);
+      }
+      won |= (contrib & ~prev) != 0;
+      const std::uint32_t lane_base = w * kLanesPerWord;
+      do {
+        const auto q =
+            lane_base + static_cast<std::uint32_t>(__builtin_ctzll(contrib));
+        contrib &= contrib - 1;
+        if (p.serial) {
+          p.sigma[dst_base + q] += p.sigma[src_base + q];
+        } else {
+          simt::atomic_add(p.sigma[dst_base + q],
+                           simt::atomic_load(p.sigma[src_base + q]));
+        }
+      } while (contrib);
+    }
+    return won;
+  }
+  static void apply_edge(VertexId, VertexId, EdgeId, BatchBcProblem&) {}
+};
+
+constexpr std::uint32_t kUnclaimed = 0xdeadbeefu;
+
+constexpr std::uint32_t kMaxWpv =
+    BatchEnactor::kMaxLanes / kLanesPerWord;
+
+/// Bottom-up (pull) step of batched BFS/reachability — the MS-BFS analog
+/// of Beamer's direction switch. Vertex-centric: every vertex with at
+/// least one undiscovered lane probes its incoming neighbors, gathers
+/// frontier bits word-at-a-time, and stops as soon as *every* pending lane
+/// has found a parent (the per-lane generalization of "first valid parent
+/// suffices"). On the saturated mid-traversal levels most vertices are
+/// fully visited and cost wpv word loads, versus a full neighbor-list scan
+/// in push mode — the same asymmetry that makes single-query
+/// direction-optimal BFS win.
+///
+/// Single writer per vertex row and a fixed (CSR) probe order make this
+/// step fully deterministic — no atomics at all. Emits the new frontier in
+/// vertex order through the shared staging + scatter assembler. Because
+/// each vertex row has exactly one writer, the lane sweep is fused in:
+/// newly found lanes are committed to `depth` (when non-null) and folded
+/// into `visited` right here, so pull iterations skip the separate sweep
+/// kernel entirely.
+std::uint64_t batch_pull_step(simt::Device& dev, const Csr& g,
+                              LaneMatrix& cur, LaneMatrix& next,
+                              LaneMatrix& visited, std::uint32_t* depth,
+                              std::uint32_t next_depth,
+                              std::vector<std::uint32_t>& out,
+                              AdvanceWorkspace& ws) {
+  using CM = simt::CostModel;
+  const std::uint32_t wpv = cur.words_per_vertex();
+  const std::uint32_t b = cur.num_lanes();
+  GRX_CHECK(wpv <= kMaxWpv);
+  std::uint64_t lane_mask[kMaxWpv];
+  for (std::uint32_t w = 0; w < wpv; ++w) lane_mask[w] = ~0ull;
+  if (const std::uint32_t rem = b % kLanesPerWord; rem != 0)
+    lane_mask[wpv - 1] = (1ull << rem) - 1;
+
+  const std::size_t num_warps =
+      (g.num_vertices() + CM::kWarpSize - 1) / CM::kWarpSize;
+  ws.out.begin(num_warps, g.num_vertices());
+  if (ws.warp_probes.size() < num_warps) ws.warp_probes.resize(num_warps);
+  dev.for_each("batch_advance_pull", g.num_vertices(),
+               [&](simt::Lane& lane, std::size_t vi) {
+                 const std::size_t warp = vi / CM::kWarpSize;
+                 if (vi % CM::kWarpSize == 0) {
+                   ws.out.counts[warp] = 0;
+                   ws.warp_probes[warp] = 0;
+                 }
+                 const auto v = static_cast<VertexId>(vi);
+                 lane.load_coalesced(wpv);  // visited-row read
+                 std::uint64_t* vis = visited.row(v);
+                 const std::size_t dbase = static_cast<std::size_t>(v) * b;
+                 // Commit one word of newly found lanes: depth values (when
+                 // asked for), visited fold, next mask, contiguous writes.
+                 const auto commit = [&](std::uint32_t w, std::uint64_t bits) {
+                   next.row(v)[w] = bits;
+                   vis[w] |= bits;
+                   if (depth == nullptr) return;
+                   std::uint64_t writes = 0;
+                   const std::uint32_t lane_base = w * kLanesPerWord;
+                   do {
+                     const auto q = lane_base + static_cast<std::uint32_t>(
+                                                    __builtin_ctzll(bits));
+                     bits &= bits - 1;
+                     depth[dbase + q] = next_depth;
+                     ++writes;
+                   } while (bits);
+                   lane.charge(writes * CM::kCoalesced);
+                 };
+                 if (wpv == 1) {
+                   // Single-word batches (B <= 64, the common case): the
+                   // whole per-vertex state is three words; keep the probe
+                   // loop branch-light.
+                   std::uint64_t pend1 = lane_mask[0] & ~vis[0];
+                   if (!pend1) return;
+                   const std::uint64_t* curbase = cur.row(0);
+                   std::uint64_t got1 = 0;
+                   std::uint64_t probes = 0;
+                   const EdgeId end = g.row_end(v);
+                   for (EdgeId e = g.row_start(v); e < end; ++e) {
+                     ++probes;
+                     const std::uint64_t d = curbase[g.col_index(e)] & pend1;
+                     if (d) {
+                       got1 |= d;
+                       pend1 &= ~d;
+                       if (!pend1) break;
+                     }
+                   }
+                   lane.charge(probes * CM::kCoalesced);
+                   ws.warp_probes[warp] += probes;
+                   if (!got1) return;
+                   commit(0, got1);
+                   ws.out.scratch[warp * CM::kWarpSize +
+                                  ws.out.counts[warp]++] = v;
+                   return;
+                 }
+                 std::uint64_t pend[kMaxWpv];
+                 std::uint64_t got[kMaxWpv];
+                 std::uint64_t pending = 0;
+                 for (std::uint32_t w = 0; w < wpv; ++w) {
+                   pend[w] = lane_mask[w] & ~vis[w];
+                   got[w] = 0;
+                   pending |= pend[w];
+                 }
+                 if (!pending) return;  // saturated: all lanes discovered
+                 std::uint64_t probes = 0;
+                 bool won = false;
+                 const EdgeId end = g.row_end(v);
+                 for (EdgeId e = g.row_start(v); e < end && pending; ++e) {
+                   ++probes;
+                   const std::uint64_t* fu = cur.row(g.col_index(e));
+                   pending = 0;
+                   for (std::uint32_t w = 0; w < wpv; ++w) {
+                     const std::uint64_t d = fu[w] & pend[w];
+                     if (d) {
+                       got[w] |= d;
+                       pend[w] &= ~d;
+                       won = true;
+                     }
+                     pending |= pend[w];
+                   }
+                 }
+                 lane.charge(probes * wpv * CM::kCoalesced);
+                 ws.warp_probes[warp] += probes;
+                 if (!won) return;
+                 for (std::uint32_t w = 0; w < wpv; ++w)
+                   if (got[w]) commit(w, got[w]);
+                 ws.out.scratch[warp * CM::kWarpSize +
+                                ws.out.counts[warp]++] = v;
+               });
+  simt::scatter_into(dev, ws.out, num_warps, out, [](std::size_t c) {
+    return c * simt::CostModel::kWarpSize;
+  });
+  std::uint64_t probes = 0;
+  for (std::size_t w = 0; w < num_warps; ++w) probes += ws.warp_probes[w];
+  return probes;
+}
+
+/// Beamer-style sticky direction state for the batched BFS-like loops:
+/// switch to pull when the union frontier's edge volume crosses |E|/alpha,
+/// back to push when the frontier is small and shrinking. Thresholds come
+/// from BatchOptions (same defaults as AdvanceConfig's single-query
+/// switch).
+struct BatchDirection {
+  double alpha = 14.0;
+  double beta = 24.0;
+  bool pulling = false;
+  std::size_t prev_size = 0;
+
+  explicit BatchDirection(const BatchOptions& opts)
+      : alpha(opts.pull_alpha), beta(opts.pull_beta) {}
+
+  /// Decides this iteration's direction. The push->pull entry check needs
+  /// the frontier's edge volume, so it runs the full degree gather through
+  /// the shared advance workspace and reports `frontier_prepared` — the
+  /// following push advance then reuses it instead of re-sweeping (the
+  /// batch analog of the single-query kOptimal sharing: at most one gather
+  /// is wasted per direction flip, and sticky-pull iterations — the
+  /// saturated big-frontier phase — never sweep degrees at all).
+  bool choose_pull(simt::Device& dev, const Csr& g,
+                   const std::vector<std::uint32_t>& frontier,
+                   Direction requested, AdvanceWorkspace& ws,
+                   bool& frontier_prepared) {
+    frontier_prepared = false;
+    if (requested == Direction::kPush) return false;
+    if (requested == Direction::kPull) return true;
+    if (pulling) {
+      // The pull->push exit reads only frontier sizes.
+      if (static_cast<double>(frontier.size()) <
+              static_cast<double>(g.num_vertices()) / beta &&
+          frontier.size() < prev_size) {
+        pulling = false;
+      }
+      return pulling;
+    }
+    detail::prepare_frontier(dev, g, frontier, ws);
+    frontier_prepared = true;
+    if (static_cast<double>(ws.frontier_edges) >
+        static_cast<double>(g.num_edges()) / alpha)
+      pulling = true;
+    return pulling;
+  }
+};
+
+/// Every batched primitive drives the same advance configuration:
+/// commutative lane updates need no per-edge claim (exact dedup lives in
+/// the filter), and strategy/LB knobs pass straight through.
+AdvanceConfig batch_advance_config(const BatchOptions& opts) {
+  AdvanceConfig acfg;
+  acfg.strategy = opts.strategy;
+  acfg.idempotent = true;
+  acfg.lb_node_edge_threshold = opts.lb_node_edge_threshold;
+  return acfg;
+}
+
+/// Shared push-mode round body: advance with the batch functor, charge the
+/// lane-word traffic the scalar per-edge cost does not model, claim-filter
+/// the output so each vertex survives exactly once. Returns edges visited.
+template <typename F, typename P>
+std::uint64_t push_round(simt::Device& dev, const Csr& g, const Frontier& in,
+                         Frontier& out, Frontier& filtered, P& p,
+                         const AdvanceConfig& acfg, const FilterConfig& fcfg,
+                         AdvanceWorkspace& aws, FilterWorkspace& fws,
+                         bool frontier_prepared = false) {
+  out.clear();
+  const AdvanceStats a = advance_push<F>(dev, g, in.items(), out.items(), p,
+                                         acfg, aws, frontier_prepared);
+  dev.charge_pass("batch_lane_words", a.edges_processed * p.wpv,
+                  simt::CostModel::kScattered, /*fused=*/true);
+  filter_vertices<LaneClaimFunctor<P>>(dev, out.items(), filtered.items(), p,
+                                       fcfg, fws);
+  return a.edges_processed;
+}
+
+/// Push-side lane sweep, shared by every discovery-style loop: for each
+/// vertex of the freshly deduped frontier, fold the new lane bits into
+/// `visited` and (when `depth` is non-null) commit their level. Exactly
+/// one writer per row — the filter's claim guarantees uniqueness.
+void lane_sweep(simt::Device& dev, const std::vector<std::uint32_t>& fresh,
+                LaneMatrix& next, LaneMatrix& visited, std::uint32_t* depth,
+                std::uint32_t num_lanes, std::uint32_t next_depth) {
+  const std::uint32_t wpv = next.words_per_vertex();
+  dev.for_each("batch_lane_sweep", fresh.size(),
+               [&](simt::Lane& ln, std::size_t i) {
+                 const VertexId v = fresh[i];
+                 std::uint64_t* nxt = next.row(v);
+                 std::uint64_t* vis = visited.row(v);
+                 const std::size_t base =
+                     static_cast<std::size_t>(v) * num_lanes;
+                 ln.load_coalesced();     // queue read
+                 ln.load_scattered(wpv);  // mask row update
+                 std::uint64_t lane_writes = 0;
+                 for (std::uint32_t w = 0; w < wpv; ++w) {
+                   std::uint64_t bits = nxt[w];
+                   if (!bits) continue;
+                   vis[w] |= bits;
+                   if (depth == nullptr) continue;
+                   const std::uint32_t lane_base = w * kLanesPerWord;
+                   do {
+                     const auto q = lane_base + static_cast<std::uint32_t>(
+                                                    __builtin_ctzll(bits));
+                     bits &= bits - 1;
+                     depth[base + q] = next_depth;
+                     ++lane_writes;
+                   } while (bits);
+                 }
+                 ln.charge(lane_writes * simt::CostModel::kCoalesced);
+               });
+}
+
+}  // namespace
+
+std::uint32_t BatchEnactor::seed(const Csr& g,
+                                 std::span<const VertexId> sources) {
+  const auto b = static_cast<std::uint32_t>(sources.size());
+  GRX_CHECK_MSG(b >= 1, "batch needs at least one source");
+  GRX_CHECK_MSG(b <= kMaxLanes, "batch exceeds kMaxLanes");
+  for (const VertexId s : sources)
+    GRX_CHECK_MSG(s < g.num_vertices(), "batch source out of range");
+  lanes_.init(g.num_vertices(), b);
+  mark_.assign(g.num_vertices(), kUnclaimed);
+  for (std::uint32_t q = 0; q < b; ++q) lanes_.cur.set(sources[q], q);
+  // Union frontier: each distinct source once, ascending (deterministic).
+  auto& items = in_.items();
+  items.assign(sources.begin(), sources.end());
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return b;
+}
+
+std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
+                                           const BatchOptions& opts,
+                                           std::uint32_t* depth,
+                                           std::uint32_t num_lanes) {
+  const std::uint32_t wpv = lanes_.cur.words_per_vertex();
+
+  BatchBfsProblem p;
+  p.cur = &lanes_.cur;
+  p.next = &lanes_.next;
+  p.visited = &visited_;
+  p.mark = &mark_;
+  p.num_lanes = num_lanes;
+  p.wpv = wpv;
+  p.serial = omp_get_max_threads() == 1;
+
+  const AdvanceConfig acfg = batch_advance_config(opts);
+  const FilterConfig fcfg;  // exact dedup lives in the claim functor
+
+  std::uint64_t edges = 0;
+  BatchDirection dir(opts);
+  while (!in_.empty()) {
+    GRX_CHECK(log_.size() < kMaxIterations);
+    bool prepared = false;
+    const bool pull = dir.choose_pull(dev_, g, in_.items(), opts.direction,
+                                      advance_ws_, prepared);
+    std::uint64_t iter_edges;
+    const std::uint32_t next_depth = p.iteration + 1;
+    if (pull) {
+      // Pull emits a duplicate-free frontier in vertex order (no claim
+      // filter needed) and commits depth/visited inline.
+      iter_edges = batch_pull_step(dev_, g, lanes_.cur, lanes_.next,
+                                   visited_, depth, next_depth,
+                                   filtered_.items(), advance_ws_);
+    } else {
+      iter_edges = push_round<BatchBfsFunctor>(dev_, g, in_, out_, filtered_,
+                                               p, acfg, fcfg, advance_ws_,
+                                               filter_ws_, prepared);
+      lane_sweep(dev_, filtered_.items(), lanes_.next, visited_, depth,
+                 num_lanes, next_depth);
+    }
+    edges += iter_edges;
+    dir.prev_size = in_.size();
+    finish_round(p, iter_edges, pull);
+  }
+  return edges;
+}
+
+BatchBfsResult BatchEnactor::bfs(const Csr& g,
+                                 std::span<const VertexId> sources,
+                                 const BatchOptions& opts) {
+  Timer wall;
+  begin_enact();
+  const std::uint32_t b = seed(g, sources);
+  visited_.reset(g.num_vertices(), b);
+
+  BatchBfsResult res;
+  res.num_lanes = b;
+  res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
+                   kInfinity);
+  for (std::uint32_t q = 0; q < b; ++q) {
+    visited_.set(sources[q], q);
+    res.depth[static_cast<std::size_t>(sources[q]) * b + q] = 0;
+  }
+
+  const std::uint64_t edges =
+      traverse_lanes(g, opts, res.depth.data(), b);
+  res.summary = finish(edges, wall.elapsed_ms());
+  return res;
+}
+
+BatchSsspResult BatchEnactor::sssp(const Csr& g,
+                                   std::span<const VertexId> sources,
+                                   const BatchOptions& opts) {
+  GRX_CHECK_MSG(g.has_weights(), "batched SSSP requires edge weights");
+  Timer wall;
+  begin_enact();
+  const std::uint32_t b = seed(g, sources);
+  const std::uint32_t wpv = lanes_.cur.words_per_vertex();
+
+  BatchSsspResult res;
+  res.num_lanes = b;
+  res.dist.assign(static_cast<std::size_t>(g.num_vertices()) * b, kInfinity);
+  for (std::uint32_t q = 0; q < b; ++q)
+    res.dist[static_cast<std::size_t>(sources[q]) * b + q] = 0;
+
+  BatchSsspProblem p;
+  p.g = &g;
+  p.cur = &lanes_.cur;
+  p.next = &lanes_.next;
+  p.dist = res.dist.data();
+  p.mark = &mark_;
+  p.num_lanes = b;
+  p.wpv = wpv;
+  p.serial = omp_get_max_threads() == 1;
+
+  const AdvanceConfig acfg = batch_advance_config(opts);
+  const FilterConfig fcfg;
+
+  std::uint64_t edges = 0;
+  while (!in_.empty()) {
+    GRX_CHECK(log_.size() < kMaxIterations);
+    const std::uint64_t iter_edges = push_round<BatchRelaxFunctor>(
+        dev_, g, in_, out_, filtered_, p, acfg, fcfg, advance_ws_,
+        filter_ws_);
+    edges += iter_edges;
+    finish_round(p, iter_edges, /*used_pull=*/false);
+  }
+
+  res.summary = finish(edges, wall.elapsed_ms());
+  return res;
+}
+
+BatchReachabilityResult BatchEnactor::reachability(
+    const Csr& g, std::span<const VertexId> sources,
+    const BatchOptions& opts) {
+  Timer wall;
+  begin_enact();
+  const std::uint32_t b = seed(g, sources);
+  visited_.reset(g.num_vertices(), b);
+  for (std::uint32_t q = 0; q < b; ++q) visited_.set(sources[q], q);
+
+  // Same traversal as bfs(), no depth matrix: visited IS the result.
+  const std::uint64_t edges = traverse_lanes(g, opts, /*depth=*/nullptr, b);
+
+  BatchReachabilityResult res;
+  res.num_lanes = b;
+  res.visited.reset(g.num_vertices(), b);
+  res.visited.swap(visited_);
+  res.summary = finish(edges, wall.elapsed_ms());
+  return res;
+}
+
+BatchBcForwardResult BatchEnactor::bc_forward(
+    const Csr& g, std::span<const VertexId> sources,
+    const BatchOptions& opts) {
+  Timer wall;
+  begin_enact();
+  const std::uint32_t b = seed(g, sources);
+  const std::uint32_t wpv = lanes_.cur.words_per_vertex();
+  visited_.reset(g.num_vertices(), b);
+
+  BatchBcForwardResult res;
+  res.num_lanes = b;
+  res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
+                   kInfinity);
+  res.sigma.assign(static_cast<std::size_t>(g.num_vertices()) * b, 0.0);
+  for (std::uint32_t q = 0; q < b; ++q) {
+    visited_.set(sources[q], q);
+    res.depth[static_cast<std::size_t>(sources[q]) * b + q] = 0;
+    res.sigma[static_cast<std::size_t>(sources[q]) * b + q] = 1.0;
+  }
+
+  BatchBcProblem p;
+  p.cur = &lanes_.cur;
+  p.next = &lanes_.next;
+  p.visited = &visited_;
+  p.sigma = res.sigma.data();
+  p.mark = &mark_;
+  p.num_lanes = b;
+  p.wpv = wpv;
+  p.serial = omp_get_max_threads() == 1;
+
+  const AdvanceConfig acfg = batch_advance_config(opts);
+  const FilterConfig fcfg;
+
+  std::uint64_t edges = 0;
+  while (!in_.empty()) {
+    GRX_CHECK(log_.size() < kMaxIterations);
+    const std::uint64_t iter_edges = push_round<BatchBcForwardFunctor>(
+        dev_, g, in_, out_, filtered_, p, acfg, fcfg, advance_ws_,
+        filter_ws_);
+    edges += iter_edges;
+    lane_sweep(dev_, filtered_.items(), lanes_.next, visited_,
+               res.depth.data(), b, p.iteration + 1);
+    finish_round(p, iter_edges, /*used_pull=*/false);
+  }
+
+  res.summary = finish(edges, wall.elapsed_ms());
+  return res;
+}
+
+// --- free-function entry points ---------------------------------------------
+
+BatchBfsResult batch_bfs(simt::Device& dev, const Csr& g,
+                         std::span<const VertexId> sources,
+                         const BatchOptions& opts) {
+  return BatchEnactor(dev).bfs(g, sources, opts);
+}
+
+BatchSsspResult batch_sssp(simt::Device& dev, const Csr& g,
+                           std::span<const VertexId> sources,
+                           const BatchOptions& opts) {
+  return BatchEnactor(dev).sssp(g, sources, opts);
+}
+
+BatchReachabilityResult batch_reachability(simt::Device& dev, const Csr& g,
+                                           std::span<const VertexId> sources,
+                                           const BatchOptions& opts) {
+  return BatchEnactor(dev).reachability(g, sources, opts);
+}
+
+BatchBcForwardResult batch_bc_forward(simt::Device& dev, const Csr& g,
+                                      std::span<const VertexId> sources,
+                                      const BatchOptions& opts) {
+  return BatchEnactor(dev).bc_forward(g, sources, opts);
+}
+
+}  // namespace grx

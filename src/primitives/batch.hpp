@@ -1,0 +1,35 @@
+// Batched multi-source entry points — the primitive-level face of the
+// MS-query engine (core/batch_enactor.hpp): one call runs B queries over a
+// shared graph, amortizing every edge scan across the batch.
+//
+// Use these for one-shot batches; hold a BatchEnactor directly when
+// serving a stream of batches so the pooled workspaces and lane masks are
+// reused across calls (see examples/query_server.cpp).
+#pragma once
+
+#include "core/batch_enactor.hpp"
+
+namespace grx {
+
+/// B-source BFS depths: result.depth_at(v, q) is dist(sources[q], v).
+BatchBfsResult batch_bfs(simt::Device& dev, const Csr& g,
+                         std::span<const VertexId> sources,
+                         const BatchOptions& opts = {});
+
+/// B-source shortest-path distances (weighted graph required).
+BatchSsspResult batch_sssp(simt::Device& dev, const Csr& g,
+                           std::span<const VertexId> sources,
+                           const BatchOptions& opts = {});
+
+/// B-source reachability masks.
+BatchReachabilityResult batch_reachability(simt::Device& dev, const Csr& g,
+                                           std::span<const VertexId> sources,
+                                           const BatchOptions& opts = {});
+
+/// B-source Brandes forward pass (per-lane depth + sigma); the building
+/// block of gunrock_bc_batched (primitives/bc.hpp).
+BatchBcForwardResult batch_bc_forward(simt::Device& dev, const Csr& g,
+                                      std::span<const VertexId> sources,
+                                      const BatchOptions& opts = {});
+
+}  // namespace grx

@@ -2,6 +2,7 @@
 
 #include "core/compute.hpp"
 #include "core/filter.hpp"
+#include "primitives/batch.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -115,6 +116,56 @@ class BcEnactor : public EnactorBase {
     out.summary = finish(edges, wall.elapsed_ms());
     return out;
   }
+
+  /// Backward half of source-batched BC: reconstructs lane `lane`'s
+  /// per-level frontiers from the batched forward result (vertices bucketed
+  /// by depth) and runs the standard backward sweep, folding dependencies
+  /// into `acc`. Results match the single-source backward pass because the
+  /// batched forward produces the identical depth/sigma per lane.
+  void backward_accumulate(const Csr& g, const BatchBcForwardResult& fwd,
+                           std::uint32_t lane, VertexId source,
+                           const BcOptions& opts, std::vector<double>& acc) {
+    begin_enact();
+    const std::uint32_t b = fwd.num_lanes;
+    // All scratch (problem slices, level buckets, the level frontier) is
+    // pooled in the enactor: across the B lanes of a batch only the first
+    // call allocates.
+    BcProblem& p = bwd_problem_;
+    p.depth.resize(g.num_vertices());
+    p.sigma.resize(g.num_vertices());
+    p.delta.assign(g.num_vertices(), 0.0);
+    std::uint32_t max_level = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const std::size_t i = static_cast<std::size_t>(v) * b + lane;
+      p.depth[v] = fwd.depth[i];
+      p.sigma[v] = fwd.sigma[i];
+      if (p.depth[v] != kInfinity) max_level = std::max(max_level, p.depth[v]);
+    }
+    if (bwd_levels_.size() < max_level + 1) bwd_levels_.resize(max_level + 1);
+    for (std::uint32_t li = 0; li <= max_level; ++li) bwd_levels_[li].clear();
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (p.depth[v] != kInfinity) bwd_levels_[p.depth[v]].push_back(v);
+
+    AdvanceConfig bcfg;
+    bcfg.strategy = opts.strategy;
+    bcfg.idempotent = false;
+    bcfg.collect_outputs = false;
+    for (std::uint32_t li = max_level + 1; li-- > 0;) {
+      p.iteration = li;
+      bwd_level_.items().assign(bwd_levels_[li].begin(),
+                                bwd_levels_[li].end());
+      advance<BackwardFunctor>(dev_, g, bwd_level_, out_, p, bcfg,
+                               advance_ws_);
+      compute(dev_, bwd_level_, p, [&](std::uint32_t v, BcProblem& prob) {
+        if (v != source) acc[v] += prob.delta[v];
+      });
+    }
+  }
+
+ private:
+  BcProblem bwd_problem_;
+  std::vector<std::vector<std::uint32_t>> bwd_levels_;
+  Frontier bwd_level_{FrontierKind::kVertex};
 };
 
 }  // namespace
@@ -122,6 +173,21 @@ class BcEnactor : public EnactorBase {
 BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
                     const BcOptions& opts) {
   return BcEnactor(dev).enact(g, source, opts);
+}
+
+std::vector<double> gunrock_bc_batched(simt::Device& dev, const Csr& g,
+                                       std::span<const VertexId> sources,
+                                       const BcOptions& opts) {
+  std::vector<double> acc(g.num_vertices(), 0.0);
+  if (sources.empty()) return acc;
+  BatchOptions bopts;
+  bopts.strategy = opts.strategy;
+  const BatchBcForwardResult fwd =
+      BatchEnactor(dev).bc_forward(g, sources, bopts);
+  BcEnactor back(dev);  // one enactor: workspaces pool across lanes
+  for (std::uint32_t q = 0; q < fwd.num_lanes; ++q)
+    back.backward_accumulate(g, fwd, q, sources[q], opts, acc);
+  return acc;
 }
 
 std::vector<double> gunrock_bc_sampled(simt::Device& dev, const Csr& g,

@@ -4,6 +4,8 @@
 // (delta) — both expressed as Gunrock advance steps with fused compute.
 #pragma once
 
+#include <span>
+
 #include "core/advance.hpp"
 #include "core/enactor.hpp"
 #include "graph/csr.hpp"
@@ -30,6 +32,16 @@ BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
 std::vector<double> gunrock_bc_sampled(simt::Device& dev, const Csr& g,
                                        std::uint32_t num_sources,
                                        std::uint64_t seed,
+                                       const BcOptions& opts = {});
+
+/// Source-batched accumulated BC: one lane-packed forward pass
+/// (BatchEnactor::bc_forward) computes depth + sigma for all `sources` at
+/// once, then per-source backward sweeps accumulate dependencies. Same
+/// result as summing gunrock_bc over the sources (up to floating-point
+/// association in the backward deltas), with the forward half amortized
+/// across the batch.
+std::vector<double> gunrock_bc_batched(simt::Device& dev, const Csr& g,
+                                       std::span<const VertexId> sources,
                                        const BcOptions& opts = {});
 
 }  // namespace grx

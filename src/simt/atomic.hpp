@@ -47,6 +47,16 @@ T atomic_cas(T& target, T expected, T desired) {
   return expected;  // compare_exchange updates `expected` to the old value.
 }
 
+/// atomicOr(addr, value): returns the previous value. The lane-mask update
+/// of the batched traversal kernels: OR is commutative and idempotent, so
+/// concurrent edge visits compose to the same word regardless of order.
+template <typename T>
+T atomic_fetch_or(T& target, T value) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(target);
+  return ref.fetch_or(value, std::memory_order_relaxed);
+}
+
 /// atomicExch(addr, value): returns the previous value.
 template <typename T>
 T atomic_exchange(T& target, T value) {

@@ -1,0 +1,215 @@
+// Batched multi-source traversal (core/batch_enactor.hpp): per-lane
+// results must equal B independent single-query runs — the batch engine is
+// an amortization, never an approximation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "primitives/batch.hpp"
+#include "primitives/bc.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/sssp.hpp"
+#include "test_common.hpp"
+
+namespace grx {
+namespace {
+
+/// Deterministic scattered source ids, with a duplicate pair to exercise
+/// independent lanes sharing a source.
+std::vector<VertexId> pick_sources(const Csr& g, std::uint32_t count) {
+  std::vector<VertexId> src = testing::scattered_sources(g, count);
+  if (count >= 2) src[count - 1] = src[0];  // duplicate source
+  return src;
+}
+
+std::vector<Csr> batch_graphs() {
+  std::vector<Csr> gs;
+  gs.push_back(testing::undirected(rmat(10, 16, 5)));  // power-law
+  gs.push_back(testing::undirected(road_grid(40, 30, 0.2, 0.01, 3)));  // mesh
+  return gs;
+}
+
+TEST(Batch, BfsMatchesSingleQueryPerLane) {
+  for (const Csr& g : batch_graphs()) {
+    const auto sources = pick_sources(g, 7);
+    // Both the push-only default and the direction-optimal mode (legal
+    // here: batch_graphs() are symmetrized) must match single-query runs.
+    for (const Direction dir : {Direction::kPush, Direction::kOptimal}) {
+      BatchOptions bopts;
+      bopts.direction = dir;
+      simt::Device dev;
+      const BatchBfsResult batch = batch_bfs(dev, g, sources, bopts);
+      ASSERT_EQ(batch.num_lanes, sources.size());
+      for (std::uint32_t q = 0; q < batch.num_lanes; ++q) {
+        BfsOptions opts;
+        opts.record_predecessors = false;
+        const BfsResult single = gunrock_bfs(dev, g, sources[q], opts);
+        for (VertexId v = 0; v < g.num_vertices(); ++v)
+          ASSERT_EQ(batch.depth_at(v, q), single.depth[v])
+              << "lane " << q << " vertex " << v << " dir "
+              << to_string(dir);
+      }
+    }
+  }
+}
+
+TEST(Batch, BfsMultiWordLanes) {
+  // B > 64 exercises multi-word masks (words_per_vertex > 1), in
+  // direction-optimal mode so the multi-word pull path runs too.
+  const Csr g = testing::undirected(rmat(9, 12, 11));
+  const auto sources = pick_sources(g, 130);
+  BatchOptions bopts;
+  bopts.direction = Direction::kOptimal;
+  simt::Device dev;
+  const BatchBfsResult batch = batch_bfs(dev, g, sources, bopts);
+  ASSERT_EQ(batch.num_lanes, 130u);
+  BfsOptions opts;
+  opts.record_predecessors = false;
+  for (std::uint32_t q = 0; q < batch.num_lanes; ++q) {
+    const BfsResult single = gunrock_bfs(dev, g, sources[q], opts);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(batch.depth_at(v, q), single.depth[v])
+          << "lane " << q << " vertex " << v;
+  }
+}
+
+TEST(Batch, DirectedGraphDefaultsToCorrectPushTraversal) {
+  // On a *directed* (non-symmetrized) CSR the pull step is illegal (it
+  // probes out-edges as in-edges), which is why the default direction is
+  // kPush — results on directed graphs must match single-query BFS.
+  BuildOptions bo;  // symmetrize = false
+  const Csr g = build_csr(rmat(10, 8, 13), bo);
+  const auto sources = pick_sources(g, 5);
+  simt::Device dev;
+  const BatchBfsResult batch = batch_bfs(dev, g, sources);  // defaults
+  for (std::uint32_t q = 0; q < batch.num_lanes; ++q) {
+    BfsOptions opts;
+    opts.record_predecessors = false;
+    const BfsResult single = gunrock_bfs(dev, g, sources[q], opts);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      ASSERT_EQ(batch.depth_at(v, q), single.depth[v])
+          << "lane " << q << " vertex " << v;
+  }
+}
+
+TEST(Batch, SsspMatchesSingleQueryPerLane) {
+  for (const Csr& g : batch_graphs()) {
+    const auto sources = pick_sources(g, 7);
+    simt::Device dev;
+    const BatchSsspResult batch = batch_sssp(dev, g, sources);
+    for (std::uint32_t q = 0; q < batch.num_lanes; ++q) {
+      const SsspResult single = gunrock_sssp(dev, g, sources[q]);
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(batch.dist_at(v, q), single.dist[v])
+            << "lane " << q << " vertex " << v;
+    }
+  }
+}
+
+TEST(Batch, ReachabilityMatchesBfs) {
+  const Csr g = testing::undirected(rmat(10, 16, 5));
+  const auto sources = pick_sources(g, 5);
+  BatchOptions bopts;
+  bopts.direction = Direction::kOptimal;  // undirected: pull legal
+  simt::Device dev;
+  const BatchReachabilityResult reach =
+      batch_reachability(dev, g, sources, bopts);
+  const BatchBfsResult batch = batch_bfs(dev, g, sources, bopts);
+  for (std::uint32_t q = 0; q < reach.num_lanes; ++q)
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(reach.reachable(v, q), batch.depth_at(v, q) != kInfinity)
+          << "lane " << q << " vertex " << v;
+}
+
+TEST(Batch, BcForwardMatchesSingleQueryPerLane) {
+  const Csr g = testing::undirected(rmat(9, 12, 7));
+  const auto sources = pick_sources(g, 5);
+  simt::Device dev;
+  const BatchBcForwardResult fwd = batch_bc_forward(dev, g, sources);
+  for (std::uint32_t q = 0; q < fwd.num_lanes; ++q) {
+    const BcResult single = gunrock_bc(dev, g, sources[q]);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(fwd.depth_at(v, q), single.depth[v])
+          << "lane " << q << " vertex " << v;
+      // Sigma counts are integers in doubles: sums commute exactly.
+      ASSERT_EQ(fwd.sigma_at(v, q), single.sigma[v])
+          << "lane " << q << " vertex " << v;
+    }
+  }
+}
+
+TEST(Batch, BcBatchedMatchesPerSourceSum) {
+  const Csr g = testing::undirected(rmat(9, 12, 7));
+  const auto sources = pick_sources(g, 5);
+  simt::Device dev;
+  const std::vector<double> batched = gunrock_bc_batched(dev, g, sources);
+  std::vector<double> ref(g.num_vertices(), 0.0);
+  for (const VertexId s : sources) {
+    const BcResult r = gunrock_bc(dev, g, s);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) ref[v] += r.bc_values[v];
+  }
+  // Backward deltas are genuine doubles; allow FP association slack.
+  EXPECT_TRUE(testing::near_vectors(batched, ref, 1e-6));
+}
+
+TEST(Batch, EnactorReuseMatchesFresh) {
+  // Pooled lane masks and workspaces must be invisible to results: a second
+  // enactment on a reused enactor (different batch size, different
+  // primitive) equals a fresh enactor's.
+  const Csr g = testing::undirected(rmat(10, 16, 5));
+  BatchOptions bopts;
+  bopts.direction = Direction::kOptimal;
+  simt::Device dev;
+  BatchEnactor reused(dev);
+  const auto warm = pick_sources(g, 70);  // sizes pools for 2 words/vertex
+  (void)reused.bfs(g, warm, bopts);
+  (void)reused.sssp(g, pick_sources(g, 3));
+  const auto sources = pick_sources(g, 6);
+  const BatchBfsResult again = reused.bfs(g, sources, bopts);
+  const BatchBfsResult fresh = batch_bfs(dev, g, sources, bopts);
+  EXPECT_EQ(again.depth, fresh.depth);
+}
+
+TEST(Batch, SingleLaneDegenerateBatch) {
+  const Csr g = testing::undirected(rmat(9, 12, 7));
+  const VertexId src = 3;
+  simt::Device dev;
+  const BatchBfsResult batch = batch_bfs(dev, g, {&src, 1});
+  BfsOptions opts;
+  opts.record_predecessors = false;
+  const BfsResult single = gunrock_bfs(dev, g, src, opts);
+  EXPECT_EQ(batch.depth, single.depth);  // B=1: layouts coincide
+}
+
+TEST(Batch, ContractViolationsThrow) {
+  const Csr g = testing::undirected(rmat(8, 8, 5));
+  simt::Device dev;
+  const VertexId oob = g.num_vertices();
+  EXPECT_THROW((void)batch_bfs(dev, g, {&oob, 1}), CheckError);
+  EXPECT_THROW((void)batch_bfs(dev, g, {}), CheckError);
+  // Weightless graph (build_csr always attaches weights; construct raw):
+  // batched SSSP requires weights.
+  const Csr unweighted(3, {0, 1, 2, 2}, {1, 2});
+  const VertexId src = 0;
+  EXPECT_THROW((void)batch_sssp(dev, unweighted, {&src, 1}), CheckError);
+}
+
+TEST(Batch, SummaryAccountsIterationsAndEdges) {
+  const Csr g = testing::undirected(rmat(10, 16, 5));
+  const auto sources = pick_sources(g, 4);
+  simt::Device dev;
+  const BatchBfsResult batch = batch_bfs(dev, g, sources);
+  // The union traversal runs as deep as the deepest lane.
+  std::uint32_t deepest = 0;
+  for (std::uint32_t q = 0; q < batch.num_lanes; ++q)
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (batch.depth_at(v, q) != kInfinity)
+        deepest = std::max(deepest, batch.depth_at(v, q));
+  EXPECT_GE(batch.summary.iterations, deepest);
+  EXPECT_GT(batch.summary.edges_processed, 0u);
+  EXPECT_EQ(batch.summary.per_iteration.size(), batch.summary.iterations);
+}
+
+}  // namespace
+}  // namespace grx

@@ -42,6 +42,13 @@ inline Csr random_graph(std::uint32_t n, std::uint64_t m,
   return undirected_symw(std::move(el), seed ^ 0x5eed);
 }
 
+/// Csr-taking convenience over the shared source picker
+/// (grx::scattered_sources in graph/generators.hpp).
+inline std::vector<VertexId> scattered_sources(const Csr& g,
+                                               std::uint32_t count) {
+  return grx::scattered_sources(g.num_vertices(), count);
+}
+
 /// True iff two component labelings induce the same partition.
 inline ::testing::AssertionResult same_partition(
     const std::vector<VertexId>& a, const std::vector<VertexId>& b) {

@@ -12,6 +12,9 @@
 #include "core/filter.hpp"
 #include "core/priority_queue.hpp"
 #include "graph/generators.hpp"
+#include "primitives/batch.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/sssp.hpp"
 #include "test_common.hpp"
 
 namespace grx {
@@ -253,6 +256,83 @@ TEST(Determinism, SplitNearFarPreservesInputOrder) {
     split_near_far(dev, items, near, far, is_near);
     EXPECT_EQ(near, ref_near) << threads << " threads";
     EXPECT_EQ(far, ref_far) << threads << " threads";
+  }
+}
+
+// --- batched traversal ------------------------------------------------------
+//
+// The batch engine's lane updates are commutative (OR, equal-value depth
+// stores, atomicMin), so batched *results* must be byte-identical across
+// host thread counts AND equal, lane for lane, to B independent
+// single-query runs. B > 64 exercises the multi-word mask path.
+
+using testing::scattered_sources;
+
+TEST(Determinism, BatchBfsIdenticalAcrossThreadCounts) {
+  ThreadRestorer restore;
+  // Direction-optimal (legal: test_graphs() are symmetrized), so both the
+  // push advance and the batch pull step are exercised.
+  BatchOptions bopts;
+  bopts.direction = Direction::kOptimal;
+  for (const Csr& g : test_graphs()) {
+    const auto sources = scattered_sources(g, 67);
+    omp_set_num_threads(1);
+    simt::Device dev;
+    const BatchBfsResult ref = batch_bfs(dev, g, sources, bopts);
+    // Per-lane cross-check against independent single-query runs.
+    BfsOptions opts;
+    opts.record_predecessors = false;
+    for (std::uint32_t q = 0; q < ref.num_lanes; ++q) {
+      const BfsResult single = gunrock_bfs(dev, g, sources[q], opts);
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(ref.depth_at(v, q), single.depth[v])
+            << "lane " << q << " vertex " << v;
+    }
+    for (int threads : {4, 16}) {
+      omp_set_num_threads(threads);
+      const BatchBfsResult run = batch_bfs(dev, g, sources, bopts);
+      EXPECT_EQ(run.depth, ref.depth) << threads << " threads";
+      EXPECT_EQ(run.summary.iterations, ref.summary.iterations)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, BatchSsspIdenticalAcrossThreadCounts) {
+  ThreadRestorer restore;
+  for (const Csr& g : test_graphs()) {
+    const auto sources = scattered_sources(g, 67);
+    omp_set_num_threads(1);
+    simt::Device dev;
+    const BatchSsspResult ref = batch_sssp(dev, g, sources);
+    for (std::uint32_t q = 0; q < ref.num_lanes; ++q) {
+      const SsspResult single = gunrock_sssp(dev, g, sources[q]);
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(ref.dist_at(v, q), single.dist[v])
+            << "lane " << q << " vertex " << v;
+    }
+    for (int threads : {4, 16}) {
+      omp_set_num_threads(threads);
+      const BatchSsspResult run = batch_sssp(dev, g, sources);
+      EXPECT_EQ(run.dist, ref.dist) << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, BatchBcForwardIdenticalAcrossThreadCounts) {
+  // Sigma values are integer counts stored in doubles, so the atomic adds
+  // commute exactly and the forward pass is byte-deterministic too.
+  ThreadRestorer restore;
+  const Csr g = testing::undirected(rmat(10, 16, 5));
+  const auto sources = scattered_sources(g, 67);
+  omp_set_num_threads(1);
+  simt::Device dev;
+  const BatchBcForwardResult ref = batch_bc_forward(dev, g, sources);
+  for (int threads : {4, 16}) {
+    omp_set_num_threads(threads);
+    const BatchBcForwardResult run = batch_bc_forward(dev, g, sources);
+    EXPECT_EQ(run.depth, ref.depth) << threads << " threads";
+    EXPECT_EQ(run.sigma, ref.sigma) << threads << " threads";
   }
 }
 
