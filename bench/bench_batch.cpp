@@ -4,16 +4,21 @@
 //   $ ./bench_batch [--scale=13] [--batch=64] [--repeats=3] [--check]
 //   $ ./bench_batch --smoke        # small graph + full per-lane verify (CI)
 //
-// Measures B BFS / SSSP queries on the power-law bench graph two ways —
-// B sequential enactments (each in the paper's fastest single-query
-// configuration) and one lane-packed batch — and reports wall-clock and
-// simulated-device aggregate queries/sec. Timing is interleaved A/B: the
-// two arms alternate inside every repeat so drift (thermal, page cache,
-// competing load) lands on both equally; best-of-repeats is reported. See
-// docs/benchmarks.md for the methodology.
+// Measures B BFS / SSSP queries on the power-law bench graph — B sequential
+// enactments (each in the paper's fastest single-query configuration), one
+// lane-packed batch, and for SSSP additionally the plain Bellman-Ford batch
+// (priority schedule off) as the PR 2 baseline the per-lane near/far
+// frontier must beat. Timing is interleaved A/B: the arms alternate inside
+// every repeat so drift (thermal, page cache, competing load) lands on all
+// equally; best-of-repeats is reported. See docs/benchmarks.md for the
+// methodology.
 //
 // Acceptance (ISSUE 2): batched >= 4x sequential aggregate queries/sec at
 // B=64 on the power-law graph.
+// Acceptance (ISSUE 3): near/far batched SSSP >= 1.5x the Bellman-Ford
+// batched baseline in device-charged time at B=64, every lane equal to the
+// serial oracle.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -36,7 +41,8 @@ struct Arm {
 /// Returns the number of mismatching (vertex, lane) cells.
 std::uint64_t verify(const Csr& g, const std::vector<VertexId>& sources,
                      const BatchBfsResult& bfs_batch,
-                     const BatchSsspResult& sssp_batch) {
+                     const BatchSsspResult& sssp_batch,
+                     const BatchSsspResult& sssp_bf_batch) {
   simt::Device dev;
   std::uint64_t bad = 0;
   for (std::uint32_t q = 0; q < bfs_batch.num_lanes; ++q) {
@@ -47,9 +53,43 @@ std::uint64_t verify(const Csr& g, const std::vector<VertexId>& sources,
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       bad += bfs_batch.depth_at(v, q) != bfs_single.depth[v];
       bad += sssp_batch.dist_at(v, q) != sssp_single.dist[v];
+      bad += sssp_bf_batch.dist_at(v, q) != sssp_single.dist[v];
     }
   }
   return bad;
+}
+
+/// Per-lane near/far split stats of the last batched SSSP run: the
+/// regression fingerprint of the per-lane schedule (level advances and
+/// pile volumes shift when the split heuristic or cutoff logic changes).
+void print_lane_stats(const BatchSsspResult& r) {
+  if (r.lane_stats.empty()) {
+    std::printf("SSSP near/far: priority schedule off (delta=0)\n");
+    return;
+  }
+  std::uint64_t splits_min = ~0ull, splits_max = 0, splits_sum = 0;
+  std::uint64_t near_sum = 0, far_sum = 0;
+  std::uint32_t lane_min = 0, lane_max = 0;
+  for (std::uint32_t q = 0; q < r.lane_stats.size(); ++q) {
+    const PriorityQueueStats& s = r.lane_stats[q];
+    if (s.splits < splits_min) { splits_min = s.splits; lane_min = q; }
+    if (s.splits > splits_max) { splits_max = s.splits; lane_max = q; }
+    splits_sum += s.splits;
+    near_sum += s.near_total;
+    far_sum += s.far_total;
+  }
+  const double lanes = static_cast<double>(r.lane_stats.size());
+  std::printf(
+      "SSSP near/far (delta=%u): per-lane splits min=%llu (lane %u) "
+      "mean=%.1f max=%llu (lane %u); near %llu / far %llu cells "
+      "(%.1f%% deferred)\n",
+      r.delta, static_cast<unsigned long long>(splits_min), lane_min,
+      static_cast<double>(splits_sum) / lanes,
+      static_cast<unsigned long long>(splits_max), lane_max,
+      static_cast<unsigned long long>(near_sum),
+      static_cast<unsigned long long>(far_sum),
+      100.0 * static_cast<double>(far_sum) /
+          static_cast<double>(std::max<std::uint64_t>(1, near_sum + far_sum)));
 }
 
 }  // namespace
@@ -63,6 +103,12 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("batch", smoke ? 32 : 64));
   const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
   const bool check = smoke || cli.has("check");
+  // 0 = the shared auto sizing (sssp_auto_delta); handy for sweeps. The
+  // smoke graph sits under the auto heuristic's size gate, so smoke
+  // forces a small delta — otherwise the CI sanitizer run would never
+  // execute the claim-split/wake kernels it exists to exercise.
+  const auto delta =
+      static_cast<std::uint32_t>(cli.get_int("delta", smoke ? 8 : 0));
 
   // The power-law bench graph (bench_micro's scale_free shape), weighted
   // so the same sources drive both BFS and SSSP.
@@ -75,14 +121,15 @@ int main(int argc, char** argv) {
               scale, g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()), batch);
 
-  Arm bfs_seq, bfs_bat, sssp_seq, sssp_bat;
+  Arm bfs_seq, bfs_bat, sssp_seq, sssp_bat, sssp_bf;
   // Each sequential query constructs its own device (bench_common idiom);
-  // the batched arm reuses one enactor across repeats so later repeats
+  // the batched arms reuse one enactor across repeats so later repeats
   // exercise the pooled steady state.
   simt::Device dev_batch;
   BatchEnactor batch_enactor(dev_batch);
   BatchBfsResult bfs_last;
   BatchSsspResult sssp_last;
+  BatchSsspResult sssp_bf_last;
 
   for (int rep = 0; rep < repeats; ++rep) {
     // --- BFS, sequential arm -------------------------------------------
@@ -123,10 +170,22 @@ int main(int argc, char** argv) {
       sssp_seq.wall_ms = std::min(sssp_seq.wall_ms, t.elapsed_ms());
       sssp_seq.device_ms = std::min(sssp_seq.device_ms, device_ms);
     }
-    // --- SSSP, batched arm ---------------------------------------------
+    // --- SSSP, batched Bellman-Ford baseline (priority schedule off) ---
     {
+      BatchOptions bopts;
+      bopts.use_priority_queue = false;
       Timer t;
-      sssp_last = batch_enactor.sssp(g, sources);
+      sssp_bf_last = batch_enactor.sssp(g, sources, bopts);
+      sssp_bf.wall_ms = std::min(sssp_bf.wall_ms, t.elapsed_ms());
+      sssp_bf.device_ms =
+          std::min(sssp_bf.device_ms, sssp_bf_last.summary.device_time_ms);
+    }
+    // --- SSSP, batched per-lane near/far arm ---------------------------
+    {
+      BatchOptions bopts;
+      bopts.delta = delta;
+      Timer t;
+      sssp_last = batch_enactor.sssp(g, sources, bopts);
       sssp_bat.wall_ms = std::min(sssp_bat.wall_ms, t.elapsed_ms());
       sssp_bat.device_ms =
           std::min(sssp_bat.device_ms, sssp_last.summary.device_time_ms);
@@ -145,19 +204,26 @@ int main(int argc, char** argv) {
                Table::num(qps(bat.wall_ms), 0)});
   };
   row("BFS", bfs_seq, bfs_bat);
-  row("SSSP", sssp_seq, sssp_bat);
+  row("SSSP near/far", sssp_seq, sssp_bat);
+  row("SSSP Bellman-Ford", sssp_seq, sssp_bf);
   std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "SSSP near/far vs Bellman-Ford batch: %.2fx device, %.2fx wall\n",
+      sssp_bf.device_ms / sssp_bat.device_ms,
+      sssp_bf.wall_ms / sssp_bat.wall_ms);
+  print_lane_stats(sssp_last);
 
   if (check) {
-    const std::uint64_t bad = verify(g, sources, bfs_last, sssp_last);
+    const std::uint64_t bad =
+        verify(g, sources, bfs_last, sssp_last, sssp_bf_last);
     if (bad != 0) {
       std::printf("FAIL: %llu (vertex, lane) cells differ from single-query "
                   "runs\n",
                   static_cast<unsigned long long>(bad));
       return 1;
     }
-    std::printf("verified: batched BFS/SSSP equal single-query runs on all "
-                "%u lanes\n",
+    std::printf("verified: batched BFS/SSSP (near/far and Bellman-Ford) "
+                "equal single-query runs on all %u lanes\n",
                 batch);
   }
   if (smoke) std::printf("smoke OK\n");

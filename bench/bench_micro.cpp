@@ -296,4 +296,40 @@ void BM_BatchBfsSteadyAllocs(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchBfsSteadyAllocs)->Unit(benchmark::kMillisecond);
 
+// Batched SSSP under the per-lane near/far schedule: the priority frontier
+// adds a far bank, pile lists, staging, tallies, and the enqueue-label
+// matrix — all pooled in the enactor or assigned per enactment. Per-enact
+// allocations must stay a small constant (result + per-enact matrices),
+// never proportional to BSP iterations or priority levels.
+void BM_BatchSsspNearFarSteadyAllocs(benchmark::State& state) {
+  // The shared bench graph carries unit weights (every distance is within
+  // the first priority band); random [1, 64] weights make the near/far
+  // machinery — banking, wakes, the enqueue-label matrix — actually run.
+  static const Csr g = with_random_weights(scale_free(), /*seed=*/7);
+  const std::vector<VertexId> sources = bench::scattered_sources(g, 64);
+  simt::Device dev;
+  BatchEnactor enactor(dev);
+  BatchOptions opts;
+  opts.delta = 8;  // force the schedule (bench graph may sit under gates)
+  (void)enactor.sssp(g, sources, opts);  // warm-up: size every pool
+
+  std::uint64_t allocs = 0, iters = 0, bsp_iters = 0, splits = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const BatchSsspResult r = enactor.sssp(g, sources, opts);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++iters;
+    bsp_iters = r.summary.iterations;
+    splits = 0;
+    for (const PriorityQueueStats& s : r.lane_stats) splits += s.splits;
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.counters["allocs_per_enact"] =
+      static_cast<double>(allocs) / static_cast<double>(iters ? iters : 1);
+  state.counters["bsp_iterations"] = static_cast<double>(bsp_iters);
+  state.counters["lane_splits"] = static_cast<double>(splits);
+}
+BENCHMARK(BM_BatchSsspNearFarSteadyAllocs)->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -21,9 +21,11 @@
 // independent single-query runs — lane updates are commutative (OR,
 // equal-value depth stores, atomicMin) and frontier membership is decided
 // by monotone per-word races whose outcome is order-independent. Batched
-// SSSP converges to the exact per-lane distances (same contract as
-// single-query SSSP: per-round schedules may vary benignly, final
-// distances do not). tests/test_determinism.cpp asserts both.
+// SSSP is exact per lane AND schedule-deterministic: relaxations read
+// enqueue-time labels, so per-round improvement sets, iteration counts,
+// and the per-lane PriorityQueueStats are byte-identical across thread
+// counts and advance strategies. tests/test_determinism.cpp asserts all
+// of it.
 //
 // BFS and reachability support direction-optimal traversal (opt-in via
 // BatchOptions::direction, symmetric CSR required): a lane-parallel
@@ -31,10 +33,16 @@
 // incoming neighbors and stops once all pending lanes found a parent —
 // takes over when the union frontier saturates, exactly as Beamer's
 // switch does for one query. Limits: SSSP and the BC forward pass are
-// push-only (per-lane
-// relaxation / sigma accumulation admit no early-exit pull form), and
-// there is no per-lane near/far priority queue for SSSP (plain
-// Bellman-Ford rounds over the union frontier).
+// push-only (per-lane relaxation / sigma accumulation admit no early-exit
+// pull form).
+//
+// Batched SSSP runs a *per-lane* near/far priority schedule
+// (LanePriorityFrontier, core/priority_queue.hpp): every lane defers its
+// above-cutoff relaxations into a far bit bank and advances its priority
+// level independently — a lane that drains its near pile re-splits the
+// same iteration instead of stalling behind the batch. Disable via
+// BatchOptions::use_priority_queue for plain Bellman-Ford rounds over the
+// union frontier.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +51,7 @@
 
 #include "core/batch_frontier.hpp"
 #include "core/enactor.hpp"
+#include "core/priority_queue.hpp"
 #include "graph/csr.hpp"
 
 namespace grx {
@@ -72,6 +81,12 @@ struct BatchOptions {
   /// below |V|/beta. Same defaults as AdvanceConfig.
   double pull_alpha = 14.0;
   double pull_beta = 24.0;
+  /// SSSP only: enable the per-lane near/far priority schedule. 0 delta
+  /// means "auto" — the shared sssp_auto_delta sizing (mean weight x avg
+  /// degree; 0 on low-degree graphs, leaving the schedule off). Mirrors
+  /// single-query SsspOptions.
+  bool use_priority_queue = true;
+  std::uint32_t delta = 0;
 };
 
 /// Dense per-(vertex, lane) value matrix layout shared by the batched
@@ -90,6 +105,12 @@ struct BatchBfsResult {
 struct BatchSsspResult {
   std::uint32_t num_lanes = 0;
   std::vector<std::uint32_t> dist;  ///< |V| x B, kInfinity where unreachable
+  /// Near/far schedule counters, one entry per lane (empty when the
+  /// priority schedule was disabled): level advances, near/far pile
+  /// entries. Deterministic across thread counts and advance strategies.
+  std::vector<PriorityQueueStats> lane_stats;
+  /// The delta the schedule ran with (0 == plain Bellman-Ford rounds).
+  std::uint32_t delta = 0;
   EnactSummary summary;
 
   std::uint32_t dist_at(VertexId v, std::uint32_t lane) const {
@@ -145,8 +166,9 @@ class BatchEnactor : public EnactorBase {
   BatchBfsResult bfs(const Csr& g, std::span<const VertexId> sources,
                      const BatchOptions& opts = {});
 
-  /// B-source SSSP (weighted; Bellman-Ford rounds over the union
-  /// frontier). The graph must carry edge weights.
+  /// B-source SSSP (weighted), by default under the per-lane near/far
+  /// priority schedule; plain Bellman-Ford rounds over the union frontier
+  /// when disabled. The graph must carry edge weights.
   BatchSsspResult sssp(const Csr& g, std::span<const VertexId> sources,
                        const BatchOptions& opts = {});
 
@@ -186,6 +208,9 @@ class BatchEnactor : public EnactorBase {
   BatchFrontier lanes_;               ///< cur/next lane masks
   LaneMatrix visited_;                ///< BFS/reach/BC discovery masks
   std::vector<std::uint32_t> mark_;   ///< filter claim tags (exact dedup)
+  LanePriorityFrontier pq_;           ///< per-lane near/far schedule (SSSP)
+  std::vector<std::uint32_t> snap_;   ///< enqueue-time labels (|V| x B)
+  std::vector<std::uint64_t> relax_pairs_;  ///< per-thread relax tallies
 };
 
 }  // namespace grx

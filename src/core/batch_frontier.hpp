@@ -32,7 +32,10 @@ inline constexpr std::uint32_t kLanesPerWord = 64;
 /// A |V| x B bit matrix: row v is vertex v's lane mask, stored as
 /// ceil(B / 64) contiguous words. The batched advance kernels operate on
 /// whole rows (word-at-a-time OR/AND-NOT); per-lane access exists for
-/// seeding sources and reading results.
+/// seeding sources and reading results. Besides frontier/visited masks,
+/// the same shape backs the per-lane priority frontier's far bank
+/// (LanePriorityFrontier, core/priority_queue.hpp): bit (v, q) set means
+/// "vertex v is deferred in lane q's far pile".
 ///
 /// Concurrency contract: `set`/`clear_row`/`swap` are single-writer
 /// (enactor setup and between-iteration rotation); concurrent mutation
@@ -103,7 +106,9 @@ class LaneMatrix {
 
 /// Double-buffered lane masks for the batched BSP loop: `cur` holds the
 /// lanes active this iteration, kernels OR newly activated lanes into
-/// `next`, and `rotate` swaps them at iteration end.
+/// `next`, and `rotate` swaps them at iteration end. Under the SSSP
+/// priority schedule `cur` carries *near* membership only — far bits live
+/// in the LanePriorityFrontier bank until their lane's level reaches them.
 ///
 /// Like the pull bitmap, maintenance is *incremental*: `rotate` clears only
 /// the rows the old frontier touched (the caller passes its vertex list)

@@ -18,7 +18,10 @@ class Csr {
 
   VertexId num_vertices() const { return n_; }
   EdgeId num_edges() const { return m_; }
-  bool has_weights() const { return !weights_.empty(); }
+  /// True iff every edge carries a weight — vacuously true for an edgeless
+  /// graph, so weighted primitives accept it (SSSP on a single isolated
+  /// vertex is legal and returns dist[source] == 0).
+  bool has_weights() const { return !weights_.empty() || m_ == 0; }
 
   EdgeId row_start(VertexId v) const { return row_offsets_[v]; }
   EdgeId row_end(VertexId v) const { return row_offsets_[v + 1]; }

@@ -15,6 +15,12 @@
 //   lane sweep (compute): for the deduped new frontier, commit per-lane
 //                         values (depth/sigma) and fold next into visited
 //
+// SSSP replaces the lane sweep with the per-lane near/far split
+// (LanePriorityFrontier::claim_split / advance_drained,
+// core/priority_queue.hpp): improved lanes above their cutoff are banked
+// instead of re-relaxed, and drained lanes re-split without stalling the
+// batch.
+//
 // Lane updates are commutative (OR, equal-value stores, atomicMin), so
 // results are independent of edge visit order and host thread count; the
 // two-phase assembler keeps the frontier *assembly* deterministic exactly
@@ -27,6 +33,7 @@
 
 #include "core/compute.hpp"
 #include "core/filter.hpp"
+#include "primitives/sssp.hpp"  // sssp_auto_delta, shared with single-query
 #include "util/timer.hpp"
 
 namespace grx {
@@ -102,11 +109,24 @@ struct BatchSsspProblem {
   LaneMatrix* cur = nullptr;
   LaneMatrix* next = nullptr;
   std::uint32_t* dist = nullptr;  ///< |V| x B
+  /// Source labels the relaxation reads: under the priority schedule this
+  /// is the enqueue-time snapshot (written by claim_split / wake), making
+  /// each round's improvement set a pure function of round-start state —
+  /// per-lane schedule stats stay byte-identical across thread counts.
+  /// The plain Bellman-Ford path aliases it to `dist` (live reads chain
+  /// improvements within a round, converging in fewer rounds).
+  const std::uint32_t* labels = nullptr;  ///< |V| x B
   std::vector<std::uint32_t>* mark = nullptr;
+  /// Per-thread (edge, active-lane) relaxation tallies, padded a cache line
+  /// apart (stride kPairStride); the round's sum prices the per-lane
+  /// relaxation volume — the term the near/far schedule shrinks.
+  std::uint64_t* pairs = nullptr;
   std::uint32_t num_lanes = 0;
   std::uint32_t wpv = 0;
   std::uint32_t iteration = 0;
   bool serial = false;  ///< see BatchBfsProblem::serial
+
+  static constexpr std::size_t kPairStride = 8;
 };
 
 /// Per-lane relaxation with atomicMin, Bellman-Ford rounds over the union
@@ -122,16 +142,18 @@ struct BatchRelaxFunctor {
     const std::size_t dst_base =
         static_cast<std::size_t>(dst) * p.num_lanes;
     bool any = false;
+    std::uint64_t pairs = 0;
     for (std::uint32_t w = 0; w < p.wpv; ++w) {
       std::uint64_t m = fsrc[w];
       if (!m) continue;
+      pairs += static_cast<std::uint64_t>(__builtin_popcountll(m));
       std::uint64_t improved = 0;
       const std::uint32_t lane_base = w * kLanesPerWord;
       do {
         const auto q =
             lane_base + static_cast<std::uint32_t>(__builtin_ctzll(m));
         m &= m - 1;
-        const std::uint32_t ds = simt::atomic_load(p.dist[src_base + q]);
+        const std::uint32_t ds = simt::atomic_load(p.labels[src_base + q]);
         if (ds == kInfinity) continue;  // stale lane, nothing to relax
         const std::uint32_t cand = ds + wt;
         if (p.serial) {
@@ -153,6 +175,9 @@ struct BatchRelaxFunctor {
         any = true;
       }
     }
+    if (pairs)
+      p.pairs[static_cast<std::size_t>(omp_get_thread_num()) *
+              BatchSsspProblem::kPairStride] += pairs;
     return any;
   }
   static void apply_edge(VertexId, VertexId, EdgeId, BatchSsspProblem&) {}
@@ -216,6 +241,10 @@ struct BatchBcForwardFunctor {
 };
 
 constexpr std::uint32_t kUnclaimed = 0xdeadbeefu;
+
+/// Below this many vertices the batched SSSP auto heuristic leaves the
+/// per-lane priority schedule off (see the sizing comment in sssp()).
+constexpr VertexId kMinPriorityVertices = 4096;
 
 constexpr std::uint32_t kMaxWpv =
     BatchEnactor::kMaxLanes / kLanesPerWord;
@@ -401,12 +430,20 @@ struct BatchDirection {
 
 /// Every batched primitive drives the same advance configuration:
 /// commutative lane updates need no per-edge claim (exact dedup lives in
-/// the filter), and strategy/LB knobs pass straight through.
-AdvanceConfig batch_advance_config(const BatchOptions& opts) {
+/// the filter), and strategy/LB knobs pass straight through — except the
+/// LB node/edge crossover, which scales down with the batch width: the
+/// paper's 4096 was tuned for single-query frontiers, but a batched
+/// frontier item carries up to `num_lanes` queries of work, so the
+/// per-item scan of edge-chunking amortizes at ~B-times smaller
+/// frontiers (and node chunks containing hubs serialize a whole CTA).
+AdvanceConfig batch_advance_config(const BatchOptions& opts,
+                                   std::uint32_t num_lanes) {
   AdvanceConfig acfg;
   acfg.strategy = opts.strategy;
   acfg.idempotent = true;
-  acfg.lb_node_edge_threshold = opts.lb_node_edge_threshold;
+  acfg.lb_node_edge_threshold =
+      std::max<std::uint32_t>(simt::CostModel::kCtaSize,
+                              opts.lb_node_edge_threshold / num_lanes);
   return acfg;
 }
 
@@ -500,7 +537,7 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
   p.wpv = wpv;
   p.serial = omp_get_max_threads() == 1;
 
-  const AdvanceConfig acfg = batch_advance_config(opts);
+  const AdvanceConfig acfg = batch_advance_config(opts, num_lanes);
   const FilterConfig fcfg;  // exact dedup lives in the claim functor
 
   std::uint64_t edges = 0;
@@ -564,35 +601,115 @@ BatchSsspResult BatchEnactor::sssp(const Csr& g,
   const std::uint32_t b = seed(g, sources);
   const std::uint32_t wpv = lanes_.cur.words_per_vertex();
 
+  std::uint32_t delta = opts.delta;
+  if (opts.use_priority_queue && delta == 0) {
+    // Batch-aware sizing on top of the shared single-query heuristic: the
+    // fixed cost of a priority level (launches, split and wake sweeps) is
+    // shared by all B lanes, so a batch affords ~B/4-times finer bands —
+    // and finer bands are what cut the per-lane relaxation volume.
+    // Capped at the single-query delta for narrow batches. Tiny graphs
+    // stay unsplit: the whole traversal is a handful of launch-bound
+    // rounds, so per-level overhead can never amortize (the batch analog
+    // of the heuristic's low-degree gate).
+    const std::uint32_t auto_delta =
+        g.num_vertices() < kMinPriorityVertices ? 0 : sssp_auto_delta(g);
+    delta = auto_delta == 0
+                ? 0
+                : std::min(auto_delta,
+                           std::max(1u, auto_delta * 4 / b));
+  }
+  if (!opts.use_priority_queue) delta = 0;
+  pq_.begin(g.num_vertices(), b, delta);
+
   BatchSsspResult res;
   res.num_lanes = b;
+  res.delta = delta;
   res.dist.assign(static_cast<std::size_t>(g.num_vertices()) * b, kInfinity);
   for (std::uint32_t q = 0; q < b; ++q)
     res.dist[static_cast<std::size_t>(sources[q]) * b + q] = 0;
+  if (pq_.enabled()) {
+    // Enqueue-time labels (see BatchSsspProblem::labels): seeded for the
+    // sources, thereafter written by the split/wake kernels.
+    snap_.assign(static_cast<std::size_t>(g.num_vertices()) * b, kInfinity);
+    for (std::uint32_t q = 0; q < b; ++q)
+      snap_[static_cast<std::size_t>(sources[q]) * b + q] = 0;
+  }
+
+  const std::size_t threads =
+      static_cast<std::size_t>(omp_get_max_threads());
+  relax_pairs_.assign(threads * BatchSsspProblem::kPairStride, 0);
 
   BatchSsspProblem p;
   p.g = &g;
   p.cur = &lanes_.cur;
   p.next = &lanes_.next;
   p.dist = res.dist.data();
+  p.labels = pq_.enabled() ? snap_.data() : res.dist.data();
   p.mark = &mark_;
+  p.pairs = relax_pairs_.data();
   p.num_lanes = b;
   p.wpv = wpv;
   p.serial = omp_get_max_threads() == 1;
 
-  const AdvanceConfig acfg = batch_advance_config(opts);
+  const AdvanceConfig acfg = batch_advance_config(opts, b);
   const FilterConfig fcfg;
+
+  // Price the per-(edge, active-lane) relaxation volume — the dist row
+  // reads and atomicMins a real MS-SSSP kernel performs per set lane bit,
+  // which the flat per-edge word charge does not see. This is the term
+  // the near/far schedule exists to shrink.
+  const auto charge_relax_pairs = [&] {
+    std::uint64_t round_pairs = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+      round_pairs += relax_pairs_[t * BatchSsspProblem::kPairStride];
+      relax_pairs_[t * BatchSsspProblem::kPairStride] = 0;
+    }
+    dev_.charge_pass("batch_lane_relax", round_pairs,
+                     simt::CostModel::kCoalesced + simt::CostModel::kAtomic,
+                     /*fused=*/true);
+  };
 
   std::uint64_t edges = 0;
   while (!in_.empty()) {
     GRX_CHECK(log_.size() < kMaxIterations);
-    const std::uint64_t iter_edges = push_round<BatchRelaxFunctor>(
-        dev_, g, in_, out_, filtered_, p, acfg, fcfg, advance_ws_,
-        filter_ws_);
-    edges += iter_edges;
-    finish_round(p, iter_edges, /*used_pull=*/false);
+    if (!pq_.enabled()) {
+      const std::uint64_t iter_edges = push_round<BatchRelaxFunctor>(
+          dev_, g, in_, out_, filtered_, p, acfg, fcfg, advance_ws_,
+          filter_ws_);
+      edges += iter_edges;
+      charge_relax_pairs();
+      finish_round(p, iter_edges, /*used_pull=*/false);
+      continue;
+    }
+    // Per-lane near/far schedule: relax the near frontier, then one fused
+    // claim + split pass sends each improved lane bit near (stays in
+    // `next`) or far (banked) against its lane's cutoff; rotate, then wake
+    // any drained lane's far bits straight into the new frontier so it
+    // rejoins the next round.
+    out_.clear();
+    const AdvanceStats a = advance_push<BatchRelaxFunctor>(
+        dev_, g, in_.items(), out_.items(), p, acfg, advance_ws_);
+    dev_.charge_pass("batch_lane_words", a.edges_processed * p.wpv,
+                     simt::CostModel::kScattered, /*fused=*/true);
+    edges += a.edges_processed;
+    charge_relax_pairs();
+    pq_.claim_split(dev_, out_.items(), lanes_.next, res.dist.data(),
+                    snap_.data(), mark_, p.iteration, p.serial,
+                    filtered_.items());
+    finish_round(p, a.edges_processed, /*used_pull=*/false);
+    pq_.advance_drained(dev_, lanes_.cur, res.dist.data(), snap_.data(),
+                        in_.items());
+    // A wake against a stale-low tracked minimum can be unproductive;
+    // with the frontier empty that must not end the enactment while far
+    // work is banked (the batched analog of PriorityFrontier's
+    // advance_level loop). Each unproductive pass re-tallies exact
+    // minimums, so this converges.
+    while (in_.empty() && !pq_.far_empty())
+      pq_.advance_drained(dev_, lanes_.cur, res.dist.data(), snap_.data(),
+                          in_.items());
   }
 
+  if (pq_.enabled()) res.lane_stats = pq_.take_lane_stats();
   res.summary = finish(edges, wall.elapsed_ms());
   return res;
 }
@@ -647,7 +764,7 @@ BatchBcForwardResult BatchEnactor::bc_forward(
   p.wpv = wpv;
   p.serial = omp_get_max_threads() == 1;
 
-  const AdvanceConfig acfg = batch_advance_config(opts);
+  const AdvanceConfig acfg = batch_advance_config(opts, b);
   const FilterConfig fcfg;
 
   std::uint64_t edges = 0;

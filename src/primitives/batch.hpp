@@ -16,7 +16,9 @@ BatchBfsResult batch_bfs(simt::Device& dev, const Csr& g,
                          std::span<const VertexId> sources,
                          const BatchOptions& opts = {});
 
-/// B-source shortest-path distances (weighted graph required).
+/// B-source shortest-path distances (weighted graph required); runs the
+/// per-lane near/far priority schedule by default (see
+/// BatchOptions::use_priority_queue / delta).
 BatchSsspResult batch_sssp(simt::Device& dev, const Csr& g,
                            std::span<const VertexId> sources,
                            const BatchOptions& opts = {});

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "core/filter.hpp"
-#include "core/priority_queue.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
@@ -12,6 +11,14 @@ namespace {
 struct SsspProblem {
   const Csr* g = nullptr;
   std::vector<std::uint32_t> dist;
+  /// Enqueue-time labels: the distance each frontier vertex carried when
+  /// it was enqueued, stamped once per iteration. Relaxing from the label
+  /// instead of the live distance makes every round's improvement set a
+  /// pure function of round-start state — frontier schedules and
+  /// PriorityQueueStats are byte-identical across host thread counts
+  /// (Davidson's worklist-with-labels discipline). A vertex re-improved
+  /// mid-round is re-enqueued and relaxes again with the fresher label.
+  std::vector<std::uint32_t> labels;
   std::vector<VertexId> pred;
   /// Iteration tag per vertex: filter keeps the first occurrence of a
   /// vertex per iteration (the paper's output_queue_id dedup).
@@ -23,7 +30,7 @@ struct RelaxFunctor {
   static bool cond_edge(VertexId src, VertexId dst, EdgeId e,
                         SsspProblem& p) {
     // Algorithm 1, UpdateLabel: relax with atomicMin; accept if improved.
-    const std::uint32_t src_dist = simt::atomic_load(p.dist[src]);
+    const std::uint32_t src_dist = p.labels[src];
     if (src_dist == kInfinity) return false;  // stale far-pile entry
     const std::uint32_t cand = src_dist + p.g->weight(e);
     return cand < simt::atomic_min(p.dist[dst], cand);
@@ -57,30 +64,20 @@ class SsspEnactor : public EnactorBase {
     SsspProblem p;
     p.g = &g;
     p.dist.assign(g.num_vertices(), kInfinity);
+    p.labels.assign(g.num_vertices(), kInfinity);
     p.pred.assign(g.num_vertices(), kInvalidVertex);
-    p.mark.assign(g.num_vertices(), 0xdeadbeefu);
     p.dist[source] = 0;
+    p.labels[source] = 0;
+    p.mark.assign(g.num_vertices(), 0xdeadbeefu);
     p.pred[source] = source;
 
     std::uint32_t delta = opts.delta;
-    if (opts.use_priority_queue && delta == 0) {
-      const double avg_deg = g.num_vertices()
-                                 ? static_cast<double>(g.num_edges()) /
-                                       g.num_vertices()
-                                 : 1.0;
-      if (avg_deg < 8.0) {
-        // Low-degree, high-diameter graphs already run latency-bound with
-        // hundreds of tiny iterations; extra priority levels only add
-        // launches. Leave the pile unsplit (the queue is an *optional*
-        // optimization in the paper, Section 5.2).
-        delta = 0;
-      } else {
-        // Mean weight of U[1,64] is 32.5; delta ~ avg edge relaxation
-        // reach per bucket.
-        delta = static_cast<std::uint32_t>(
-            std::max(1.0, 32.5 * std::max(1.0, avg_deg / 8.0)));
-      }
-    }
+    if (opts.use_priority_queue && delta == 0) delta = sssp_auto_delta(g);
+    if (!opts.use_priority_queue) delta = 0;
+    pq_.begin(delta);
+    const auto priority = [&](std::uint32_t v) {
+      return static_cast<std::uint64_t>(simt::atomic_load(p.dist[v]));
+    };
 
     AdvanceConfig acfg;
     acfg.strategy = opts.strategy;
@@ -88,30 +85,36 @@ class SsspEnactor : public EnactorBase {
     FilterConfig fcfg;        // exact dedup lives in cond_vertex
 
     in_.assign_single(source);
-    std::vector<std::uint32_t> far;       // deferred pile
-    std::vector<std::uint32_t> still_far; // re-split staging, pooled
-    std::uint64_t cutoff = delta ? delta : 0;
     std::uint64_t edges = 0;
 
-    while (!in_.empty() || !far.empty()) {
+    // Stamps each frontier vertex's enqueue-time label (see
+    // SsspProblem::labels). A sub-phase of the frontier hand-off, not a
+    // separate launch: one scattered read + write per frontier vertex.
+    const auto stamp_labels = [&] {
+      const auto& items = in_.items();
+      constexpr std::size_t kChunk = 256;
+      simt::Device::parallel_chunks(
+          (items.size() + kChunk - 1) / kChunk, [&](std::size_t c) {
+            const std::size_t lo = c * kChunk;
+            const std::size_t hi = std::min(items.size(), lo + kChunk);
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint32_t v = items[i];
+              p.labels[v] = simt::atomic_load(p.dist[v]);
+            }
+          });
+      dev_.charge_pass("sssp_labels", items.size(),
+                       2 * simt::CostModel::kScattered, /*fused=*/true);
+    };
+
+    while (!in_.empty() || !pq_.far_empty()) {
       GRX_CHECK(log_.size() < kMaxIterations);
       if (in_.empty()) {
         // Near pile exhausted: advance the priority level and re-split the
         // far pile (Section 4.5, two-level priority queue).
-        while (in_.empty() && !far.empty()) {
-          cutoff += delta;
-          split_near_far(
-              dev_, far, in_.items(), still_far,
-              [&](std::uint32_t v) {
-                return static_cast<std::uint64_t>(
-                           simt::atomic_load(p.dist[v])) < cutoff;
-              },
-              split_ws_);
-          far.swap(still_far);
-          still_far.clear();
-        }
+        pq_.advance_level(dev_, in_.items(), priority);
         if (in_.empty()) break;
       }
+      stamp_labels();
 
       const AdvanceStats a =
           advance<RelaxFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
@@ -121,13 +124,8 @@ class SsspEnactor : public EnactorBase {
       filter_vertices<RelaxFunctor>(dev_, out_.items(), filtered_.items(), p,
                                     fcfg, filter_ws_);
 
-      if (opts.use_priority_queue && delta > 0) {
-        split_near_far(dev_, filtered_.items(), in_.items(), far,
-                       [&](std::uint32_t v) {
-                         return static_cast<std::uint64_t>(
-                                    simt::atomic_load(p.dist[v])) < cutoff;
-                       },
-                       split_ws_);
+      if (pq_.enabled()) {
+        pq_.split(dev_, filtered_.items(), in_.items(), priority);
       } else {
         in_.swap(filtered_);
       }
@@ -137,15 +135,33 @@ class SsspEnactor : public EnactorBase {
     SsspResult out;
     out.dist = std::move(p.dist);
     out.pred = std::move(p.pred);
+    out.pq_stats = pq_.stats();
     out.summary = finish(edges, wall.elapsed_ms());
     return out;
   }
 
  private:
-  SplitWorkspace split_ws_;  // near/far re-split staging, pooled
+  PriorityFrontier pq_;  ///< near/far schedule state, pooled
 };
 
 }  // namespace
+
+std::uint32_t sssp_auto_delta(const Csr& g) {
+  const double avg_deg =
+      g.num_vertices()
+          ? static_cast<double>(g.num_edges()) / g.num_vertices()
+          : 1.0;
+  if (avg_deg < 8.0) {
+    // Low-degree, high-diameter graphs already run latency-bound with
+    // hundreds of tiny iterations; extra priority levels only add
+    // launches. Leave the pile unsplit.
+    return 0;
+  }
+  // Mean weight of U[1,64] is 32.5; delta ~ avg edge relaxation reach per
+  // bucket.
+  return static_cast<std::uint32_t>(
+      std::max(1.0, 32.5 * std::max(1.0, avg_deg / 8.0)));
+}
 
 SsspResult gunrock_sssp(simt::Device& dev, const Csr& g, VertexId source,
                         const SsspOptions& opts) {

@@ -2,12 +2,13 @@
 //
 // Per iteration: advance relaxes all frontier-incident edges with an
 // atomicMin; filter removes redundant vertex ids; an optional two-level
-// near/far priority queue (delta-stepping, Davidson et al.) defers
-// long-distance work.
+// near/far priority frontier (delta-stepping, Davidson et al. — see
+// core/priority_queue.hpp) defers long-distance work.
 #pragma once
 
 #include "core/advance.hpp"
 #include "core/enactor.hpp"
+#include "core/priority_queue.hpp"
 #include "graph/csr.hpp"
 
 namespace grx {
@@ -16,7 +17,7 @@ struct SsspOptions {
   AdvanceStrategy strategy = AdvanceStrategy::kAuto;
   /// Enable the near/far priority queue. 0 delta means "auto": the paper's
   /// weights are uniform in [1, 64]; delta defaults to avg weight x avg
-  /// degree, the standard delta-stepping sizing.
+  /// degree, the standard delta-stepping sizing (sssp_auto_delta).
   bool use_priority_queue = true;
   std::uint32_t delta = 0;
 };
@@ -24,8 +25,19 @@ struct SsspOptions {
 struct SsspResult {
   std::vector<std::uint32_t> dist;  ///< kInfinity where unreachable
   std::vector<VertexId> pred;
+  /// Near/far schedule counters; all-zero when the queue was disabled
+  /// (use_priority_queue == false, or auto-delta declined to split).
+  PriorityQueueStats pq_stats;
   EnactSummary summary;
 };
+
+/// The delta sizing shared by single-query and batched SSSP: mean edge
+/// weight (the paper's weights are uniform in [1, 64], mean 32.5) scaled by
+/// average degree — the standard delta-stepping bucket width. Returns 0 on
+/// low-degree, high-diameter graphs (avg degree < 8), where extra priority
+/// levels only add launches and the pile is best left unsplit (the queue is
+/// an *optional* optimization in the paper, Section 5.2).
+std::uint32_t sssp_auto_delta(const Csr& g);
 
 /// Runs Gunrock SSSP from `source`. The graph must carry edge weights.
 SsspResult gunrock_sssp(simt::Device& dev, const Csr& g, VertexId source,

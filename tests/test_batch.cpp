@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "baselines/serial/serial.hpp"
 #include "primitives/batch.hpp"
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
@@ -151,6 +152,71 @@ TEST(Batch, BcBatchedMatchesPerSourceSum) {
   }
   // Backward deltas are genuine doubles; allow FP association slack.
   EXPECT_TRUE(testing::near_vectors(batched, ref, 1e-6));
+}
+
+TEST(Batch, SsspLaneStatsSurfaceThroughResult) {
+  // Per-lane near/far schedule counters ride BatchSsspResult: sized B with
+  // real work recorded when the schedule runs, absent when it is off —
+  // and the schedule must be invisible to the distances themselves.
+  const Csr g = testing::undirected(rmat(10, 16, 5));
+  const auto sources = pick_sources(g, 6);
+  simt::Device dev;
+  BatchOptions on;
+  on.delta = 8;  // small graph: force the schedule
+  const BatchSsspResult with_pq = batch_sssp(dev, g, sources, on);
+  EXPECT_EQ(with_pq.delta, 8u);
+  ASSERT_EQ(with_pq.lane_stats.size(), sources.size());
+  std::uint64_t near = 0, far = 0;
+  for (const PriorityQueueStats& s : with_pq.lane_stats) {
+    near += s.near_total;
+    far += s.far_total;
+  }
+  EXPECT_GT(near, 0u);
+  EXPECT_GT(far, 0u);  // delta 8 on 64-weight edges must defer something
+
+  BatchOptions off;
+  off.use_priority_queue = false;
+  const BatchSsspResult plain = batch_sssp(dev, g, sources, off);
+  EXPECT_EQ(plain.delta, 0u);
+  EXPECT_TRUE(plain.lane_stats.empty());
+  EXPECT_EQ(plain.dist, with_pq.dist);  // scheduling, not semantics
+}
+
+TEST(Batch, SsspStaleFarMinimumStillDrainsThePile) {
+  // Regression: the per-lane tracked far minimum is a lower bound — when
+  // the minimum banked bit is promoted near via a cheaper path, the
+  // tracker goes stale-low, and a wake jumped to stale_min + delta can
+  // activate nothing. With the union frontier empty, the enactment must
+  // keep advancing the drained lanes (exact minimums after the failed
+  // sweep) instead of terminating with relaxations still banked.
+  //
+  // Shape: 0->a w10 banks a (tracked min 10); 0->b w2, b->a w4 improves a
+  // to 6, promoting it (bank bit cleared, tracker stays 10); 0->hub w34
+  // stays banked. When near work drains, the first wake jumps only to
+  // 10 + 8 = 18 < 34 — the hub and its fan-out must still resolve.
+  EdgeList el;
+  el.num_vertices = 84;
+  const VertexId a = 1, b = 2, hub = 3;
+  el.edges.push_back(Edge{0, a, 10});
+  el.edges.push_back(Edge{0, b, 2});
+  el.edges.push_back(Edge{b, a, 4});
+  el.edges.push_back(Edge{0, hub, 34});
+  for (VertexId f = 4; f < 44; ++f) {
+    el.edges.push_back(Edge{hub, f, 1});       // fan at dist 35
+    el.edges.push_back(Edge{f, f + 40, 1});    // leaves at dist 36
+  }
+  const Csr g = build_csr(el, BuildOptions{});  // directed: exact control
+  const auto oracle = serial::dijkstra(g, 0);
+  ASSERT_EQ(oracle[a], 6u);
+  ASSERT_EQ(oracle[hub], 34u);
+  ASSERT_EQ(oracle[43 + 40], 36u);
+  simt::Device dev;
+  const VertexId sources[] = {0};
+  BatchOptions bopts;
+  bopts.delta = 8;
+  const BatchSsspResult run = batch_sssp(dev, g, sources, bopts);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    ASSERT_EQ(run.dist_at(v, 0), oracle[v]) << "vertex " << v;
 }
 
 TEST(Batch, EnactorReuseMatchesFresh) {

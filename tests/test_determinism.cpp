@@ -336,6 +336,108 @@ TEST(Determinism, BatchBcForwardIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- priority-frontier SSSP --------------------------------------------------
+//
+// The near/far schedule adds scheduling state (cutoffs, piles, per-lane
+// levels) on top of the assembler guarantees. Pile membership is a pure
+// function of post-advance distances and cutoffs, and all tallies are
+// commutative sums/mins, so distances, iteration counts, and the schedule
+// stats themselves must be byte-identical across 1/2/8 host threads and
+// across every advance strategy.
+
+TEST(Determinism, SsspNearFarIdenticalAcrossThreadCounts) {
+  ThreadRestorer restore;
+  for (const Csr& g : test_graphs()) {
+    SsspOptions opts;
+    opts.delta = 16;  // force a fine schedule (many splits)
+    omp_set_num_threads(1);
+    simt::Device dev;
+    const SsspResult ref = gunrock_sssp(dev, g, 3, opts);
+    ASSERT_GT(ref.pq_stats.splits, 0u);
+    for (int threads : {2, 8}) {
+      omp_set_num_threads(threads);
+      const SsspResult run = gunrock_sssp(dev, g, 3, opts);
+      EXPECT_EQ(run.dist, ref.dist) << threads << " threads";
+      EXPECT_EQ(run.pq_stats, ref.pq_stats) << threads << " threads";
+      EXPECT_EQ(run.summary.iterations, ref.summary.iterations)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, SsspNearFarIdenticalAcrossStrategies) {
+  for (const Csr& g : test_graphs()) {
+    simt::Device dev;
+    SsspOptions opts;
+    opts.delta = 16;
+    opts.strategy = AdvanceStrategy::kThreadFine;
+    const SsspResult ref = gunrock_sssp(dev, g, 3, opts);
+    for (AdvanceStrategy s :
+         {AdvanceStrategy::kTwc, AdvanceStrategy::kLoadBalanced,
+          AdvanceStrategy::kAuto}) {
+      opts.strategy = s;
+      const SsspResult run = gunrock_sssp(dev, g, 3, opts);
+      EXPECT_EQ(run.dist, ref.dist) << to_string(s);
+      EXPECT_EQ(run.pq_stats, ref.pq_stats) << to_string(s);
+    }
+  }
+}
+
+TEST(Determinism, BatchSsspNearFarIdenticalAcrossThreadCounts) {
+  // B = 67 exercises the multi-word mask path through the claim+split and
+  // wake kernels; per-lane stats must match cell for cell, not just the
+  // distance matrix.
+  ThreadRestorer restore;
+  for (const Csr& g : test_graphs()) {
+    const auto sources = scattered_sources(g, 67);
+    BatchOptions bopts;
+    bopts.delta = 16;
+    omp_set_num_threads(1);
+    simt::Device dev;
+    const BatchSsspResult ref = batch_sssp(dev, g, sources, bopts);
+    ASSERT_EQ(ref.lane_stats.size(), sources.size());
+    std::uint64_t total_splits = 0;
+    for (const PriorityQueueStats& s : ref.lane_stats)
+      total_splits += s.splits;
+    ASSERT_GT(total_splits, 0u);
+    // Per-lane ground truth: every lane equals its single-query run.
+    for (std::uint32_t q = 0; q < ref.num_lanes; ++q) {
+      const SsspResult single = gunrock_sssp(dev, g, sources[q]);
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        ASSERT_EQ(ref.dist_at(v, q), single.dist[v])
+            << "lane " << q << " vertex " << v;
+    }
+    for (int threads : {2, 8}) {
+      omp_set_num_threads(threads);
+      const BatchSsspResult run = batch_sssp(dev, g, sources, bopts);
+      EXPECT_EQ(run.dist, ref.dist) << threads << " threads";
+      EXPECT_EQ(run.lane_stats, ref.lane_stats) << threads << " threads";
+      EXPECT_EQ(run.summary.iterations, ref.summary.iterations)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, BatchSsspNearFarIdenticalAcrossStrategies) {
+  const Csr g = testing::undirected(rmat(11, 16, 5));
+  const auto sources = scattered_sources(g, 67);
+  simt::Device dev;
+  BatchOptions bopts;
+  bopts.delta = 16;
+  bopts.strategy = AdvanceStrategy::kThreadFine;
+  const BatchSsspResult ref = batch_sssp(dev, g, sources, bopts);
+  for (AdvanceStrategy s :
+       {AdvanceStrategy::kTwc, AdvanceStrategy::kLoadBalanced,
+        AdvanceStrategy::kAuto}) {
+    bopts.strategy = s;
+    const BatchSsspResult run = batch_sssp(dev, g, sources, bopts);
+    EXPECT_EQ(run.dist, ref.dist) << to_string(s);
+    EXPECT_EQ(run.lane_stats, ref.lane_stats) << to_string(s);
+    EXPECT_EQ(run.summary.iterations, ref.summary.iterations)
+        << to_string(s);
+  }
+}
+
 TEST(Determinism, WorkspaceReuseMatchesFreshWorkspace) {
   // Pooled workspaces must be invisible to results: running a second,
   // different advance on a reused workspace gives the same output as a

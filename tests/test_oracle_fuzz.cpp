@@ -1,0 +1,258 @@
+// Cross-primitive oracle/fuzz harness: seeded randomized graphs across the
+// topology classes plus deliberately degenerate shapes (disconnected
+// pieces, self-loops, duplicate parallel edges, zero-degree vertices, a
+// single-vertex graph), with single-query AND batched BFS/SSSP checked
+// cell-for-cell against the serial baselines (src/baselines/serial) —
+// every lane of every batch. The engines under test share no code with
+// the oracles, so any disagreement localizes a real traversal bug.
+//
+// Everything is seed-stable (util/rng.hpp): a failure reproduces
+// bit-for-bit from the case name printed by the assertion message.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/serial/serial.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "primitives/batch.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/sssp.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+namespace grx {
+namespace {
+
+struct FuzzCase {
+  std::string name;
+  Csr g;
+  bool symmetric = false;  ///< pull / direction-optimal traversal legal
+};
+
+/// Uniform random weights on the edge list (not the CSR), so degenerate
+/// builds that keep parallel edges give each copy its own weight.
+EdgeList weighted(EdgeList el, Rng& rng) {
+  for (Edge& e : el.edges)
+    e.weight = static_cast<Weight>(rng.next_in(1, 64));
+  return el;
+}
+
+/// Random graph with forced self-loops, duplicate parallel edges (kept:
+/// dedup off), and a tail of zero-degree vertices; built directed so the
+/// exact hostile shape reaches the engines unnormalized.
+FuzzCase degenerate_case(std::uint64_t seed) {
+  Rng rng(seed * 2654435761u + 13);
+  EdgeList el;
+  const VertexId core = 240;
+  el.num_vertices = core + 24;  // 24 trailing zero-degree vertices
+  for (std::uint32_t i = 0; i < 700; ++i)
+    el.edges.push_back(Edge{static_cast<VertexId>(rng.next_below(core)),
+                            static_cast<VertexId>(rng.next_below(core)), 1});
+  for (std::uint32_t i = 0; i < 24; ++i)  // self-loops (never improve)
+    el.edges.push_back(
+        Edge{static_cast<VertexId>(rng.next_below(core)),
+             static_cast<VertexId>(rng.next_below(core)), 1});
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.next_below(core));
+    el.edges.push_back(Edge{v, v, 1});
+  }
+  // Duplicate a slice of edges verbatim; weights assigned afterwards so
+  // the copies become *parallel edges of different weights*.
+  for (std::uint32_t i = 0; i < 60; ++i) el.edges.push_back(el.edges[i]);
+  el = weighted(std::move(el), rng);
+  BuildOptions bo;
+  bo.remove_self_loops = false;
+  bo.dedup = false;
+  return {"degenerate/" + std::to_string(seed), build_csr(el, bo), false};
+}
+
+FuzzCase disconnected_case(std::uint64_t seed) {
+  Rng rng(seed ^ 0xd15c0u);
+  // Sparse Erdos-Renyi: many components and isolated vertices. Symmetrized
+  // so the batch pull path can run on it too.
+  EdgeList el = weighted(erdos_renyi(700, 420, seed), rng);
+  BuildOptions bo;
+  bo.symmetrize = true;
+  return {"disconnected/" + std::to_string(seed), build_csr(el, bo), true};
+}
+
+FuzzCase power_law_case(std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e37u);
+  EdgeList el = weighted(rmat(8, 8, seed), rng);
+  BuildOptions bo;
+  bo.symmetrize = true;
+  return {"power-law/" + std::to_string(seed), build_csr(el, bo), true};
+}
+
+FuzzCase grid_case(std::uint64_t seed) {
+  Rng rng(seed ^ 0x6216du);
+  EdgeList el = weighted(road_grid(24, 18, 0.25, 0.02, seed), rng);
+  BuildOptions bo;
+  bo.symmetrize = true;
+  return {"grid/" + std::to_string(seed), build_csr(el, bo), true};
+}
+
+FuzzCase single_vertex_case() {
+  EdgeList el;
+  el.num_vertices = 1;
+  return {"single-vertex", build_csr(el, BuildOptions{}), true};
+}
+
+std::vector<FuzzCase> fuzz_cases(std::uint64_t seed) {
+  std::vector<FuzzCase> cases;
+  cases.push_back(power_law_case(seed));
+  cases.push_back(grid_case(seed));
+  cases.push_back(disconnected_case(seed));
+  cases.push_back(degenerate_case(seed));
+  if (seed == 1) cases.push_back(single_vertex_case());
+  return cases;
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 7, 23};
+
+/// Sources scattered over the graph, with a duplicate pair and (when the
+/// graph is big enough) a likely-isolated / fringe vertex included.
+std::vector<VertexId> fuzz_sources(const Csr& g, std::uint32_t count) {
+  std::vector<VertexId> src = grx::scattered_sources(
+      g.num_vertices(), std::min<std::uint32_t>(count, g.num_vertices()));
+  if (src.size() >= 2) {
+    src[src.size() - 1] = src[0];              // duplicate source
+    src[src.size() / 2] = g.num_vertices() - 1;  // fringe (often degree 0)
+  }
+  return src;
+}
+
+// --- single-query sweeps -----------------------------------------------------
+
+TEST(OracleFuzz, SingleQueryBfsMatchesSerial) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      simt::Device dev;
+      for (const VertexId s : fuzz_sources(c.g, 4)) {
+        const auto oracle = serial::bfs(c.g, s);
+        BfsOptions opts;
+        opts.record_predecessors = false;
+        const BfsResult push = gunrock_bfs(dev, c.g, s, opts);
+        ASSERT_EQ(push.depth, oracle) << c.name << " src " << s << " push";
+        if (c.symmetric) {
+          opts.direction = Direction::kOptimal;
+          opts.idempotent = true;
+          const BfsResult opt = gunrock_bfs(dev, c.g, s, opts);
+          ASSERT_EQ(opt.depth, oracle) << c.name << " src " << s << " opt";
+        }
+      }
+    }
+  }
+}
+
+TEST(OracleFuzz, SingleQuerySsspMatchesDijkstra) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      simt::Device dev;
+      for (const VertexId s : fuzz_sources(c.g, 3)) {
+        const auto oracle = serial::dijkstra(c.g, s);
+        // Auto-delta, forced near/far, and plain Bellman-Ford frontier
+        // must all land on the oracle distances.
+        SsspOptions auto_pq;
+        SsspOptions forced;
+        forced.delta = 16;
+        SsspOptions off;
+        off.use_priority_queue = false;
+        for (const SsspOptions& o : {auto_pq, forced, off}) {
+          const SsspResult r = gunrock_sssp(dev, c.g, s, o);
+          ASSERT_EQ(r.dist, oracle)
+              << c.name << " src " << s << " delta " << o.delta
+              << (o.use_priority_queue ? " pq" : " plain");
+        }
+      }
+    }
+  }
+}
+
+TEST(OracleFuzz, SerialBaselinesAgreeWithEachOther) {
+  // Oracle sanity: Dijkstra vs Bellman-Ford on the hostile shapes. If the
+  // oracles themselves disagreed, every assertion above would be suspect.
+  for (const std::uint64_t seed : kSeeds) {
+    const FuzzCase c = degenerate_case(seed);
+    for (const VertexId s : fuzz_sources(c.g, 2))
+      ASSERT_EQ(serial::dijkstra(c.g, s), serial::bellman_ford(c.g, s))
+          << c.name << " src " << s;
+  }
+}
+
+// --- batched sweeps ----------------------------------------------------------
+
+TEST(OracleFuzz, BatchedBfsMatchesSerialEveryLane) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      const auto sources = fuzz_sources(c.g, 9);
+      simt::Device dev;
+      std::vector<BatchBfsResult> runs;
+      runs.push_back(batch_bfs(dev, c.g, sources));  // push default
+      if (c.symmetric) {
+        BatchOptions bopts;
+        bopts.direction = Direction::kOptimal;
+        runs.push_back(batch_bfs(dev, c.g, sources, bopts));
+      }
+      for (std::uint32_t q = 0; q < sources.size(); ++q) {
+        const auto oracle = serial::bfs(c.g, sources[q]);
+        for (const BatchBfsResult& run : runs)
+          for (VertexId v = 0; v < c.g.num_vertices(); ++v)
+            ASSERT_EQ(run.depth_at(v, q), oracle[v])
+                << c.name << " lane " << q << " vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(OracleFuzz, BatchedSsspMatchesDijkstraEveryLane) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      const auto sources = fuzz_sources(c.g, 9);
+      simt::Device dev;
+      BatchOptions auto_pq;           // auto sizing (off on tiny graphs)
+      BatchOptions forced;            // per-lane schedule exercised
+      forced.delta = 16;
+      BatchOptions off;               // Bellman-Ford baseline path
+      off.use_priority_queue = false;
+      for (const BatchOptions& o : {auto_pq, forced, off}) {
+        const BatchSsspResult run = batch_sssp(dev, c.g, sources, o);
+        for (std::uint32_t q = 0; q < sources.size(); ++q) {
+          const auto oracle = serial::dijkstra(c.g, sources[q]);
+          for (VertexId v = 0; v < c.g.num_vertices(); ++v)
+            ASSERT_EQ(run.dist_at(v, q), oracle[v])
+                << c.name << " lane " << q << " vertex " << v << " delta "
+                << run.delta;
+        }
+      }
+    }
+  }
+}
+
+TEST(OracleFuzz, MultiWordBatchMatchesSerialEveryLane) {
+  // B > 64 exercises multi-word lane masks through the full stack: packed
+  // frontier, claim+split, far bank, and wake all handle words_per_vertex
+  // == 2 with the schedule forced on.
+  const FuzzCase c = power_law_case(5);
+  const auto sources = fuzz_sources(c.g, 67);
+  simt::Device dev;
+  BatchOptions forced;
+  forced.delta = 12;
+  const BatchSsspResult sssp = batch_sssp(dev, c.g, sources, forced);
+  ASSERT_EQ(sssp.delta, 12u);
+  ASSERT_EQ(sssp.lane_stats.size(), sources.size());
+  const BatchBfsResult bfs = batch_bfs(dev, c.g, sources);
+  for (std::uint32_t q = 0; q < sources.size(); ++q) {
+    const auto dij = serial::dijkstra(c.g, sources[q]);
+    const auto lvl = serial::bfs(c.g, sources[q]);
+    for (VertexId v = 0; v < c.g.num_vertices(); ++v) {
+      ASSERT_EQ(sssp.dist_at(v, q), dij[v]) << "lane " << q << " v " << v;
+      ASSERT_EQ(bfs.depth_at(v, q), lvl[v]) << "lane " << q << " v " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grx

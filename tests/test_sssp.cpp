@@ -4,6 +4,7 @@
 
 #include "baselines/serial/serial.hpp"
 #include "graph/datasets.hpp"
+#include "primitives/batch.hpp"
 #include "primitives/sssp.hpp"
 #include "test_common.hpp"
 
@@ -115,6 +116,98 @@ TEST(Sssp, RequiresWeights) {
                  {g.col_indices().begin(), g.col_indices().end()});
   simt::Device dev;
   EXPECT_THROW(gunrock_sssp(dev, unweighted, 0), CheckError);
+}
+
+TEST(Sssp, AutoDeltaGatesOnDegree) {
+  // Low-degree, high-diameter graphs decline the split (0); dense graphs
+  // size delta from mean weight x average degree.
+  BuildOptions b;
+  b.symmetrize = true;
+  const Csr sparse = build_csr(path_graph(64), b);  // avg degree 2
+  EXPECT_EQ(sssp_auto_delta(sparse), 0u);
+  const Csr dense = build_csr(complete_graph(64), b);  // avg degree 63
+  EXPECT_GT(sssp_auto_delta(dense), 0u);
+}
+
+TEST(Sssp, StaleFarPileEntriesPromoteByCurrentDistance) {
+  // A vertex banked far can (a) be appended to the far pile repeatedly as
+  // its distance keeps improving above the cutoff, and (b) improve below
+  // the cutoff through a longer path *while sitting in the pile* — the
+  // stale entries then promote by the improved distance (the re-split
+  // consults current dist; the relax guard at sssp.cpp's RelaxFunctor
+  // tolerates the leftover duplicates). Distances must still be exact.
+  EdgeList el;
+  el.num_vertices = 10;
+  // Unit-weight chain 0..8 keeps near work alive for many levels.
+  for (VertexId v = 0; v + 1 < 9; ++v) el.edges.push_back(Edge{v, v + 1, 1});
+  el.edges.push_back(Edge{0, 9, 50});  // banked far at round 1 (dist 50)
+  el.edges.push_back(Edge{1, 9, 45});  // re-banked at round 2 (dist 46)
+  el.edges.push_back(Edge{8, 9, 1});   // improves to 9 while still banked
+  const Csr g = build_csr(el, BuildOptions{});  // directed: exact control
+  const auto oracle = serial::dijkstra(g, 0);
+  ASSERT_EQ(oracle[9], 9u);
+  simt::Device dev;
+  SsspOptions opts;
+  opts.delta = 4;  // force a fine near/far schedule
+  const SsspResult r = gunrock_sssp(dev, g, 0, opts);
+  EXPECT_EQ(r.dist, oracle);
+  // The far pile really was exercised (both heavy relaxations banked).
+  EXPECT_GE(r.pq_stats.far_total, 2u);
+  EXPECT_GT(r.pq_stats.splits, 1u);
+
+  // Batched mirror: same graph, lane 0 from source 0 — the bit-matrix far
+  // bank clears the stale bit on promotion instead of keeping duplicates.
+  const VertexId sources[] = {0, 1};
+  BatchOptions bopts;
+  bopts.delta = 4;
+  const BatchSsspResult batch = batch_sssp(dev, g, sources, bopts);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(batch.dist_at(v, 0), oracle[v]) << "vertex " << v;
+}
+
+TEST(Sssp, DeltaZeroFallsBackToPlainFrontier) {
+  // use_priority_queue with delta 0 means "auto"; on a low-degree graph
+  // the heuristic declines and the run must behave exactly like the plain
+  // frontier path — zero splits, same distances.
+  const Csr g = build_dataset("roadnet-s", /*shrink=*/5);
+  ASSERT_EQ(sssp_auto_delta(g), 0u);
+  simt::Device dev;
+  SsspOptions auto_opts;  // use_priority_queue = true, delta = 0
+  const SsspResult a = gunrock_sssp(dev, g, 0, auto_opts);
+  EXPECT_EQ(a.pq_stats.splits, 0u);
+  EXPECT_EQ(a.pq_stats.near_total + a.pq_stats.far_total, 0u);
+  SsspOptions off;
+  off.use_priority_queue = false;
+  const SsspResult b = gunrock_sssp(dev, g, 0, off);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.summary.iterations, b.summary.iterations);
+}
+
+TEST(Sssp, AutoDeltaOnUniformWeightGraphs) {
+  // All-equal weights collapse the distance distribution the mean-weight
+  // sizing assumes — both extremes (all 1, all 64) must still be exact,
+  // single-query and batched, with the auto schedule engaged.
+  BuildOptions b;
+  b.symmetrize = true;
+  const Csr base = build_csr(rmat(9, 12, 3), b);  // avg degree ~24: engages
+  simt::Device dev;
+  for (const Weight w : {Weight{1}, Weight{64}}) {
+    const Csr g = with_random_weights(base, /*seed=*/5, w, w);
+    ASSERT_GT(sssp_auto_delta(g), 0u);
+    const auto oracle = serial::dijkstra(g, 1);
+    const SsspResult r = gunrock_sssp(dev, g, 1);  // auto delta
+    EXPECT_EQ(r.dist, oracle) << "uniform weight " << w;
+    const VertexId sources[] = {1, 3, 1};
+    BatchOptions bopts;
+    bopts.delta = 8;  // small graph: force the per-lane schedule on
+    const BatchSsspResult batch = batch_sssp(dev, g, sources, bopts);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(batch.dist_at(v, 0), oracle[v])
+          << "uniform weight " << w << " vertex " << v;
+      EXPECT_EQ(batch.dist_at(v, 2), oracle[v])
+          << "duplicate-source lane, weight " << w << " vertex " << v;
+    }
+  }
 }
 
 TEST(Sssp, NearFarReducesWorkOnRoadNetworks) {
