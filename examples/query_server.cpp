@@ -3,21 +3,22 @@
 //   $ ./query_server [--scale=12] [--users=256] [--batch=64]
 //
 // The ROADMAP north star is a system serving traversal queries from many
-// concurrent users over one shared graph. This demo simulates that loop:
-// a queue of incoming queries (BFS "degrees of separation" and SSSP
-// "cheapest route" requests from pseudo-random users) is drained in
-// batches of B by one BatchEnactor, and the same workload is replayed
-// sequentially for comparison. The batched loop reuses one enactor so
-// every batch after the first runs on warm pooled workspaces — the
-// steady-state a long-lived server actually sees.
+// concurrent users over one shared graph. This demo simulates that loop
+// through the grx::Engine façade: one Engine bound to the shared graph
+// drains a queue of incoming queries (BFS "degrees of separation" and
+// SSSP "cheapest route" requests from pseudo-random users) in batches of
+// B, writing each wave into *reused* result objects — so every batch
+// after the first runs on warm pooled workspaces with zero steady-state
+// allocations, the regime a long-lived server actually sees. The same
+// workload is replayed sequentially through the one-shot gunrock_*
+// wrappers for comparison (cold enactor + fresh buffers per query, the
+// pre-Engine cost).
 #include <cstdio>
 #include <vector>
 
+#include "api/engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
-#include "primitives/batch.hpp"
-#include "primitives/bfs.hpp"
-#include "primitives/sssp.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -49,23 +50,31 @@ int main(int argc, char** argv) {
               "of %u\n\n",
               bfs_queue.size(), sssp_queue.size(), batch);
 
-  // --- batched serving loop -------------------------------------------------
+  // --- Engine serving loop --------------------------------------------------
+  // One Engine = one graph's worth of pooled Problem state. The wave
+  // results are declared once and reused: after the first wave of each
+  // kind, enactments assign into warm capacity and allocate nothing.
   simt::Device dev;
-  BatchEnactor enactor(dev);
+  Engine engine(dev, g);
+  QueryOptions opts;
+  opts.direction = Direction::kOptimal;  // undirected graph: pull OK
+  BatchBfsResult hops;
+  BatchSsspResult routes;
+
   std::uint64_t served = 0;
   double batched_ms = 0.0;
   const auto serve = [&](const std::vector<VertexId>& queue, bool weighted) {
     for (std::size_t at = 0; at < queue.size(); at += batch) {
       const std::size_t n = std::min<std::size_t>(batch, queue.size() - at);
       const std::span<const VertexId> wave(queue.data() + at, n);
-      BatchOptions opts;
-      opts.direction = Direction::kOptimal;  // undirected graph: pull OK
       Timer t;
       std::uint32_t iterations;
       if (weighted) {
-        iterations = enactor.sssp(g, wave, opts).summary.iterations;
+        engine.batch_sssp(wave, routes, opts);
+        iterations = routes.summary.iterations;
       } else {
-        iterations = enactor.bfs(g, wave, opts).summary.iterations;
+        engine.batch_bfs(wave, hops, opts);
+        iterations = hops.summary.iterations;
       }
       const double ms = t.elapsed_ms();
       batched_ms += ms;
@@ -76,20 +85,20 @@ int main(int argc, char** argv) {
                   ms / static_cast<double>(n));
     }
   };
-  std::printf("batched serving loop:\n");
+  std::printf("engine serving loop (batched, warm pools):\n");
   serve(bfs_queue, /*weighted=*/false);
   serve(sssp_queue, /*weighted=*/true);
 
-  // --- sequential replay (what serving without batching costs) --------------
+  // --- sequential replay (what serving without the Engine costs) ------------
   double sequential_ms = 0.0;
   {
     Timer t;
     for (const VertexId s : bfs_queue) {
       simt::Device d;
-      BfsOptions opts;
-      opts.direction = Direction::kOptimal;
-      opts.record_predecessors = false;
-      (void)gunrock_bfs(d, g, s, opts);
+      BfsOptions o;
+      o.direction = Direction::kOptimal;
+      o.record_predecessors = false;
+      (void)gunrock_bfs(d, g, s, o);
     }
     for (const VertexId s : sssp_queue) {
       simt::Device d;
@@ -100,9 +109,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nserved %llu queries\n",
               static_cast<unsigned long long>(served));
-  std::printf("  batched:    %8.2f ms total  (%.0f queries/sec)\n",
+  std::printf("  engine (batched): %8.2f ms total  (%.0f queries/sec)\n",
               batched_ms, served / (batched_ms / 1e3));
-  std::printf("  sequential: %8.2f ms total  (%.0f queries/sec)\n",
+  std::printf("  one-shot wrappers:%8.2f ms total  (%.0f queries/sec)\n",
               sequential_ms, served / (sequential_ms / 1e3));
   std::printf("  aggregate speedup: %.2fx\n", sequential_ms / batched_ms);
   return 0;

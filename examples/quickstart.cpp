@@ -1,14 +1,17 @@
-// Quickstart: build a graph, run BFS, inspect the result.
+// Quickstart: build a graph, run BFS through the Engine, inspect results.
 //
 //   $ ./quickstart [--scale=12] [--edge-factor=16] [--source=0]
 //
-// Demonstrates the minimal Gunrock workflow: generator -> CSR -> device ->
-// primitive -> result + device statistics.
+// Demonstrates the minimal grx workflow: generator -> CSR -> device ->
+// Engine -> query -> result + device statistics. The Engine owns all
+// per-graph state (the paper's Problem), so follow-up queries on the same
+// instance reuse every buffer — see examples/query_server.cpp for the
+// serving loop that exploits this.
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
-#include "primitives/bfs.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -25,12 +28,13 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()));
 
-  // 2. Run BFS on the virtual device (idempotent + direction-optimal, the
-  //    paper's fastest configuration).
+  // 2. Bind an Engine to the graph and query BFS (idempotent +
+  //    direction-optimal, the paper's fastest configuration).
   simt::Device dev;
-  BfsOptions bfs_opts;
-  bfs_opts.direction = Direction::kOptimal;
-  const BfsResult r = gunrock_bfs(dev, g, source, bfs_opts);
+  Engine engine(dev, g);
+  QueryOptions q;
+  q.direction = Direction::kOptimal;
+  const BfsResult r = engine.bfs(source, q);
 
   // 3. Inspect results: depth histogram plus traversal statistics.
   std::uint32_t max_depth = 0;

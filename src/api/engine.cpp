@@ -1,0 +1,185 @@
+#include "api/engine.hpp"
+
+namespace grx {
+
+// --- single-source traversal queries ----------------------------------------
+
+void Engine::bfs(VertexId source, BfsResult& out, const QueryOptions& opts) {
+  bfs_.enact(*g_, source, opts.to_bfs(), out);
+}
+BfsResult Engine::bfs(VertexId source, const QueryOptions& opts) {
+  BfsResult out;
+  bfs(source, out, opts);
+  return out;
+}
+
+void Engine::sssp(VertexId source, SsspResult& out,
+                  const QueryOptions& opts) {
+  sssp_.enact(*g_, source, opts.to_sssp(), out);
+}
+SsspResult Engine::sssp(VertexId source, const QueryOptions& opts) {
+  SsspResult out;
+  sssp(source, out, opts);
+  return out;
+}
+
+void Engine::bc(VertexId source, BcResult& out, const QueryOptions& opts) {
+  bc_.enact(*g_, source, opts.to_bc(), out);
+}
+BcResult Engine::bc(VertexId source, const QueryOptions& opts) {
+  BcResult out;
+  bc(source, out, opts);
+  return out;
+}
+
+// --- whole-graph analytics ---------------------------------------------------
+
+void Engine::cc(CcResult& out, const QueryOptions&) {
+  cc_.enact(*g_, out);
+}
+CcResult Engine::cc(const QueryOptions& opts) {
+  CcResult out;
+  cc(out, opts);
+  return out;
+}
+
+void Engine::pagerank(PagerankResult& out, const QueryOptions& opts) {
+  pr_.enact(*g_, opts.to_pagerank(), out);
+}
+PagerankResult Engine::pagerank(const QueryOptions& opts) {
+  PagerankResult out;
+  pagerank(out, opts);
+  return out;
+}
+
+void Engine::coloring(ColoringResult& out, const QueryOptions& opts) {
+  coloring_.enact(*g_, opts.seed, out);
+}
+ColoringResult Engine::coloring(const QueryOptions& opts) {
+  ColoringResult out;
+  coloring(out, opts);
+  return out;
+}
+
+void Engine::mis(MisResult& out, const QueryOptions& opts) {
+  mis_.enact(*g_, opts.seed, out);
+}
+MisResult Engine::mis(const QueryOptions& opts) {
+  MisResult out;
+  mis(out, opts);
+  return out;
+}
+
+void Engine::mst(MstResult& out, const QueryOptions&) {
+  mst_.enact(*g_, out);
+}
+MstResult Engine::mst(const QueryOptions& opts) {
+  MstResult out;
+  mst(out, opts);
+  return out;
+}
+
+void Engine::require_transpose() {
+  if (transpose_explicit_ || symmetry_verified_) return;
+  GRX_CHECK_MSG(is_symmetric(*g_),
+                "Engine::hits/salsa on a directed graph requires the "
+                "transpose constructor Engine(dev, g, transpose)");
+  symmetry_verified_ = true;
+}
+
+void Engine::hits(HitsResult& out, const QueryOptions& opts) {
+  require_transpose();
+  hits_.enact(*g_, *gT_, opts.to_hits(), out);
+}
+HitsResult Engine::hits(const QueryOptions& opts) {
+  HitsResult out;
+  hits(out, opts);
+  return out;
+}
+
+void Engine::salsa(SalsaResult& out, const QueryOptions& opts) {
+  require_transpose();
+  salsa_.enact(*g_, *gT_, opts.to_salsa(), out);
+}
+SalsaResult Engine::salsa(const QueryOptions& opts) {
+  SalsaResult out;
+  salsa(out, opts);
+  return out;
+}
+
+// --- batched multi-source queries -------------------------------------------
+
+void Engine::batch_bfs(std::span<const VertexId> sources,
+                       BatchBfsResult& out, const QueryOptions& opts) {
+  batch_.bfs(*g_, sources, opts.to_batch(), out);
+}
+BatchBfsResult Engine::batch_bfs(std::span<const VertexId> sources,
+                                 const QueryOptions& opts) {
+  BatchBfsResult out;
+  batch_bfs(sources, out, opts);
+  return out;
+}
+
+void Engine::batch_sssp(std::span<const VertexId> sources,
+                        BatchSsspResult& out, const QueryOptions& opts) {
+  batch_.sssp(*g_, sources, opts.to_batch(), out);
+}
+BatchSsspResult Engine::batch_sssp(std::span<const VertexId> sources,
+                                   const QueryOptions& opts) {
+  BatchSsspResult out;
+  batch_sssp(sources, out, opts);
+  return out;
+}
+
+void Engine::batch_reachability(std::span<const VertexId> sources,
+                                BatchReachabilityResult& out,
+                                const QueryOptions& opts) {
+  batch_.reachability(*g_, sources, opts.to_batch(), out);
+}
+BatchReachabilityResult Engine::batch_reachability(
+    std::span<const VertexId> sources, const QueryOptions& opts) {
+  BatchReachabilityResult out;
+  batch_reachability(sources, out, opts);
+  return out;
+}
+
+void Engine::batch_bc_forward(std::span<const VertexId> sources,
+                              BatchBcForwardResult& out,
+                              const QueryOptions& opts) {
+  batch_.bc_forward(*g_, sources, opts.to_batch(), out);
+}
+BatchBcForwardResult Engine::batch_bc_forward(
+    std::span<const VertexId> sources, const QueryOptions& opts) {
+  BatchBcForwardResult out;
+  batch_bc_forward(sources, out, opts);
+  return out;
+}
+
+// --- composite BC paths -----------------------------------------------------
+
+void Engine::bc_batched(std::span<const VertexId> sources,
+                        std::vector<double>& out, const QueryOptions& opts) {
+  bc_accumulate_batched(batch_, bc_, *g_, sources, opts.to_bc(), bc_fwd_,
+                        out);
+}
+std::vector<double> Engine::bc_batched(std::span<const VertexId> sources,
+                                       const QueryOptions& opts) {
+  std::vector<double> out;
+  bc_batched(sources, out, opts);
+  return out;
+}
+
+void Engine::bc_sampled(std::uint32_t num_sources, std::uint64_t seed,
+                        std::vector<double>& out, const QueryOptions& opts) {
+  bc_accumulate_sampled(bc_, *g_, num_sources, seed, opts.to_bc(), bc_tmp_,
+                        out);
+}
+std::vector<double> Engine::bc_sampled(std::uint32_t num_sources,
+                                       std::uint64_t seed,
+                                       const QueryOptions& opts) {
+  std::vector<double> out;
+  bc_sampled(num_sources, seed, out, opts);
+  return out;
+}
+
+}  // namespace grx

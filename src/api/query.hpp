@@ -1,0 +1,115 @@
+// The unified query-option surface of the grx::Engine façade.
+//
+// Every primitive keeps its own narrow options struct (BfsOptions,
+// SsspOptions, ...) for direct enactor users and the legacy gunrock_*
+// wrappers; QueryOptions is the superset the Engine accepts so callers can
+// hold one options object across heterogeneous queries (a serving loop
+// does not branch on primitive kind to configure a request). Fields a
+// primitive does not consume are ignored by it; defaults match the
+// per-primitive defaults exactly, so `engine.bfs(src)` behaves like
+// `gunrock_bfs(dev, g, src)`.
+#pragma once
+
+#include <cstdint>
+
+#include "core/advance.hpp"
+#include "core/batch_enactor.hpp"
+#include "primitives/bc.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/hits.hpp"
+#include "primitives/pagerank.hpp"
+#include "primitives/salsa.hpp"
+#include "primitives/sssp.hpp"
+
+namespace grx {
+
+struct QueryOptions {
+  // --- shared traversal knobs (all advance-based primitives) ---
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  /// BFS / reachability traversal direction; kPull/kOptimal require a
+  /// symmetric CSR (see BfsOptions / BatchOptions).
+  Direction direction = Direction::kPush;
+  std::uint32_t lb_node_edge_threshold = 4096;
+  double pull_alpha = 14.0;
+  double pull_beta = 24.0;
+
+  // --- BFS ---
+  bool idempotent = true;
+  bool record_predecessors = true;
+
+  // --- SSSP (single-source and batched) ---
+  bool use_priority_queue = true;
+  std::uint32_t delta = 0;  ///< 0 = auto (sssp_auto_delta)
+
+  // --- PageRank ---
+  double damping = 0.85;
+  double epsilon = 1e-6;
+  std::uint32_t max_iterations = 50;
+
+  // --- HITS / SALSA ---
+  std::uint32_t iterations = 30;
+
+  // --- MIS / coloring ---
+  std::uint64_t seed = 2016;
+
+  BfsOptions to_bfs() const {
+    BfsOptions o;
+    o.strategy = strategy;
+    o.direction = direction;
+    o.idempotent = idempotent;
+    o.record_predecessors = record_predecessors;
+    o.lb_node_edge_threshold = lb_node_edge_threshold;
+    o.pull_alpha = pull_alpha;
+    o.pull_beta = pull_beta;
+    return o;
+  }
+
+  SsspOptions to_sssp() const {
+    SsspOptions o;
+    o.strategy = strategy;
+    o.use_priority_queue = use_priority_queue;
+    o.delta = delta;
+    return o;
+  }
+
+  BcOptions to_bc() const {
+    BcOptions o;
+    o.strategy = strategy;
+    return o;
+  }
+
+  PagerankOptions to_pagerank() const {
+    PagerankOptions o;
+    o.strategy = strategy;
+    o.damping = damping;
+    o.epsilon = epsilon;
+    o.max_iterations = max_iterations;
+    return o;
+  }
+
+  HitsOptions to_hits() const {
+    HitsOptions o;
+    o.iterations = iterations;
+    return o;
+  }
+
+  SalsaOptions to_salsa() const {
+    SalsaOptions o;
+    o.iterations = iterations;
+    return o;
+  }
+
+  BatchOptions to_batch() const {
+    BatchOptions o;
+    o.strategy = strategy;
+    o.direction = direction;
+    o.lb_node_edge_threshold = lb_node_edge_threshold;
+    o.pull_alpha = pull_alpha;
+    o.pull_beta = pull_beta;
+    o.use_priority_queue = use_priority_queue;
+    o.delta = delta;
+    return o;
+  }
+};
+
+}  // namespace grx

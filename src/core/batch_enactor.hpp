@@ -182,6 +182,20 @@ class BatchEnactor : public EnactorBase {
                                   std::span<const VertexId> sources,
                                   const BatchOptions& opts = {});
 
+  // In-place variants: result matrices are assigned in place, so a caller
+  // that reuses the result object across batches (the Engine's serving
+  // path) pays no per-enact result allocations — the batch analog of the
+  // primitive enactors' pooled-result contract. The by-value methods above
+  // are thin wrappers over these.
+  void bfs(const Csr& g, std::span<const VertexId> sources,
+           const BatchOptions& opts, BatchBfsResult& res);
+  void sssp(const Csr& g, std::span<const VertexId> sources,
+            const BatchOptions& opts, BatchSsspResult& res);
+  void reachability(const Csr& g, std::span<const VertexId> sources,
+                    const BatchOptions& opts, BatchReachabilityResult& res);
+  void bc_forward(const Csr& g, std::span<const VertexId> sources,
+                  const BatchOptions& opts, BatchBcForwardResult& res);
+
  private:
   /// Seeds lane state: cur bit + initial value per source lane, and the
   /// initial union frontier (unique sources, ascending). Returns B.

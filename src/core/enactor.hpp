@@ -42,6 +42,8 @@ struct EnactSummary {
   }
 };
 
+class OpContext;
+
 /// Common state for primitive enactors: device, double-buffered frontiers,
 /// operator workspaces, iteration log.
 class EnactorBase {
@@ -55,6 +57,21 @@ class EnactorBase {
   static constexpr std::uint32_t kMaxIterations = 100000;
 
  protected:
+  /// Generic iteration driver for operator programs (core/program.hpp):
+  /// Problem-init, the convergence predicate, the per-iteration safety net,
+  /// and iteration logging all live here — a primitive supplies only its
+  /// program. Wraps run_program() with begin_enact()/finish_into(), writing
+  /// the summary into `out` (capacity-reusing, for pooled result objects).
+  /// Defined in core/program.hpp.
+  template <typename Prog>
+  void enact_program(const Csr& g, Prog& prog, EnactSummary& out);
+
+  /// The driver's core loop without begin/finish bracketing, for enactors
+  /// that run extra phases around the program (BC's backward sweep) or
+  /// account summary totals beyond the per-iteration log (CC, MIS, MST).
+  /// Returns the sum of the recorded steps' edges_processed.
+  template <typename Prog>
+  std::uint64_t run_program(const Csr& g, Prog& prog);
   /// Resets per-enactment state: device counters, the advance workspace's
   /// sticky direction, and the filter history generation (so entries from a
   /// previous enact() on this enactor can never cull vertices from a fresh
@@ -72,16 +89,19 @@ class EnactorBase {
     log_.push_back(s);
   }
 
-  EnactSummary finish(std::uint64_t edges, double wall_ms) {
-    EnactSummary out;
+  /// Finishes an enactment into a caller-owned summary: per_iteration is
+  /// copy-assigned
+  /// (reusing the destination's capacity) and the pooled log keeps its own,
+  /// so a reused result object makes the whole enactment allocation-free in
+  /// steady state — the Engine's serving path.
+  void finish_into(EnactSummary& out, std::uint64_t edges, double wall_ms) {
     out.iterations = static_cast<std::uint32_t>(log_.size());
     out.edges_processed = edges;
     out.counters = dev_.counters();
     out.device_time_ms = out.counters.time_ms();
     out.host_wall_ms = wall_ms;
-    out.per_iteration = std::move(log_);
+    out.per_iteration.assign(log_.begin(), log_.end());
     log_.clear();
-    return out;
   }
 
   simt::Device& dev_;

@@ -64,15 +64,4 @@ void neighbor_reduce(simt::Device& dev, const Csr& g, const Frontier& in,
   });
 }
 
-/// Convenience: per-frontier-vertex sum of a mapped edge value.
-template <typename P, typename MapFn>
-std::vector<double> neighbor_sum(simt::Device& dev, const Csr& g,
-                                 const Frontier& in, P& prob, MapFn&& map) {
-  std::vector<double> out;
-  neighbor_reduce<double>(dev, g, in, out, prob, 0.0,
-                          std::forward<MapFn>(map),
-                          [](double a, double b) { return a + b; });
-  return out;
-}
-
 }  // namespace grx

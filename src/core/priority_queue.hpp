@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/batch_frontier.hpp"
+#include "simt/atomic.hpp"
 #include "simt/device.hpp"
 #include "simt/primitives.hpp"
 

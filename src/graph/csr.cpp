@@ -1,6 +1,7 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace grx {
 
@@ -53,6 +54,21 @@ Csr transpose(const Csr& g) {
     }
   }
   return Csr(n, std::move(offsets), std::move(cols), std::move(weights));
+}
+
+bool is_symmetric(const Csr& g) {
+  using Pair = std::pair<VertexId, VertexId>;
+  std::vector<Pair> fwd, rev;
+  fwd.reserve(g.num_edges());
+  rev.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : g.neighbors(v)) {
+      fwd.emplace_back(v, u);
+      rev.emplace_back(u, v);
+    }
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+  return fwd == rev;
 }
 
 }  // namespace grx

@@ -68,4 +68,10 @@ class Csr {
 /// pull-mode advance use it.
 Csr transpose(const Csr& g);
 
+/// True iff the adjacency *structure* is symmetric: the multiset of edges
+/// (u, v) equals the multiset of (v, u), weights ignored. O(E log E); used
+/// as a one-time guard by consumers that treat a graph as its own
+/// transpose (Engine::hits/salsa, pull-mode callers).
+bool is_symmetric(const Csr& g);
+
 }  // namespace grx

@@ -572,12 +572,18 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
 BatchBfsResult BatchEnactor::bfs(const Csr& g,
                                  std::span<const VertexId> sources,
                                  const BatchOptions& opts) {
+  BatchBfsResult res;
+  bfs(g, sources, opts, res);
+  return res;
+}
+
+void BatchEnactor::bfs(const Csr& g, std::span<const VertexId> sources,
+                       const BatchOptions& opts, BatchBfsResult& res) {
   Timer wall;
   begin_enact();
   const std::uint32_t b = seed(g, sources);
   visited_.reset(g.num_vertices(), b);
 
-  BatchBfsResult res;
   res.num_lanes = b;
   res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
                    kInfinity);
@@ -588,13 +594,19 @@ BatchBfsResult BatchEnactor::bfs(const Csr& g,
 
   const std::uint64_t edges =
       traverse_lanes(g, opts, res.depth.data(), b);
-  res.summary = finish(edges, wall.elapsed_ms());
-  return res;
+  finish_into(res.summary, edges, wall.elapsed_ms());
 }
 
 BatchSsspResult BatchEnactor::sssp(const Csr& g,
                                    std::span<const VertexId> sources,
                                    const BatchOptions& opts) {
+  BatchSsspResult res;
+  sssp(g, sources, opts, res);
+  return res;
+}
+
+void BatchEnactor::sssp(const Csr& g, std::span<const VertexId> sources,
+                        const BatchOptions& opts, BatchSsspResult& res) {
   GRX_CHECK_MSG(g.has_weights(), "batched SSSP requires edge weights");
   Timer wall;
   begin_enact();
@@ -621,9 +633,9 @@ BatchSsspResult BatchEnactor::sssp(const Csr& g,
   if (!opts.use_priority_queue) delta = 0;
   pq_.begin(g.num_vertices(), b, delta);
 
-  BatchSsspResult res;
   res.num_lanes = b;
   res.delta = delta;
+  res.lane_stats.clear();
   res.dist.assign(static_cast<std::size_t>(g.num_vertices()) * b, kInfinity);
   for (std::uint32_t q = 0; q < b; ++q)
     res.dist[static_cast<std::size_t>(sources[q]) * b + q] = 0;
@@ -710,13 +722,21 @@ BatchSsspResult BatchEnactor::sssp(const Csr& g,
   }
 
   if (pq_.enabled()) res.lane_stats = pq_.take_lane_stats();
-  res.summary = finish(edges, wall.elapsed_ms());
-  return res;
+  finish_into(res.summary, edges, wall.elapsed_ms());
 }
 
 BatchReachabilityResult BatchEnactor::reachability(
     const Csr& g, std::span<const VertexId> sources,
     const BatchOptions& opts) {
+  BatchReachabilityResult res;
+  reachability(g, sources, opts, res);
+  return res;
+}
+
+void BatchEnactor::reachability(const Csr& g,
+                                std::span<const VertexId> sources,
+                                const BatchOptions& opts,
+                                BatchReachabilityResult& res) {
   Timer wall;
   begin_enact();
   const std::uint32_t b = seed(g, sources);
@@ -726,24 +746,30 @@ BatchReachabilityResult BatchEnactor::reachability(
   // Same traversal as bfs(), no depth matrix: visited IS the result.
   const std::uint64_t edges = traverse_lanes(g, opts, /*depth=*/nullptr, b);
 
-  BatchReachabilityResult res;
   res.num_lanes = b;
   res.visited.reset(g.num_vertices(), b);
   res.visited.swap(visited_);
-  res.summary = finish(edges, wall.elapsed_ms());
-  return res;
+  finish_into(res.summary, edges, wall.elapsed_ms());
 }
 
 BatchBcForwardResult BatchEnactor::bc_forward(
     const Csr& g, std::span<const VertexId> sources,
     const BatchOptions& opts) {
+  BatchBcForwardResult res;
+  bc_forward(g, sources, opts, res);
+  return res;
+}
+
+void BatchEnactor::bc_forward(const Csr& g,
+                              std::span<const VertexId> sources,
+                              const BatchOptions& opts,
+                              BatchBcForwardResult& res) {
   Timer wall;
   begin_enact();
   const std::uint32_t b = seed(g, sources);
   const std::uint32_t wpv = lanes_.cur.words_per_vertex();
   visited_.reset(g.num_vertices(), b);
 
-  BatchBcForwardResult res;
   res.num_lanes = b;
   res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
                    kInfinity);
@@ -779,8 +805,7 @@ BatchBcForwardResult BatchEnactor::bc_forward(
     finish_round(p, iter_edges, /*used_pull=*/false);
   }
 
-  res.summary = finish(edges, wall.elapsed_ms());
-  return res;
+  finish_into(res.summary, edges, wall.elapsed_ms());
 }
 
 // --- free-function entry points ---------------------------------------------

@@ -2,21 +2,13 @@
 
 #include "core/compute.hpp"
 #include "core/filter.hpp"
+#include "core/program.hpp"
 #include "primitives/batch.hpp"
-#include "util/bitset.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-struct BcProblem {
-  std::vector<std::uint32_t> depth;
-  std::vector<double> sigma;
-  std::vector<double> delta;
-  AtomicBitset visited;
-  std::uint32_t iteration = 0;
-};
 
 /// Forward phase: BFS discovery + sigma accumulation fused into one
 /// advance (the kernel-fusion story of Section 4.3: the "compute" runs
@@ -53,140 +45,173 @@ struct BackwardFunctor {
   static void apply_edge(VertexId, VertexId, EdgeId, BcProblem&) {}
 };
 
-class BcEnactor : public EnactorBase {
- public:
-  using EnactorBase::EnactorBase;
+/// The forward sweep as an operator program; each step snapshots its input
+/// frontier into the per-level store for the backward pass.
+struct BcForwardProgram {
+  BcProblem& p;
+  const BcOptions& opts;
+  VertexId source;
+  std::vector<std::vector<std::uint32_t>>& levels;
+  std::uint32_t& num_levels;
+  AdvanceConfig acfg;
+  FilterConfig fcfg;
 
-  BcResult enact(const Csr& g, VertexId source, const BcOptions& opts) {
-    GRX_CHECK_MSG(source < g.num_vertices(), "BC source out of range");
-    Timer wall;
-    begin_enact();
-
-    BcProblem p;
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
     p.depth.assign(g.num_vertices(), kInfinity);
     p.sigma.assign(g.num_vertices(), 0.0);
     p.delta.assign(g.num_vertices(), 0.0);
-    p.visited.resize(g.num_vertices());
+    p.visited.assign_zero(g.num_vertices());
+    p.iteration = 0;
     p.depth[source] = 0;
     p.sigma[source] = 1.0;
     p.visited.test_and_set(source);
 
-    AdvanceConfig acfg;
     acfg.strategy = opts.strategy;
     acfg.idempotent = false;
-    FilterConfig fcfg;
+    num_levels = 0;
 
-    // Forward sweep, storing each level's frontier for the backward pass.
-    std::vector<std::vector<std::uint32_t>> levels;
-    in_.assign_single(source);
-    std::uint64_t edges = 0;
-    while (!in_.empty()) {
-      GRX_CHECK(log_.size() < kMaxIterations);
-      levels.push_back(in_.items());
-      const AdvanceStats a =
-          advance<ForwardFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
-      edges += a.edges_processed;
-      filter_vertices<ForwardFunctor>(dev_, out_.items(), filtered_.items(),
-                                      p, fcfg, filter_ws_);
-      record({0, in_.size(), filtered_.size(), a.edges_processed, false});
-      in_.swap(filtered_);
-      p.iteration++;
-    }
-
-    // Backward sweep over stored levels, deepest first.
-    BcResult out;
-    out.bc_values.assign(g.num_vertices(), 0.0);
-    AdvanceConfig bcfg = acfg;
-    bcfg.collect_outputs = false;
-    for (std::size_t li = levels.size(); li-- > 0;) {
-      p.iteration = static_cast<std::uint32_t>(li);
-      Frontier level(FrontierKind::kVertex);
-      level.assign(std::move(levels[li]));
-      const AdvanceStats a = advance<BackwardFunctor>(dev_, g, level, out_,
-                                                      p, bcfg, advance_ws_);
-      edges += a.edges_processed;
-      // Fold this level's dependencies into the BC scores (fused compute).
-      compute(dev_, level, p, [&](std::uint32_t v, BcProblem& prob) {
-        if (v != source) out.bc_values[v] += prob.delta[v];
-      });
-    }
-
-    out.sigma = std::move(p.sigma);
-    out.depth = std::move(p.depth);
-    out.summary = finish(edges, wall.elapsed_ms());
-    return out;
+    c.frontier().assign_single(source);
   }
 
-  /// Backward half of source-batched BC: reconstructs lane `lane`'s
-  /// per-level frontiers from the batched forward result (vertices bucketed
-  /// by depth) and runs the standard backward sweep, folding dependencies
-  /// into `acc`. Results match the single-source backward pass because the
-  /// batched forward produces the identical depth/sigma per lane.
-  void backward_accumulate(const Csr& g, const BatchBcForwardResult& fwd,
-                           std::uint32_t lane, VertexId source,
-                           const BcOptions& opts, std::vector<double>& acc) {
-    begin_enact();
-    const std::uint32_t b = fwd.num_lanes;
-    // All scratch (problem slices, level buckets, the level frontier) is
-    // pooled in the enactor: across the B lanes of a batch only the first
-    // call allocates.
-    BcProblem& p = bwd_problem_;
-    p.depth.resize(g.num_vertices());
-    p.sigma.resize(g.num_vertices());
-    p.delta.assign(g.num_vertices(), 0.0);
-    std::uint32_t max_level = 0;
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      const std::size_t i = static_cast<std::size_t>(v) * b + lane;
-      p.depth[v] = fwd.depth[i];
-      p.sigma[v] = fwd.sigma[i];
-      if (p.depth[v] != kInfinity) max_level = std::max(max_level, p.depth[v]);
-    }
-    if (bwd_levels_.size() < max_level + 1) bwd_levels_.resize(max_level + 1);
-    for (std::uint32_t li = 0; li <= max_level; ++li) bwd_levels_[li].clear();
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      if (p.depth[v] != kInfinity) bwd_levels_[p.depth[v]].push_back(v);
+  bool converged(OpContext& c) { return c.frontier().empty(); }
 
-    AdvanceConfig bcfg;
-    bcfg.strategy = opts.strategy;
-    bcfg.idempotent = false;
-    bcfg.collect_outputs = false;
-    for (std::uint32_t li = max_level + 1; li-- > 0;) {
-      p.iteration = li;
-      bwd_level_.items().assign(bwd_levels_[li].begin(),
-                                bwd_levels_[li].end());
-      advance<BackwardFunctor>(dev_, g, bwd_level_, out_, p, bcfg,
-                               advance_ws_);
-      compute(dev_, bwd_level_, p, [&](std::uint32_t v, BcProblem& prob) {
-        if (v != source) acc[v] += prob.delta[v];
-      });
-    }
+  IterationStats step(OpContext& c) {
+    if (levels.size() <= num_levels) levels.emplace_back();
+    levels[num_levels].assign(c.frontier().items().begin(),
+                              c.frontier().items().end());
+    ++num_levels;
+    const AdvanceStats a = c.advance<ForwardFunctor>(p, acfg);
+    c.filter<ForwardFunctor>(p, fcfg);
+    const IterationStats s{0, c.frontier().size(), c.staged().size(),
+                           a.edges_processed, false};
+    c.promote();
+    p.iteration++;
+    return s;
   }
-
- private:
-  BcProblem bwd_problem_;
-  std::vector<std::vector<std::uint32_t>> bwd_levels_;
-  Frontier bwd_level_{FrontierKind::kVertex};
 };
 
 }  // namespace
 
+void BcEnactor::enact(const Csr& g, VertexId source, const BcOptions& opts,
+                      BcResult& out) {
+  GRX_CHECK_MSG(source < g.num_vertices(), "BC source out of range");
+  Timer wall;
+  begin_enact();
+
+  BcForwardProgram prog{problem_, opts, source, levels_, num_levels_,
+                        {},       {}};
+  std::uint64_t edges = run_program(g, prog);
+
+  // Backward sweep over stored levels, deepest first.
+  BcProblem& p = problem_;
+  out.bc_values.assign(g.num_vertices(), 0.0);
+  AdvanceConfig bcfg;
+  bcfg.strategy = opts.strategy;
+  bcfg.idempotent = false;
+  bcfg.collect_outputs = false;
+  for (std::uint32_t li = num_levels_; li-- > 0;) {
+    p.iteration = li;
+    bwd_level_.items().assign(levels_[li].begin(), levels_[li].end());
+    const AdvanceStats a = advance<BackwardFunctor>(dev_, g, bwd_level_,
+                                                    out_, p, bcfg,
+                                                    advance_ws_);
+    edges += a.edges_processed;
+    // Fold this level's dependencies into the BC scores (fused compute).
+    compute(dev_, bwd_level_, p, [&](std::uint32_t v, BcProblem& prob) {
+      if (v != source) out.bc_values[v] += prob.delta[v];
+    });
+  }
+
+  out.sigma = p.sigma;
+  out.depth = p.depth;
+  finish_into(out.summary, edges, wall.elapsed_ms());
+}
+
+void BcEnactor::backward_accumulate(const Csr& g,
+                                    const BatchBcForwardResult& fwd,
+                                    std::uint32_t lane, VertexId source,
+                                    const BcOptions& opts,
+                                    std::vector<double>& acc) {
+  begin_enact();
+  const std::uint32_t b = fwd.num_lanes;
+  // All scratch (problem slices, level buckets, the level frontier) is
+  // pooled in the enactor: across the B lanes of a batch only the first
+  // call allocates.
+  BcProblem& p = bwd_problem_;
+  p.depth.resize(g.num_vertices());
+  p.sigma.resize(g.num_vertices());
+  p.delta.assign(g.num_vertices(), 0.0);
+  std::uint32_t max_level = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t i = static_cast<std::size_t>(v) * b + lane;
+    p.depth[v] = fwd.depth[i];
+    p.sigma[v] = fwd.sigma[i];
+    if (p.depth[v] != kInfinity) max_level = std::max(max_level, p.depth[v]);
+  }
+  if (bwd_levels_.size() < max_level + 1) bwd_levels_.resize(max_level + 1);
+  for (std::uint32_t li = 0; li <= max_level; ++li) bwd_levels_[li].clear();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (p.depth[v] != kInfinity) bwd_levels_[p.depth[v]].push_back(v);
+
+  AdvanceConfig bcfg;
+  bcfg.strategy = opts.strategy;
+  bcfg.idempotent = false;
+  bcfg.collect_outputs = false;
+  for (std::uint32_t li = max_level + 1; li-- > 0;) {
+    p.iteration = li;
+    bwd_level_.items().assign(bwd_levels_[li].begin(),
+                              bwd_levels_[li].end());
+    advance<BackwardFunctor>(dev_, g, bwd_level_, out_, p, bcfg,
+                             advance_ws_);
+    compute(dev_, bwd_level_, p, [&](std::uint32_t v, BcProblem& prob) {
+      if (v != source) acc[v] += prob.delta[v];
+    });
+  }
+}
+
 BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
                     const BcOptions& opts) {
-  return BcEnactor(dev).enact(g, source, opts);
+  BcResult out;
+  BcEnactor(dev).enact(g, source, opts, out);
+  return out;
+}
+
+void bc_accumulate_batched(BatchEnactor& batch, BcEnactor& back,
+                           const Csr& g, std::span<const VertexId> sources,
+                           const BcOptions& opts, BatchBcForwardResult& fwd,
+                           std::vector<double>& out) {
+  out.assign(g.num_vertices(), 0.0);
+  if (sources.empty()) return;
+  BatchOptions bopts;
+  bopts.strategy = opts.strategy;
+  batch.bc_forward(g, sources, bopts, fwd);
+  for (std::uint32_t q = 0; q < fwd.num_lanes; ++q)
+    back.backward_accumulate(g, fwd, q, sources[q], opts, out);
+}
+
+void bc_accumulate_sampled(BcEnactor& bc, const Csr& g,
+                           std::uint32_t num_sources, std::uint64_t seed,
+                           const BcOptions& opts, BcResult& scratch,
+                           std::vector<double>& out) {
+  out.assign(g.num_vertices(), 0.0);
+  Rng rng(seed);
+  for (std::uint32_t s = 0; s < num_sources; ++s) {
+    const auto src = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    bc.enact(g, src, opts, scratch);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      out[v] += scratch.bc_values[v];
+  }
 }
 
 std::vector<double> gunrock_bc_batched(simt::Device& dev, const Csr& g,
                                        std::span<const VertexId> sources,
                                        const BcOptions& opts) {
-  std::vector<double> acc(g.num_vertices(), 0.0);
-  if (sources.empty()) return acc;
-  BatchOptions bopts;
-  bopts.strategy = opts.strategy;
-  const BatchBcForwardResult fwd =
-      BatchEnactor(dev).bc_forward(g, sources, bopts);
+  std::vector<double> acc;
+  BatchEnactor batch(dev);
   BcEnactor back(dev);  // one enactor: workspaces pool across lanes
-  for (std::uint32_t q = 0; q < fwd.num_lanes; ++q)
-    back.backward_accumulate(g, fwd, q, sources[q], opts, acc);
+  BatchBcForwardResult fwd;
+  bc_accumulate_batched(batch, back, g, sources, opts, fwd, acc);
   return acc;
 }
 
@@ -194,14 +219,10 @@ std::vector<double> gunrock_bc_sampled(simt::Device& dev, const Csr& g,
                                        std::uint32_t num_sources,
                                        std::uint64_t seed,
                                        const BcOptions& opts) {
-  std::vector<double> acc(g.num_vertices(), 0.0);
-  Rng rng(seed);
-  for (std::uint32_t s = 0; s < num_sources; ++s) {
-    const auto src = static_cast<VertexId>(rng.next_below(g.num_vertices()));
-    const BcResult r = gunrock_bc(dev, g, src, opts);
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      acc[v] += r.bc_values[v];
-  }
+  std::vector<double> acc;
+  BcEnactor bc(dev);  // one enactor: problem pools across samples
+  BcResult scratch;
+  bc_accumulate_sampled(bc, g, num_sources, seed, opts, scratch, acc);
   return acc;
 }
 

@@ -9,8 +9,12 @@
 #include "core/advance.hpp"
 #include "core/enactor.hpp"
 #include "graph/csr.hpp"
+#include "util/bitset.hpp"
 
 namespace grx {
+
+struct BatchBcForwardResult;  // core/batch_enactor.hpp
+class BatchEnactor;
 
 struct BcOptions {
   AdvanceStrategy strategy = AdvanceStrategy::kAuto;
@@ -23,9 +27,73 @@ struct BcResult {
   EnactSummary summary;
 };
 
-/// Single-source BC contribution from `source` (Brandes accumulation).
+/// Per-graph persistent BC state (the Problem): depth/sigma/delta labels
+/// and the discovery bitset, pooled across enactments.
+struct BcProblem {
+  std::vector<std::uint32_t> depth;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  AtomicBitset visited;
+  std::uint32_t iteration = 0;
+};
+
+/// Persistent BC enactor: pooled forward Problem, per-level frontier
+/// store, and the backward-sweep scratch shared with the source-batched
+/// path. Steady-state repeated queries allocate nothing with a reused
+/// result.
+class BcEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, VertexId source, const BcOptions& opts,
+             BcResult& out);
+
+  /// Backward half of source-batched BC: reconstructs lane `lane`'s
+  /// per-level frontiers from the batched forward result (vertices bucketed
+  /// by depth) and runs the standard backward sweep, folding dependencies
+  /// into `acc`. Results match the single-source backward pass because the
+  /// batched forward produces the identical depth/sigma per lane.
+  void backward_accumulate(const Csr& g, const BatchBcForwardResult& fwd,
+                           std::uint32_t lane, VertexId source,
+                           const BcOptions& opts, std::vector<double>& acc);
+
+ private:
+  BcProblem problem_;
+  /// Forward levels, one frontier snapshot per BFS depth; slots (and their
+  /// capacity) are reused across enactments — num_levels_ tracks use.
+  std::vector<std::vector<std::uint32_t>> levels_;
+  std::uint32_t num_levels_ = 0;
+  // Batched-backward scratch: problem slices, level buckets, the level
+  // frontier — pooled so across the B lanes of a batch only the first
+  // call allocates.
+  BcProblem bwd_problem_;
+  std::vector<std::vector<std::uint32_t>> bwd_levels_;
+  Frontier bwd_level_{FrontierKind::kVertex};
+};
+
+/// Single-source BC contribution from `source` (Brandes accumulation);
+/// one-shot wrapper over a temporary BcEnactor.
 BcResult gunrock_bc(simt::Device& dev, const Csr& g, VertexId source,
                     const BcOptions& opts = {});
+
+// Shared implementations of the composite BC workloads, parameterized on
+// caller-owned enactors and scratch so both the one-shot gunrock_*
+// wrappers and the pooled grx::Engine paths run the exact same code
+// (results stay identical by construction). `out` is assigned in place.
+
+/// Source-batched accumulation: lane-packed forward pass into `fwd`, then
+/// per-source backward sweeps folded into `out`.
+void bc_accumulate_batched(BatchEnactor& batch, BcEnactor& back,
+                           const Csr& g, std::span<const VertexId> sources,
+                           const BcOptions& opts, BatchBcForwardResult& fwd,
+                           std::vector<double>& out);
+
+/// Sampled accumulation over `num_sources` deterministic sources drawn
+/// from `seed`; `scratch` holds the per-source result between folds.
+void bc_accumulate_sampled(BcEnactor& bc, const Csr& g,
+                           std::uint32_t num_sources, std::uint64_t seed,
+                           const BcOptions& opts, BcResult& scratch,
+                           std::vector<double>& out);
 
 /// Accumulated BC over `num_sources` deterministic sample sources — the
 /// usual approximate-BC workload; used by the social_influence example.

@@ -2,20 +2,11 @@
 
 #include "core/compute.hpp"
 #include "core/filter.hpp"
-#include "util/bitset.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-/// Problem data slice (the paper's `Problem` class).
-struct BfsProblem {
-  std::vector<std::uint32_t> depth;
-  std::vector<VertexId> pred;
-  AtomicBitset visited;        // for the non-idempotent atomic claim
-  std::uint32_t iteration = 0; // current BFS level
-  bool record_preds = true;
-};
 
 /// Idempotent functor: benign races — concurrent discoverers write the
 /// same depth, so no atomics are needed (Section 4.5).
@@ -50,33 +41,34 @@ struct AtomicFunctor {
   static void apply_vertex(VertexId, BfsProblem&) {}
 };
 
-class BfsEnactor : public EnactorBase {
- public:
-  using EnactorBase::EnactorBase;
+/// BFS as an operator program: advance + filter per level until the
+/// frontier drains.
+template <typename F>
+struct BfsProgram {
+  BfsProblem& p;
+  const BfsOptions& opts;
+  VertexId source;
+  AdvanceConfig acfg;
+  FilterConfig fcfg;
 
-  BfsResult enact(const Csr& g, VertexId source, const BfsOptions& opts) {
-    GRX_CHECK_MSG(source < g.num_vertices(), "BFS source out of range");
-    Timer wall;
-    begin_enact();
-
-    BfsProblem p;
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
     p.depth.assign(g.num_vertices(), kInfinity);
     p.pred.assign(opts.record_predecessors ? g.num_vertices() : 0,
                   kInvalidVertex);
     p.record_preds = opts.record_predecessors;
+    p.iteration = 0;
     if (!opts.idempotent || opts.direction != Direction::kPush)
-      p.visited.resize(g.num_vertices());
+      p.visited.assign_zero(g.num_vertices());
     p.depth[source] = 0;
     if (!opts.idempotent) p.visited.test_and_set(source);
 
-    AdvanceConfig acfg;
     acfg.strategy = opts.strategy;
     acfg.direction = opts.direction;
     acfg.idempotent = opts.idempotent;
     acfg.lb_node_edge_threshold = opts.lb_node_edge_threshold;
     acfg.pull_alpha = opts.pull_alpha;
     acfg.pull_beta = opts.pull_beta;
-    FilterConfig fcfg;
     fcfg.dedup_heuristic = opts.idempotent;
     // Clamp the history table to cover |V| when the graph is small: same
     // memory ceiling as Gunrock's 64K default, but slot v holds exactly v,
@@ -86,45 +78,43 @@ class BfsEnactor : public EnactorBase {
            (1u << (fcfg.history_bits - 1)) >= g.num_vertices())
       --fcfg.history_bits;
 
-    in_.assign_single(source);
-    std::uint64_t edges = 0;
-    while (!in_.empty()) {
-      GRX_CHECK(log_.size() < kMaxIterations);
-      AdvanceStats a;
-      if (opts.idempotent) {
-        a = advance<IdempotentFunctor>(dev_, g, in_, out_, p, acfg,
-                                       advance_ws_);
-      } else {
-        a = advance<AtomicFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
-      }
-      edges += a.edges_processed;
-      if (opts.idempotent) {
-        filter_vertices<IdempotentFunctor>(dev_, out_.items(),
-                                           filtered_.items(), p, fcfg,
-                                           filter_ws_);
-      } else {
-        filter_vertices<AtomicFunctor>(dev_, out_.items(), filtered_.items(),
-                                       p, fcfg, filter_ws_);
-      }
-      record({0, in_.size(), filtered_.size(), a.edges_processed,
-              a.used_pull});
-      in_.swap(filtered_);
-      p.iteration++;
-    }
+    c.frontier().assign_single(source);
+  }
 
-    BfsResult out;
-    out.depth = std::move(p.depth);
-    out.pred = std::move(p.pred);
-    out.summary = finish(edges, wall.elapsed_ms());
-    return out;
+  bool converged(OpContext& c) { return c.frontier().empty(); }
+
+  IterationStats step(OpContext& c) {
+    const AdvanceStats a = c.advance<F>(p, acfg);
+    c.filter<F>(p, fcfg);
+    const IterationStats s{0, c.frontier().size(), c.staged().size(),
+                           a.edges_processed, a.used_pull};
+    c.promote();
+    p.iteration++;
+    return s;
   }
 };
 
 }  // namespace
 
+void BfsEnactor::enact(const Csr& g, VertexId source, const BfsOptions& opts,
+                       BfsResult& out) {
+  GRX_CHECK_MSG(source < g.num_vertices(), "BFS source out of range");
+  if (opts.idempotent) {
+    BfsProgram<IdempotentFunctor> prog{problem_, opts, source, {}, {}};
+    enact_program(g, prog, out.summary);
+  } else {
+    BfsProgram<AtomicFunctor> prog{problem_, opts, source, {}, {}};
+    enact_program(g, prog, out.summary);
+  }
+  out.depth = problem_.depth;
+  out.pred = problem_.pred;
+}
+
 BfsResult gunrock_bfs(simt::Device& dev, const Csr& g, VertexId source,
                       const BfsOptions& opts) {
-  return BfsEnactor(dev).enact(g, source, opts);
+  BfsResult out;
+  BfsEnactor(dev).enact(g, source, opts, out);
+  return out;
 }
 
 }  // namespace grx

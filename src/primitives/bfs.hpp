@@ -8,6 +8,7 @@
 #include "core/advance.hpp"
 #include "core/enactor.hpp"
 #include "graph/csr.hpp"
+#include "util/bitset.hpp"
 
 namespace grx {
 
@@ -31,7 +32,34 @@ struct BfsResult {
   EnactSummary summary;
 };
 
-/// Runs Gunrock BFS from `source` on the virtual device.
+/// Per-graph persistent BFS state — the paper's Problem data slice. Owned
+/// by a BfsEnactor and pooled across enactments: every enact() re-labels
+/// in place, so the steady-state query path allocates nothing.
+struct BfsProblem {
+  std::vector<std::uint32_t> depth;
+  std::vector<VertexId> pred;
+  AtomicBitset visited;         // for the non-idempotent atomic claim
+  std::uint32_t iteration = 0;  // current BFS level
+  bool record_preds = true;
+};
+
+/// Persistent BFS enactor (traversal state + pooled Problem). Hold one —
+/// directly or via grx::Engine — to serve repeated queries over a graph;
+/// with a reused BfsResult the steady state performs zero heap
+/// allocations. One-shot callers use gunrock_bfs.
+class BfsEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, VertexId source, const BfsOptions& opts,
+             BfsResult& out);
+
+ private:
+  BfsProblem problem_;
+};
+
+/// Runs Gunrock BFS from `source` on the virtual device (one-shot wrapper
+/// over a temporary BfsEnactor).
 BfsResult gunrock_bfs(simt::Device& dev, const Csr& g, VertexId source,
                       const BfsOptions& opts = {});
 

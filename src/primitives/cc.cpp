@@ -3,22 +3,11 @@
 #include <numeric>
 
 #include "core/filter.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-struct CcProblem {
-  const Csr* g = nullptr;
-  std::vector<VertexId> comp;           // component label per vertex
-  std::vector<std::uint32_t> edge_src;  // flat edge list (one direction)
-  std::vector<std::uint32_t> edge_dst;
-  std::uint32_t changed = 0;  // hooking progress flag (atomic)
-
-  std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const {
-    return {edge_src[e], edge_dst[e]};
-  }
-};
 
 /// Hooking: roots of differing components merge — the larger root label is
 /// atomically lowered to the smaller (monotone, so races converge; Soman's
@@ -50,70 +39,86 @@ struct JumpFunctor {
   static void apply_vertex(VertexId, CcProblem&) {}
 };
 
-class CcEnactor : public EnactorBase {
- public:
-  using EnactorBase::EnactorBase;
+/// CC as an operator program. One step = one hook round over the shrinking
+/// edge frontier followed by full pointer-jump compression (both phases on
+/// shrinking frontiers, per Figure 6); converged when a hook round moved no
+/// label. The jump passes' inputs are extra device work beyond the logged
+/// hook inputs — tallied in jump_work for the summary total.
+struct CcProgram {
+  CcProblem& p;
+  std::vector<std::uint32_t>& edge_frontier;
+  std::vector<std::uint32_t>& next_edges;
+  std::vector<std::uint32_t>& vf;
+  std::vector<std::uint32_t>& nvf;
+  std::uint64_t jump_work = 0;
+  bool done = false;
 
-  CcResult enact(const Csr& g) {
-    Timer wall;
-    begin_enact();
-
-    CcProblem p;
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
+    // One direction per undirected edge suffices for hooking. Rebuilt in
+    // place every enact — caching on graph identity would be unsound (a
+    // new Csr can reuse a previous one's address), and clear() keeps
+    // capacity, so the rebuild allocates nothing in steady state.
     p.g = &g;
-    p.comp.resize(g.num_vertices());
-    std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
-    // One direction per undirected edge suffices for hooking.
+    p.edge_src.clear();
+    p.edge_dst.clear();
     for (VertexId v = 0; v < g.num_vertices(); ++v)
       for (VertexId u : g.neighbors(v))
         if (v < u) {
           p.edge_src.push_back(v);
           p.edge_dst.push_back(u);
         }
-
-    std::uint64_t work = 0;
-    std::vector<std::uint32_t> edge_frontier(p.edge_src.size());
+    p.comp.resize(g.num_vertices());
+    std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
+    edge_frontier.resize(p.edge_src.size());
     std::iota(edge_frontier.begin(), edge_frontier.end(), 0u);
-    std::vector<std::uint32_t> next_edges;
-    std::vector<std::uint32_t> vf, nvf;  // pointer-jump frontiers, pooled
+    done = false;
+    jump_work = 0;
+  }
 
-    // Outer loop: hook until no label moves, then fully compress.
-    // Both phases run on shrinking frontiers, per Figure 6.
-    while (true) {
-      GRX_CHECK(log_.size() < kMaxIterations);
-      p.changed = 0;
-      const FilterStats hs = filter_edges<HookFunctor>(
-          dev_, edge_frontier, next_edges, p, filter_ws_);
-      work += hs.inputs;
-      edge_frontier.swap(next_edges);
-      record({0, hs.inputs, hs.outputs, hs.inputs, false});
+  bool converged(OpContext&) { return done; }
 
-      // Pointer-jumping rounds (vertex filter) until all labels are roots.
-      vf.resize(g.num_vertices());
-      std::iota(vf.begin(), vf.end(), 0u);
-      while (!vf.empty()) {
-        const FilterStats js = filter_vertices<JumpFunctor>(
-            dev_, vf, nvf, p, FilterConfig{}, filter_ws_);
-        work += js.inputs;
-        vf.swap(nvf);
-      }
+  IterationStats step(OpContext& c) {
+    const Csr& g = c.graph();
+    p.changed = 0;
+    const FilterStats hs =
+        c.filter_edges_into<HookFunctor>(edge_frontier, next_edges, p);
+    edge_frontier.swap(next_edges);
 
-      if (p.changed == 0) break;
+    // Pointer-jumping rounds (vertex filter) until all labels are roots.
+    vf.resize(g.num_vertices());
+    std::iota(vf.begin(), vf.end(), 0u);
+    while (!vf.empty()) {
+      const FilterStats js = c.filter_into<JumpFunctor>(vf, nvf, p);
+      jump_work += js.inputs;
+      vf.swap(nvf);
     }
 
-    CcResult out;
-    out.component = std::move(p.comp);
-    // Count roots = components.
-    for (VertexId v = 0; v < g.num_vertices(); ++v)
-      if (out.component[v] == v) out.num_components++;
-    out.summary = finish(work, wall.elapsed_ms());
-    return out;
+    if (p.changed == 0) done = true;
+    return {0, hs.inputs, hs.outputs, hs.inputs, false};
   }
 };
 
 }  // namespace
 
+void CcEnactor::enact(const Csr& g, CcResult& out) {
+  Timer wall;
+  begin_enact();
+  CcProgram prog{problem_, edge_frontier_, next_edges_, vf_, nvf_};
+  const std::uint64_t hook_work = run_program(g, prog);
+
+  out.component = problem_.comp;
+  // Count roots = components.
+  out.num_components = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (out.component[v] == v) out.num_components++;
+  finish_into(out.summary, hook_work + prog.jump_work, wall.elapsed_ms());
+}
+
 CcResult gunrock_cc(simt::Device& dev, const Csr& g) {
-  return CcEnactor(dev).enact(g);
+  CcResult out;
+  CcEnactor(dev).enact(g, out);
+  return out;
 }
 
 }  // namespace grx

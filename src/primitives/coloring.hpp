@@ -20,6 +20,26 @@ struct ColoringResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent coloring state (the Problem), pooled.
+struct ColorProblem {
+  std::vector<std::uint32_t> color;     // kInfinity while undecided
+  std::vector<std::uint64_t> priority;  // per-round draw
+  std::uint64_t seed = 0;
+  std::uint32_t round = 0;
+};
+
+/// Persistent Jones-Plassmann enactor with a pooled Problem.
+class ColoringEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, std::uint64_t seed, ColoringResult& out);
+
+ private:
+  ColorProblem problem_;
+};
+
+/// One-shot wrapper over a temporary ColoringEnactor.
 ColoringResult gunrock_coloring(simt::Device& dev, const Csr& g,
                                 std::uint64_t seed = 2016);
 

@@ -3,16 +3,11 @@
 #include <cmath>
 
 #include "core/compute.hpp"
-#include "core/neighbor_reduce.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-struct HitsProblem {
-  std::vector<double> hub;
-  std::vector<double> auth;
-};
 
 void l2_normalize(simt::Device& dev, std::vector<double>& xs) {
   double ss = 0.0;
@@ -23,61 +18,73 @@ void l2_normalize(simt::Device& dev, std::vector<double>& xs) {
   dev.charge_pass("hits_norm_scale", xs.size(), simt::CostModel::kCoalesced);
 }
 
-}  // namespace
+/// HITS as an operator program: two gather-reduce sweeps (one over the
+/// transpose, one over the graph) plus normalizations per iteration, for a
+/// fixed iteration count.
+struct HitsProgram {
+  HitsProblem& p;
+  std::vector<double>& scratch;
+  const Csr& gT;
+  const HitsOptions& opts;
+  std::uint32_t it = 0;
 
-HitsResult gunrock_hits(simt::Device& dev, const Csr& g, const Csr& gT,
-                        const HitsOptions& opts) {
-  GRX_CHECK(g.num_vertices() == gT.num_vertices());
-  GRX_CHECK(g.num_vertices() > 0);
-  Timer wall;
-  dev.reset();
+  void init(OpContext& c) {
+    const VertexId n = c.graph().num_vertices();
+    p.hub.assign(n, 1.0);
+    p.auth.assign(n, 1.0);
+    it = 0;
+    c.frontier().assign_iota(n);
+  }
 
-  HitsProblem p;
-  p.hub.assign(g.num_vertices(), 1.0);
-  p.auth.assign(g.num_vertices(), 1.0);
+  bool converged(OpContext&) { return it >= opts.iterations; }
 
-  Frontier all;
-  all.assign_iota(g.num_vertices());
-  std::uint64_t edges = 0;
-  std::vector<double> scratch;  // gather-reduce staging, pooled
-
-  std::vector<IterationStats> log;
-  for (std::uint32_t it = 0; it < opts.iterations; ++it) {
+  IterationStats step(OpContext& c) {
+    const Csr& g = c.graph();
     // auth(v) = sum over in-edges (u -> v) of hub(u): a gather-reduce over
     // the transpose's neighborhoods.
-    neighbor_reduce<double>(
-        dev, gT, all, scratch, p, 0.0,
+    c.neighbor_reduce<double>(
+        gT, scratch, p, 0.0,
         [&](VertexId, VertexId u, EdgeId, HitsProblem& prob) {
           return prob.hub[u];
         },
         [](double a, double b) { return a + b; });
     p.auth.swap(scratch);
-    l2_normalize(dev, p.auth);
+    l2_normalize(c.dev(), p.auth);
 
     // hub(v) = sum over out-edges (v -> u) of auth(u).
-    neighbor_reduce<double>(
-        dev, g, all, scratch, p, 0.0,
+    c.neighbor_reduce<double>(
+        g, scratch, p, 0.0,
         [&](VertexId, VertexId u, EdgeId, HitsProblem& prob) {
           return prob.auth[u];
         },
         [](double a, double b) { return a + b; });
     p.hub.swap(scratch);
-    l2_normalize(dev, p.hub);
+    l2_normalize(c.dev(), p.hub);
 
-    edges += g.num_edges() + gT.num_edges();
-    log.push_back(IterationStats{it, g.num_vertices(), g.num_vertices(),
-                                 g.num_edges() + gT.num_edges(), false});
+    const std::uint64_t edges = g.num_edges() + gT.num_edges();
+    const IterationStats s{it, g.num_vertices(), g.num_vertices(), edges,
+                           false};
+    ++it;
+    return s;
   }
+};
 
+}  // namespace
+
+void HitsEnactor::enact(const Csr& g, const Csr& gT, const HitsOptions& opts,
+                        HitsResult& out) {
+  GRX_CHECK(g.num_vertices() == gT.num_vertices());
+  GRX_CHECK(g.num_vertices() > 0);
+  HitsProgram prog{problem_, scratch_, gT, opts};
+  enact_program(g, prog, out.summary);
+  out.hub = problem_.hub;
+  out.authority = problem_.auth;
+}
+
+HitsResult gunrock_hits(simt::Device& dev, const Csr& g, const Csr& gT,
+                        const HitsOptions& opts) {
   HitsResult out;
-  out.hub = std::move(p.hub);
-  out.authority = std::move(p.auth);
-  out.summary.iterations = opts.iterations;
-  out.summary.edges_processed = edges;
-  out.summary.counters = dev.counters();
-  out.summary.device_time_ms = out.summary.counters.time_ms();
-  out.summary.host_wall_ms = wall.elapsed_ms();
-  out.summary.per_iteration = std::move(log);
+  HitsEnactor(dev).enact(g, gT, opts, out);
   return out;
 }
 

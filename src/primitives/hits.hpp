@@ -24,8 +24,28 @@ struct HitsResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent HITS state (the Problem), pooled.
+struct HitsProblem {
+  std::vector<double> hub;
+  std::vector<double> auth;
+};
+
+/// Persistent HITS enactor with pooled Problem and gather-reduce scratch.
+class HitsEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, const Csr& gT, const HitsOptions& opts,
+             HitsResult& out);
+
+ private:
+  HitsProblem problem_;
+  std::vector<double> scratch_;  // gather-reduce staging, pooled
+};
+
 /// Runs HITS on `g` (directed or undirected CSR; `gT` must be the
-/// transpose — pass the same graph for undirected inputs).
+/// transpose — pass the same graph for undirected inputs). One-shot
+/// wrapper over a temporary HitsEnactor.
 HitsResult gunrock_hits(simt::Device& dev, const Csr& g, const Csr& gT,
                         const HitsOptions& opts = {});
 

@@ -19,6 +19,28 @@ struct MisResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent MIS state (the Problem), pooled.
+struct MisProblem {
+  std::vector<std::uint8_t> state;      // kUndecided/kInSet/kExcluded
+  std::vector<std::uint64_t> priority;  // per-round random draw
+  std::uint64_t seed = 0;
+  std::uint32_t round = 0;
+};
+
+/// Persistent Luby MIS enactor with a pooled Problem and gather-reduce
+/// scratch.
+class MisEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, std::uint64_t seed, MisResult& out);
+
+ private:
+  MisProblem problem_;
+  std::vector<std::uint64_t> nbr_max_;  // gather-reduce output, pooled
+};
+
+/// One-shot wrapper over a temporary MisEnactor.
 MisResult gunrock_mis(simt::Device& dev, const Csr& g,
                       std::uint64_t seed = 2016);
 

@@ -3,25 +3,13 @@
 #include <numeric>
 
 #include "core/filter.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
 
 using CM = simt::CostModel;
-
-struct MstProblem {
-  std::vector<VertexId> comp;  // component label (a root id) per vertex
-  // Flat undirected edge arrays (one direction per edge).
-  std::vector<VertexId> esrc, edst;
-  std::vector<Weight> ew;
-  // Per-root candidate: packed (weight << 30 | edge id), atomicMin'd.
-  std::vector<std::uint64_t> best;
-
-  std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const {
-    return {esrc[e], edst[e]};
-  }
-};
 
 constexpr std::uint64_t kNoEdge = ~std::uint64_t{0};
 constexpr std::uint32_t kEdgeBits = 30;
@@ -45,44 +33,64 @@ struct CrossComponentFunctor {
   static void apply_edge(VertexId, VertexId, EdgeId, MstProblem&) {}
 };
 
-}  // namespace
-
-MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
-  GRX_CHECK_MSG(g.has_weights(), "MST requires edge weights");
-  Timer wall;
-  dev.reset();
-  MstResult out;
-  const VertexId n = g.num_vertices();
-  if (n == 0) return out;
-
-  MstProblem p;
-  p.comp.resize(n);
-  std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
-  for (VertexId v = 0; v < n; ++v) {
-    const auto nbrs = g.neighbors(v);
-    const auto ws = g.edge_weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-      if (v < nbrs[i]) {
-        p.esrc.push_back(v);
-        p.edst.push_back(nbrs[i]);
-        p.ew.push_back(ws[i]);
-      }
-  }
-  GRX_CHECK_MSG(p.esrc.size() < (1u << kEdgeBits), "edge id space exceeded");
-  p.best.assign(n, kNoEdge);
-
-  std::vector<std::uint32_t> frontier(p.esrc.size());
-  std::iota(frontier.begin(), frontier.end(), 0u);
-  std::vector<std::uint32_t> next;  // filter staging, pooled
-  FilterWorkspace fws;
-  std::vector<std::uint8_t> in_mst(p.esrc.size(), 0);
-  std::vector<VertexId> partner(n, kInvalidVertex);
-  std::uint64_t work = 0;
-  std::vector<IterationStats> log;
+/// Borůvka as an operator program. One step = min-edge selection + partner
+/// resolution + hook + full pointer-jump compression + cross-component
+/// refilter; converged when a round hooks nothing (only isolated
+/// components remain) or the edge frontier drains. The terminal probe
+/// round (selection that finds no partner) is logged like any other.
+struct MstProgram {
+  MstProblem& p;
+  std::vector<std::uint32_t>& frontier;
+  std::vector<std::uint32_t>& next;
+  std::vector<std::uint8_t>& in_mst;
+  std::vector<VertexId>& partner;
+  std::uint64_t total_weight = 0;
   std::uint32_t round = 0;
+  bool done = false;
 
-  while (!frontier.empty()) {
-    GRX_CHECK(round < 10000);
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
+    const VertexId n = g.num_vertices();
+    p.comp.resize(n);
+    std::iota(p.comp.begin(), p.comp.end(), VertexId{0});
+    // Flat edge arrays are rebuilt in place every enact — caching on graph
+    // identity would be unsound (a new Csr can reuse a previous one's
+    // address), and the cleared vectors keep capacity, so the rebuild
+    // allocates nothing in steady state.
+    p.esrc.clear();
+    p.edst.clear();
+    p.ew.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        if (v < nbrs[i]) {
+          p.esrc.push_back(v);
+          p.edst.push_back(nbrs[i]);
+          p.ew.push_back(ws[i]);
+        }
+    }
+    GRX_CHECK_MSG(p.esrc.size() < (1u << kEdgeBits),
+                  "edge id space exceeded");
+    p.best.assign(n, kNoEdge);
+
+    frontier.resize(p.esrc.size());
+    std::iota(frontier.begin(), frontier.end(), 0u);
+    in_mst.assign(p.esrc.size(), 0);
+    partner.assign(n, kInvalidVertex);
+    total_weight = 0;
+    round = 0;
+    done = false;
+  }
+
+  bool converged(OpContext&) { return done || frontier.empty(); }
+
+  IterationStats step(OpContext& c) {
+    const Csr& g = c.graph();
+    const VertexId n = g.num_vertices();
+    simt::Device& dev = c.dev();
+    const std::uint64_t selected = frontier.size();
+
     // 1. Min-edge selection: every cross edge bids for both endpoint
     //    components (compute fused into an edge-frontier advance).
     dev.for_each("mst_select", frontier.size(),
@@ -97,7 +105,6 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
                    simt::atomic_min(p.best[rs], key);
                    simt::atomic_min(p.best[rd], key);
                  });
-    work += frontier.size();
 
     // 2a. Partner resolution (read-only): each root with a candidate edge
     //     finds the root on the other side and records the edge. Mutual
@@ -120,7 +127,7 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
       partner[r] = other;
       lane.atomic();
       if (simt::atomic_cas(in_mst[e], std::uint8_t{0}, std::uint8_t{1}) == 0)
-        simt::atomic_add(out.total_weight,
+        simt::atomic_add(total_weight,
                          static_cast<std::uint64_t>(p.ew[e]));
     });
 
@@ -134,7 +141,12 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
       p.comp[r] = partner[r];
       simt::atomic_store(hooked, 1u);
     });
-    if (hooked == 0) break;  // only isolated components remain
+    if (hooked == 0) {
+      // Only isolated components remain: stop before touching the frontier
+      // (the selection probe above is still logged as this round's work).
+      done = true;
+      return {round, selected, selected, selected, false};
+    }
 
     // 3. Pointer jumping until every label is a root (as in CC; plain
     //    stores — the structure is a forest, so this converges by depth
@@ -144,9 +156,9 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
       std::uint32_t jchanged = 0;
       dev.for_each("mst_jump", n, [&](simt::Lane& lane, std::size_t vi) {
         lane.load_coalesced();
-        const VertexId c = simt::atomic_load(p.comp[vi]);
-        const VertexId cc = simt::atomic_load(p.comp[c]);
-        if (c == cc) return;
+        const VertexId comp = simt::atomic_load(p.comp[vi]);
+        const VertexId cc = simt::atomic_load(p.comp[comp]);
+        if (comp == cc) return;
         lane.load_scattered();
         simt::atomic_store(p.comp[vi], cc);
         simt::atomic_store(jchanged, 1u);
@@ -158,24 +170,44 @@ MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
 
     // 4. Filter the edge frontier down to still-cross-component edges.
     const FilterStats fs =
-        filter_edges<CrossComponentFunctor>(dev, frontier, next, p, fws);
-    log.push_back(
-        IterationStats{round, fs.inputs, fs.outputs, fs.inputs, false});
+        c.filter_edges_into<CrossComponentFunctor>(frontier, next, p);
     frontier.swap(next);
-    ++round;
+    round++;
+    return {round - 1, fs.inputs, fs.outputs, fs.inputs, false};
+  }
+};
+
+}  // namespace
+
+void MstEnactor::enact(const Csr& g, MstResult& out) {
+  GRX_CHECK_MSG(g.has_weights(), "MST requires edge weights");
+  out.edges.clear();
+  out.total_weight = 0;
+  out.num_components = 0;
+  const VertexId n = g.num_vertices();
+  if (n == 0) {
+    out.summary = {};
+    return;
   }
 
-  for (std::size_t e = 0; e < p.esrc.size(); ++e)
-    if (in_mst[e]) out.edges.emplace_back(p.esrc[e], p.edst[e], p.ew[e]);
-  for (VertexId v = 0; v < n; ++v)
-    if (p.comp[v] == v) out.num_components++;
+  Timer wall;
+  begin_enact();
+  MstProgram prog{problem_, frontier_, next_, in_mst_, partner_};
+  const std::uint64_t work = run_program(g, prog);
 
-  out.summary.iterations = round;
-  out.summary.edges_processed = work;
-  out.summary.counters = dev.counters();
-  out.summary.device_time_ms = out.summary.counters.time_ms();
-  out.summary.host_wall_ms = wall.elapsed_ms();
-  out.summary.per_iteration = std::move(log);
+  out.total_weight = prog.total_weight;
+  for (std::size_t e = 0; e < problem_.esrc.size(); ++e)
+    if (in_mst_[e])
+      out.edges.emplace_back(problem_.esrc[e], problem_.edst[e],
+                             problem_.ew[e]);
+  for (VertexId v = 0; v < n; ++v)
+    if (problem_.comp[v] == v) out.num_components++;
+  finish_into(out.summary, work, wall.elapsed_ms());
+}
+
+MstResult gunrock_mst(simt::Device& dev, const Csr& g) {
+  MstResult out;
+  MstEnactor(dev).enact(g, out);
   return out;
 }
 

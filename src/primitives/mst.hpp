@@ -25,9 +25,40 @@ struct MstResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent MST state (the Problem): component labels, the
+/// flat undirected edge arrays, and the per-root candidate keys — pooled
+/// across enactments (rebuilt in place, capacity retained).
+struct MstProblem {
+  std::vector<VertexId> comp;  // component label (a root id) per vertex
+  // Flat undirected edge arrays (one direction per edge).
+  std::vector<VertexId> esrc, edst;
+  std::vector<Weight> ew;
+  // Per-root candidate: packed (weight << 30 | edge id), atomicMin'd.
+  std::vector<std::uint64_t> best;
+
+  std::pair<VertexId, VertexId> edge_endpoints(std::uint32_t e) const {
+    return {esrc[e], edst[e]};
+  }
+};
+
+/// Persistent Borůvka enactor with pooled Problem and round scratch.
+class MstEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, MstResult& out);
+
+ private:
+  MstProblem problem_;
+  std::vector<std::uint32_t> frontier_, next_;  // edge frontier, pooled
+  std::vector<std::uint8_t> in_mst_;
+  std::vector<VertexId> partner_;
+};
+
 /// Computes a minimum spanning forest of the undirected weighted graph.
 /// Ties are broken by edge id, so the result is deterministic; the total
-/// weight equals that of every MSF of the graph.
+/// weight equals that of every MSF of the graph. One-shot wrapper over a
+/// temporary MstEnactor.
 MstResult gunrock_mst(simt::Device& dev, const Csr& g);
 
 }  // namespace grx

@@ -4,25 +4,11 @@
 
 #include "core/compute.hpp"
 #include "core/filter.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-// Delta-residual formulation: every vertex v keeps `sent[v]`, the
-// contribution (rank/degree) it last pushed; the advance pushes only the
-// *change* into a persistent per-vertex accumulator `incoming`. When the
-// filter prunes a converged vertex from the frontier (Section 5.5), its
-// last contribution stays in its neighbors' accumulators, so the pruning
-// error is bounded by epsilon rather than by the vertex's whole rank.
-struct PrProblem {
-  const Csr* g = nullptr;
-  std::vector<double> rank;
-  std::vector<double> incoming;  // persistent sum of neighbor contributions
-  std::vector<double> sent;      // last contribution distributed per vertex
-  std::vector<std::uint8_t> converged;
-  double epsilon = 0.0;
-};
 
 struct DistributeFunctor {
   /// Scatter the contribution delta to dst. Returns false: PageRank's
@@ -41,17 +27,18 @@ struct DistributeFunctor {
   static void apply_vertex(VertexId, PrProblem&) {}
 };
 
-class PrEnactor : public EnactorBase {
- public:
-  using EnactorBase::EnactorBase;
+/// PageRank as an operator program: distribute-advance, two compute steps
+/// (sent bookkeeping, rank update + convergence test), prune-filter.
+struct PrProgram {
+  PrProblem& p;
+  const PagerankOptions& opts;
+  AdvanceConfig acfg;
+  FilterConfig fcfg;
+  std::uint32_t iter = 0;
 
-  PagerankResult enact(const Csr& g, const PagerankOptions& opts) {
-    Timer wall;
-    begin_enact();
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
     const auto n = g.num_vertices();
-    GRX_CHECK(n > 0);
-
-    PrProblem p;
     p.g = &g;
     p.rank.assign(n, 1.0 / n);
     p.incoming.assign(n, 0.0);
@@ -59,61 +46,69 @@ class PrEnactor : public EnactorBase {
     p.converged.assign(n, 0);
     p.epsilon = opts.epsilon;
 
-    AdvanceConfig acfg;
     acfg.strategy = opts.strategy;
     acfg.idempotent = true;  // atomicAdd cost is charged via the cost model
     acfg.collect_outputs = false;
-    FilterConfig fcfg;
+    iter = 0;
 
-    in_.assign_iota(n);
-    std::uint64_t edges = 0;
-    std::uint32_t iter = 0;
-    while (!in_.empty() && iter < opts.max_iterations) {
-      const AdvanceStats a = advance<DistributeFunctor>(dev_, g, in_, out_,
-                                                        p, acfg, advance_ws_);
-      edges += a.edges_processed;
-      // Record what each active vertex has now distributed in total.
-      compute(dev_, in_, p, [&](std::uint32_t v, PrProblem& prob) {
-        if (g.degree(v))
-          prob.sent[v] = prob.rank[v] / static_cast<double>(g.degree(v));
-      });
+    c.frontier().assign_iota(n);
+  }
 
-      // Dangling mass: vertices with no edges spread uniformly.
-      double dangling = 0.0;
-      for (VertexId v = 0; v < n; ++v)
-        if (g.degree(v) == 0) dangling += p.rank[v];
-      dev_.charge_pass("pr_dangling", n, simt::CostModel::kCoalesced);
+  bool converged(OpContext& c) {
+    return c.frontier().empty() || iter >= opts.max_iterations;
+  }
 
-      // PageRank update + convergence test (fused compute over all).
-      const double base =
-          (1.0 - opts.damping) / n + opts.damping * dangling / n;
-      compute_all(dev_, n, p, [&](std::uint32_t v, PrProblem& prob) {
-        const double next = base + opts.damping * prob.incoming[v];
-        if (p.epsilon > 0.0 &&
-            std::abs(next - prob.rank[v]) < p.epsilon * (1.0 / n))
-          prob.converged[v] = 1;
-        prob.rank[v] = next;
-      });
+  IterationStats step(OpContext& c) {
+    const Csr& g = c.graph();
+    const auto n = g.num_vertices();
+    const AdvanceStats a = c.advance<DistributeFunctor>(p, acfg);
+    // Record what each active vertex has now distributed in total.
+    c.compute(p, [&](std::uint32_t v, PrProblem& prob) {
+      if (g.degree(v))
+        prob.sent[v] = prob.rank[v] / static_cast<double>(g.degree(v));
+    });
 
-      filter_vertices<DistributeFunctor>(dev_, in_.items(), filtered_.items(),
-                                         p, fcfg, filter_ws_);
-      record({0, in_.size(), filtered_.size(), a.edges_processed, false});
-      if (opts.epsilon > 0.0) in_.swap(filtered_);
-      ++iter;
-    }
+    // Dangling mass: vertices with no edges spread uniformly.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v)
+      if (g.degree(v) == 0) dangling += p.rank[v];
+    c.dev().charge_pass("pr_dangling", n, simt::CostModel::kCoalesced);
 
-    PagerankResult out;
-    out.rank = std::move(p.rank);
-    out.summary = finish(edges, wall.elapsed_ms());
-    return out;
+    // PageRank update + convergence test (fused compute over all).
+    const double base =
+        (1.0 - opts.damping) / n + opts.damping * dangling / n;
+    c.compute_all(n, p, [&](std::uint32_t v, PrProblem& prob) {
+      const double next = base + opts.damping * prob.incoming[v];
+      if (p.epsilon > 0.0 &&
+          std::abs(next - prob.rank[v]) < p.epsilon * (1.0 / n))
+        prob.converged[v] = 1;
+      prob.rank[v] = next;
+    });
+
+    c.filter_frontier<DistributeFunctor>(p, fcfg);
+    const IterationStats s{0, c.frontier().size(), c.staged().size(),
+                           a.edges_processed, false};
+    if (opts.epsilon > 0.0) c.promote();
+    ++iter;
+    return s;
   }
 };
 
 }  // namespace
 
+void PrEnactor::enact(const Csr& g, const PagerankOptions& opts,
+                      PagerankResult& out) {
+  GRX_CHECK(g.num_vertices() > 0);
+  PrProgram prog{problem_, opts, {}, {}};
+  enact_program(g, prog, out.summary);
+  out.rank = problem_.rank;
+}
+
 PagerankResult gunrock_pagerank(simt::Device& dev, const Csr& g,
                                 const PagerankOptions& opts) {
-  return PrEnactor(dev).enact(g, opts);
+  PagerankResult out;
+  PrEnactor(dev).enact(g, opts, out);
+  return out;
 }
 
 }  // namespace grx

@@ -25,6 +25,34 @@ struct PagerankResult {
   EnactSummary summary;
 };
 
+// Delta-residual formulation: every vertex v keeps `sent[v]`, the
+// contribution (rank/degree) it last pushed; the advance pushes only the
+// *change* into a persistent per-vertex accumulator `incoming`. When the
+// filter prunes a converged vertex from the frontier (Section 5.5), its
+// last contribution stays in its neighbors' accumulators, so the pruning
+// error is bounded by epsilon rather than by the vertex's whole rank.
+struct PrProblem {
+  const Csr* g = nullptr;
+  std::vector<double> rank;
+  std::vector<double> incoming;  // persistent sum of neighbor contributions
+  std::vector<double> sent;      // last contribution distributed per vertex
+  std::vector<std::uint8_t> converged;
+  double epsilon = 0.0;
+};
+
+/// Persistent PageRank enactor with a pooled Problem; repeated enactments
+/// on one graph allocate nothing in steady state with a reused result.
+class PrEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, const PagerankOptions& opts, PagerankResult& out);
+
+ private:
+  PrProblem problem_;
+};
+
+/// One-shot wrapper over a temporary PrEnactor.
 PagerankResult gunrock_pagerank(simt::Device& dev, const Csr& g,
                                 const PagerankOptions& opts = {});
 

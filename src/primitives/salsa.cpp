@@ -1,17 +1,10 @@
 #include "primitives/salsa.hpp"
 
-#include "core/neighbor_reduce.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-struct SalsaProblem {
-  const Csr* g = nullptr;   // forward edges
-  const Csr* gT = nullptr;  // reverse edges
-  std::vector<double> hub;
-  std::vector<double> auth;
-};
 
 void l1_normalize(simt::Device& dev, std::vector<double>& xs) {
   double total = 0.0;
@@ -24,68 +17,83 @@ void l1_normalize(simt::Device& dev, std::vector<double>& xs) {
                   simt::CostModel::kCoalesced);
 }
 
-}  // namespace
+/// SALSA as an operator program: two degree-normalized gather-reduce
+/// sweeps plus L1 normalizations per iteration, fixed iteration count.
+struct SalsaProgram {
+  SalsaProblem& p;
+  std::vector<double>& scratch;
+  const Csr& gT;
+  const SalsaOptions& opts;
+  std::uint32_t it = 0;
 
-SalsaResult gunrock_salsa(simt::Device& dev, const Csr& g, const Csr& gT,
-                          const SalsaOptions& opts) {
-  GRX_CHECK(g.num_vertices() == gT.num_vertices());
-  GRX_CHECK(g.num_vertices() > 0);
-  Timer wall;
-  dev.reset();
-
-  SalsaProblem p;
-  p.g = &g;
-  p.gT = &gT;
-  // Seed mass on the sides that can carry it.
-  p.hub.assign(g.num_vertices(), 0.0);
-  p.auth.assign(g.num_vertices(), 0.0);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (g.degree(v) > 0) p.hub[v] = 1.0;
-    if (gT.degree(v) > 0) p.auth[v] = 1.0;
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
+    const VertexId n = g.num_vertices();
+    p.g = &g;
+    p.gT = &gT;
+    // Seed mass on the sides that can carry it.
+    p.hub.assign(n, 0.0);
+    p.auth.assign(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.degree(v) > 0) p.hub[v] = 1.0;
+      if (gT.degree(v) > 0) p.auth[v] = 1.0;
+    }
+    l1_normalize(c.dev(), p.hub);
+    l1_normalize(c.dev(), p.auth);
+    it = 0;
+    c.frontier().assign_iota(n);
   }
-  l1_normalize(dev, p.hub);
-  l1_normalize(dev, p.auth);
 
-  Frontier all;
-  all.assign_iota(g.num_vertices());
-  std::uint64_t edges = 0;
-  std::vector<IterationStats> log;
+  bool converged(OpContext&) { return it >= opts.iterations; }
 
-  for (std::uint32_t it = 0; it < opts.iterations; ++it) {
+  IterationStats step(OpContext& c) {
+    const Csr& g = c.graph();
     // Authority step: a(v) = sum over in-edges (u -> v) of h(u)/outdeg(u).
-    std::vector<double> new_auth = neighbor_sum(
-        dev, gT, all, p,
+    c.neighbor_reduce<double>(
+        gT, scratch, p, 0.0,
         [&](VertexId, VertexId u, EdgeId, SalsaProblem& prob) {
           const auto d = prob.g->degree(u);
           return d ? prob.hub[u] / d : 0.0;
-        });
-    p.auth = std::move(new_auth);
-    l1_normalize(dev, p.auth);
+        },
+        [](double a, double b) { return a + b; });
+    p.auth.swap(scratch);
+    l1_normalize(c.dev(), p.auth);
 
     // Hub step: h(u) = sum over out-edges (u -> v) of a(v)/indeg(v).
-    std::vector<double> new_hub = neighbor_sum(
-        dev, g, all, p,
+    c.neighbor_reduce<double>(
+        g, scratch, p, 0.0,
         [&](VertexId, VertexId v, EdgeId, SalsaProblem& prob) {
           const auto d = prob.gT->degree(v);
           return d ? prob.auth[v] / d : 0.0;
-        });
-    p.hub = std::move(new_hub);
-    l1_normalize(dev, p.hub);
+        },
+        [](double a, double b) { return a + b; });
+    p.hub.swap(scratch);
+    l1_normalize(c.dev(), p.hub);
 
-    edges += g.num_edges() + gT.num_edges();
-    log.push_back(IterationStats{it, g.num_vertices(), g.num_vertices(),
-                                 g.num_edges() + gT.num_edges(), false});
+    const std::uint64_t edges = g.num_edges() + gT.num_edges();
+    const IterationStats s{it, g.num_vertices(), g.num_vertices(), edges,
+                           false};
+    ++it;
+    return s;
   }
+};
 
+}  // namespace
+
+void SalsaEnactor::enact(const Csr& g, const Csr& gT,
+                         const SalsaOptions& opts, SalsaResult& out) {
+  GRX_CHECK(g.num_vertices() == gT.num_vertices());
+  GRX_CHECK(g.num_vertices() > 0);
+  SalsaProgram prog{problem_, scratch_, gT, opts};
+  enact_program(g, prog, out.summary);
+  out.hub = problem_.hub;
+  out.authority = problem_.auth;
+}
+
+SalsaResult gunrock_salsa(simt::Device& dev, const Csr& g, const Csr& gT,
+                          const SalsaOptions& opts) {
   SalsaResult out;
-  out.hub = std::move(p.hub);
-  out.authority = std::move(p.auth);
-  out.summary.iterations = opts.iterations;
-  out.summary.edges_processed = edges;
-  out.summary.counters = dev.counters();
-  out.summary.device_time_ms = out.summary.counters.time_ms();
-  out.summary.host_wall_ms = wall.elapsed_ms();
-  out.summary.per_iteration = std::move(log);
+  SalsaEnactor(dev).enact(g, gT, opts, out);
   return out;
 }
 

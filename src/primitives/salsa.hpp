@@ -26,9 +26,31 @@ struct SalsaResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent SALSA state (the Problem), pooled.
+struct SalsaProblem {
+  const Csr* g = nullptr;   // forward edges
+  const Csr* gT = nullptr;  // reverse edges
+  std::vector<double> hub;
+  std::vector<double> auth;
+};
+
+/// Persistent SALSA enactor with pooled Problem and gather-reduce scratch.
+class SalsaEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, const Csr& gT, const SalsaOptions& opts,
+             SalsaResult& out);
+
+ private:
+  SalsaProblem problem_;
+  std::vector<double> scratch_;  // gather-reduce staging, pooled
+};
+
 /// Runs SALSA on directed `g` with transpose `gT` (pass g twice for
 /// undirected graphs). Vertices with no out-edges have hub score 0; with
-/// no in-edges, authority 0.
+/// no in-edges, authority 0. One-shot wrapper over a temporary
+/// SalsaEnactor.
 SalsaResult gunrock_salsa(simt::Device& dev, const Csr& g, const Csr& gT,
                           const SalsaOptions& opts = {});
 

@@ -3,28 +3,11 @@
 #include <algorithm>
 
 #include "core/filter.hpp"
+#include "core/program.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
 namespace {
-
-struct SsspProblem {
-  const Csr* g = nullptr;
-  std::vector<std::uint32_t> dist;
-  /// Enqueue-time labels: the distance each frontier vertex carried when
-  /// it was enqueued, stamped once per iteration. Relaxing from the label
-  /// instead of the live distance makes every round's improvement set a
-  /// pure function of round-start state — frontier schedules and
-  /// PriorityQueueStats are byte-identical across host thread counts
-  /// (Davidson's worklist-with-labels discipline). A vertex re-improved
-  /// mid-round is re-enqueued and relaxes again with the fresher label.
-  std::vector<std::uint32_t> labels;
-  std::vector<VertexId> pred;
-  /// Iteration tag per vertex: filter keeps the first occurrence of a
-  /// vertex per iteration (the paper's output_queue_id dedup).
-  std::vector<std::uint32_t> mark;
-  std::uint32_t iteration = 0;
-};
 
 struct RelaxFunctor {
   static bool cond_edge(VertexId src, VertexId dst, EdgeId e,
@@ -51,17 +34,26 @@ struct RelaxFunctor {
   static void apply_vertex(VertexId, SsspProblem&) {}
 };
 
-class SsspEnactor : public EnactorBase {
- public:
-  using EnactorBase::EnactorBase;
+/// SSSP as an operator program: label-stamp + relax-advance + dedup-filter
+/// per round, with the near/far split as the frontier hand-off and the
+/// priority-level advance folded into the convergence predicate (the
+/// "is there more work" question includes the banked far pile).
+struct SsspProgram {
+  SsspProblem& p;
+  PriorityFrontier& pq;
+  const SsspOptions& opts;
+  VertexId source;
+  AdvanceConfig acfg;
+  FilterConfig fcfg;
 
-  SsspResult enact(const Csr& g, VertexId source, const SsspOptions& opts) {
-    GRX_CHECK_MSG(source < g.num_vertices(), "SSSP source out of range");
-    GRX_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
-    Timer wall;
-    begin_enact();
+  auto priority() {
+    return [this](std::uint32_t v) {
+      return static_cast<std::uint64_t>(simt::atomic_load(p.dist[v]));
+    };
+  }
 
-    SsspProblem p;
+  void init(OpContext& c) {
+    const Csr& g = c.graph();
     p.g = &g;
     p.dist.assign(g.num_vertices(), kInfinity);
     p.labels.assign(g.num_vertices(), kInfinity);
@@ -70,81 +62,76 @@ class SsspEnactor : public EnactorBase {
     p.labels[source] = 0;
     p.mark.assign(g.num_vertices(), 0xdeadbeefu);
     p.pred[source] = source;
+    p.iteration = 0;
 
     std::uint32_t delta = opts.delta;
     if (opts.use_priority_queue && delta == 0) delta = sssp_auto_delta(g);
     if (!opts.use_priority_queue) delta = 0;
-    pq_.begin(delta);
-    const auto priority = [&](std::uint32_t v) {
-      return static_cast<std::uint64_t>(simt::atomic_load(p.dist[v]));
-    };
+    pq.begin(delta);
 
-    AdvanceConfig acfg;
     acfg.strategy = opts.strategy;
     acfg.idempotent = false;  // relaxation needs the atomic min
-    FilterConfig fcfg;        // exact dedup lives in cond_vertex
+    // fcfg: exact dedup lives in cond_vertex.
 
-    in_.assign_single(source);
-    std::uint64_t edges = 0;
-
-    // Stamps each frontier vertex's enqueue-time label (see
-    // SsspProblem::labels). A sub-phase of the frontier hand-off, not a
-    // separate launch: one scattered read + write per frontier vertex.
-    const auto stamp_labels = [&] {
-      const auto& items = in_.items();
-      constexpr std::size_t kChunk = 256;
-      simt::Device::parallel_chunks(
-          (items.size() + kChunk - 1) / kChunk, [&](std::size_t c) {
-            const std::size_t lo = c * kChunk;
-            const std::size_t hi = std::min(items.size(), lo + kChunk);
-            for (std::size_t i = lo; i < hi; ++i) {
-              const std::uint32_t v = items[i];
-              p.labels[v] = simt::atomic_load(p.dist[v]);
-            }
-          });
-      dev_.charge_pass("sssp_labels", items.size(),
-                       2 * simt::CostModel::kScattered, /*fused=*/true);
-    };
-
-    while (!in_.empty() || !pq_.far_empty()) {
-      GRX_CHECK(log_.size() < kMaxIterations);
-      if (in_.empty()) {
-        // Near pile exhausted: advance the priority level and re-split the
-        // far pile (Section 4.5, two-level priority queue).
-        pq_.advance_level(dev_, in_.items(), priority);
-        if (in_.empty()) break;
-      }
-      stamp_labels();
-
-      const AdvanceStats a =
-          advance<RelaxFunctor>(dev_, g, in_, out_, p, acfg, advance_ws_);
-      edges += a.edges_processed;
-      p.iteration++;
-
-      filter_vertices<RelaxFunctor>(dev_, out_.items(), filtered_.items(), p,
-                                    fcfg, filter_ws_);
-
-      if (pq_.enabled()) {
-        pq_.split(dev_, filtered_.items(), in_.items(), priority);
-      } else {
-        in_.swap(filtered_);
-      }
-      record({0, in_.size(), out_.size(), a.edges_processed, false});
-    }
-
-    SsspResult out;
-    out.dist = std::move(p.dist);
-    out.pred = std::move(p.pred);
-    out.pq_stats = pq_.stats();
-    out.summary = finish(edges, wall.elapsed_ms());
-    return out;
+    c.frontier().assign_single(source);
   }
 
- private:
-  PriorityFrontier pq_;  ///< near/far schedule state, pooled
+  bool converged(OpContext& c) {
+    if (!c.frontier().empty()) return false;
+    if (pq.far_empty()) return true;
+    // Near pile exhausted: advance the priority level and re-split the
+    // far pile (Section 4.5, two-level priority queue).
+    pq.advance_level(c.dev(), c.frontier().items(), priority());
+    return c.frontier().empty();
+  }
+
+  IterationStats step(OpContext& c) {
+    stamp_labels(c);
+    const AdvanceStats a = c.advance<RelaxFunctor>(p, acfg);
+    p.iteration++;
+    c.filter<RelaxFunctor>(p, fcfg);
+    if (pq.enabled()) {
+      pq.split(c.dev(), c.staged().items(), c.frontier().items(),
+               priority());
+    } else {
+      c.promote();
+    }
+    return {0, c.frontier().size(), c.advance_out().size(),
+            a.edges_processed, false};
+  }
+
+  /// Stamps each frontier vertex's enqueue-time label (see
+  /// SsspProblem::labels). A sub-phase of the frontier hand-off, not a
+  /// separate launch: one scattered read + write per frontier vertex.
+  void stamp_labels(OpContext& c) {
+    const auto& items = c.frontier().items();
+    constexpr std::size_t kChunk = 256;
+    simt::Device::parallel_chunks(
+        (items.size() + kChunk - 1) / kChunk, [&](std::size_t ch) {
+          const std::size_t lo = ch * kChunk;
+          const std::size_t hi = std::min(items.size(), lo + kChunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::uint32_t v = items[i];
+            p.labels[v] = simt::atomic_load(p.dist[v]);
+          }
+        });
+    c.dev().charge_pass("sssp_labels", items.size(),
+                        2 * simt::CostModel::kScattered, /*fused=*/true);
+  }
 };
 
 }  // namespace
+
+void SsspEnactor::enact(const Csr& g, VertexId source,
+                        const SsspOptions& opts, SsspResult& out) {
+  GRX_CHECK_MSG(source < g.num_vertices(), "SSSP source out of range");
+  GRX_CHECK_MSG(g.has_weights(), "SSSP requires edge weights");
+  SsspProgram prog{problem_, pq_, opts, source, {}, {}};
+  enact_program(g, prog, out.summary);
+  out.dist = problem_.dist;
+  out.pred = problem_.pred;
+  out.pq_stats = pq_.stats();
+}
 
 std::uint32_t sssp_auto_delta(const Csr& g) {
   const double avg_deg =
@@ -165,7 +152,9 @@ std::uint32_t sssp_auto_delta(const Csr& g) {
 
 SsspResult gunrock_sssp(simt::Device& dev, const Csr& g, VertexId source,
                         const SsspOptions& opts) {
-  return SsspEnactor(dev).enact(g, source, opts);
+  SsspResult out;
+  SsspEnactor(dev).enact(g, source, opts, out);
+  return out;
 }
 
 }  // namespace grx

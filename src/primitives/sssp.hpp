@@ -31,6 +31,42 @@ struct SsspResult {
   EnactSummary summary;
 };
 
+/// Per-graph persistent SSSP state (the Problem): distance labels, the
+/// deterministic enqueue-time label snapshot, predecessors, and the
+/// filter's claim marks — pooled across enactments.
+struct SsspProblem {
+  const Csr* g = nullptr;
+  std::vector<std::uint32_t> dist;
+  /// Enqueue-time labels: the distance each frontier vertex carried when
+  /// it was enqueued, stamped once per iteration. Relaxing from the label
+  /// instead of the live distance makes every round's improvement set a
+  /// pure function of round-start state — frontier schedules and
+  /// PriorityQueueStats are byte-identical across host thread counts
+  /// (Davidson's worklist-with-labels discipline). A vertex re-improved
+  /// mid-round is re-enqueued and relaxes again with the fresher label.
+  std::vector<std::uint32_t> labels;
+  std::vector<VertexId> pred;
+  /// Iteration tag per vertex: filter keeps the first occurrence of a
+  /// vertex per iteration (the paper's output_queue_id dedup).
+  std::vector<std::uint32_t> mark;
+  std::uint32_t iteration = 0;
+};
+
+/// Persistent SSSP enactor: pooled Problem plus the near/far priority
+/// frontier. Steady-state repeated queries (via grx::Engine or a held
+/// enactor) allocate nothing when the result object is reused.
+class SsspEnactor : public EnactorBase {
+ public:
+  using EnactorBase::EnactorBase;
+
+  void enact(const Csr& g, VertexId source, const SsspOptions& opts,
+             SsspResult& out);
+
+ private:
+  SsspProblem problem_;
+  PriorityFrontier pq_;  ///< near/far schedule state, pooled
+};
+
 /// The delta sizing shared by single-query and batched SSSP: mean edge
 /// weight (the paper's weights are uniform in [1, 64], mean 32.5) scaled by
 /// average degree — the standard delta-stepping bucket width. Returns 0 on
@@ -39,7 +75,8 @@ struct SsspResult {
 /// an *optional* optimization in the paper, Section 5.2).
 std::uint32_t sssp_auto_delta(const Csr& g);
 
-/// Runs Gunrock SSSP from `source`. The graph must carry edge weights.
+/// Runs Gunrock SSSP from `source` (one-shot wrapper over a temporary
+/// SsspEnactor). The graph must carry edge weights.
 SsspResult gunrock_sssp(simt::Device& dev, const Csr& g, VertexId source,
                         const SsspOptions& opts = {});
 

@@ -28,6 +28,17 @@ class AtomicBitset {
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);
   }
 
+  /// Sizes to `bits` with every bit zero, reusing capacity when the size
+  /// already matches — the pooled-Problem reset idiom (mirrors the batch
+  /// engine's LaneMatrix::reset). Centralized so no caller can forget the
+  /// else-clear branch and inherit stale bits from a previous enactment.
+  void assign_zero(std::size_t bits) {
+    if (bits_ != bits)
+      resize(bits);  // fresh words come value-initialized (zero)
+    else
+      clear();
+  }
+
   bool test(std::size_t i) const {
     GRX_CHECK(i < bits_);
     return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
