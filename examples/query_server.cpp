@@ -1,22 +1,28 @@
-// Query server: serving a stream of user traversal queries in batches.
+// Query server: concurrent clients served by grx::Server.
 //
-//   $ ./query_server [--scale=12] [--users=256] [--batch=64]
+//   $ ./query_server [--scale=12] [--clients=16] [--queries=16]
+//                    [--workers=0] [--window-us=200]
 //
 // The ROADMAP north star is a system serving traversal queries from many
-// concurrent users over one shared graph. This demo simulates that loop
-// through the grx::Engine façade: one Engine bound to the shared graph
-// drains a queue of incoming queries (BFS "degrees of separation" and
-// SSSP "cheapest route" requests from pseudo-random users) in batches of
-// B, writing each wave into *reused* result objects — so every batch
-// after the first runs on warm pooled workspaces with zero steady-state
-// allocations, the regime a long-lived server actually sees. The same
-// workload is replayed sequentially through the one-shot gunrock_*
-// wrappers for comparison (cold enactor + fresh buffers per query, the
-// pre-Engine cost).
+// concurrent users over one shared graph. This demo is that system in
+// miniature: C client threads each fire a stream of mixed queries (BFS
+// "degrees of separation", SSSP "cheapest route", reachability "can I get
+// there at all") at one grx::Server and block on each ticket — the
+// closed-loop shape of a real request handler. Inside the server, a
+// worker pool of private Engines drains the submission queue, and the
+// adaptive coalescer fuses same-primitive queries that arrive together
+// into single lane-matrix enacts (up to 64 queries per edge scan),
+// demuxing each lane back to its ticket.
+//
+// The same workload is then replayed with the coalescer off: identical
+// results (byte-for-byte — coalescing is a throughput lever, not a
+// semantic), very different throughput. See bench/bench_server.cpp for
+// the measured QPS/latency envelope and docs/api.md for the contract.
 #include <cstdio>
+#include <thread>
 #include <vector>
 
-#include "api/engine.hpp"
+#include "api/server.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "util/cli.hpp"
@@ -27,8 +33,11 @@ int main(int argc, char** argv) {
   using namespace grx;
   const Cli cli(argc, argv);
   const auto scale = static_cast<std::uint32_t>(cli.get_int("scale", 12));
-  const auto users = static_cast<std::uint32_t>(cli.get_int("users", 256));
-  const auto batch = static_cast<std::uint32_t>(cli.get_int("batch", 64));
+  const auto clients = static_cast<std::uint32_t>(cli.get_int("clients", 16));
+  const auto queries = static_cast<std::uint32_t>(cli.get_int("queries", 16));
+  const auto workers = static_cast<std::uint32_t>(cli.get_int("workers", 0));
+  const auto window_us =
+      static_cast<std::uint32_t>(cli.get_int("window-us", 200));
 
   // The shared "social graph" all users query.
   BuildOptions bo;
@@ -37,82 +46,80 @@ int main(int argc, char** argv) {
       with_random_weights(build_csr(rmat(scale, 16, 2016), bo), /*seed=*/7);
   std::printf("shared graph: %u vertices, %llu edges\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()));
+  std::printf("%u client threads x %u queries each, mixed BFS/SSSP/"
+              "reachability\n\n",
+              clients, queries);
 
-  // Incoming queue: each user asks either "hops from me to everyone" (BFS)
-  // or "cheapest route cost from me" (SSSP). Interleaved arrival order.
-  Rng rng(42);
-  std::vector<VertexId> bfs_queue, sssp_queue;
-  for (std::uint32_t u = 0; u < users; ++u) {
-    const auto src = static_cast<VertexId>(rng.next_below(g.num_vertices()));
-    (u % 2 == 0 ? bfs_queue : sssp_queue).push_back(src);
-  }
-  std::printf("query queue: %zu BFS + %zu SSSP requests, served in batches "
-              "of %u\n\n",
-              bfs_queue.size(), sssp_queue.size(), batch);
-
-  // --- Engine serving loop --------------------------------------------------
-  // One Engine = one graph's worth of pooled Problem state. The wave
-  // results are declared once and reused: after the first wave of each
-  // kind, enactments assign into warm capacity and allocate nothing.
-  simt::Device dev;
-  Engine engine(dev, g);
-  QueryOptions opts;
-  opts.direction = Direction::kOptimal;  // undirected graph: pull OK
-  BatchBfsResult hops;
-  BatchSsspResult routes;
-
-  std::uint64_t served = 0;
-  double batched_ms = 0.0;
-  const auto serve = [&](const std::vector<VertexId>& queue, bool weighted) {
-    for (std::size_t at = 0; at < queue.size(); at += batch) {
-      const std::size_t n = std::min<std::size_t>(batch, queue.size() - at);
-      const std::span<const VertexId> wave(queue.data() + at, n);
-      Timer t;
-      std::uint32_t iterations;
-      if (weighted) {
-        engine.batch_sssp(wave, routes, opts);
-        iterations = routes.summary.iterations;
-      } else {
-        engine.batch_bfs(wave, hops, opts);
-        iterations = hops.summary.iterations;
+  // One client thread's life: pick a random query kind and source, submit,
+  // block on the ticket, tally a checksum so the work is observably real.
+  const auto client_loop = [&](Server& server, std::uint32_t id,
+                               std::uint64_t& checksum) {
+    Rng rng(42 + id);
+    std::uint64_t sum = 0;
+    for (std::uint32_t q = 0; q < queries; ++q) {
+      const auto src = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+      QueryRequest req;
+      req.source = src;
+      switch (rng.next_below(3)) {
+        case 0: req.kind = QueryKind::kBfs; break;
+        case 1: req.kind = QueryKind::kSssp; break;
+        default: req.kind = QueryKind::kReachability; break;
       }
-      const double ms = t.elapsed_ms();
-      batched_ms += ms;
-      served += n;
-      std::printf("  wave of %3zu %s queries: %6.2f ms (%u BSP iterations, "
-                  "%.2f ms/query)\n",
-                  n, weighted ? "SSSP" : "BFS ", ms, iterations,
-                  ms / static_cast<double>(n));
+      const QueryResult r = server.submit(req).get();
+      switch (req.kind) {
+        case QueryKind::kBfs:
+          for (std::uint32_t d : r.depth) sum += d != kInfinity ? d : 0;
+          break;
+        case QueryKind::kSssp:
+          for (std::uint32_t d : r.dist) sum += d != kInfinity ? d : 0;
+          break;
+        default:
+          for (std::uint8_t f : r.reachable) sum += f;
+          break;
+      }
     }
+    checksum = sum;
   };
-  std::printf("engine serving loop (batched, warm pools):\n");
-  serve(bfs_queue, /*weighted=*/false);
-  serve(sssp_queue, /*weighted=*/true);
 
-  // --- sequential replay (what serving without the Engine costs) ------------
-  double sequential_ms = 0.0;
-  {
-    Timer t;
-    for (const VertexId s : bfs_queue) {
-      simt::Device d;
-      BfsOptions o;
-      o.direction = Direction::kOptimal;
-      o.record_predecessors = false;
-      (void)gunrock_bfs(d, g, s, o);
-    }
-    for (const VertexId s : sssp_queue) {
-      simt::Device d;
-      (void)gunrock_sssp(d, g, s);
-    }
-    sequential_ms = t.elapsed_ms();
-  }
+  const auto serve = [&](const char* label, bool coalesce) {
+    ServerOptions so;
+    so.num_workers = workers;
+    so.coalesce = coalesce;
+    so.coalesce_window_us = window_us;
+    Server server(g, so);
+    std::vector<std::uint64_t> checksums(clients, 0);
+    std::vector<std::thread> pool;
+    Timer wall;
+    for (std::uint32_t c = 0; c < clients; ++c)
+      pool.emplace_back(
+          [&, c] { client_loop(server, c, checksums[c]); });
+    for (std::thread& t : pool) t.join();
+    const double ms = wall.elapsed_ms();
+    server.stop();
+    const ServerStats stats = server.stats();
+    std::uint64_t checksum = 0;
+    for (std::uint64_t c : checksums) checksum ^= c;
 
-  std::printf("\nserved %llu queries\n",
-              static_cast<unsigned long long>(served));
-  std::printf("  engine (batched): %8.2f ms total  (%.0f queries/sec)\n",
-              batched_ms, served / (batched_ms / 1e3));
-  std::printf("  one-shot wrappers:%8.2f ms total  (%.0f queries/sec)\n",
-              sequential_ms, served / (sequential_ms / 1e3));
-  std::printf("  aggregate speedup: %.2fx\n", sequential_ms / batched_ms);
+    const auto total = static_cast<double>(stats.queries_served);
+    std::printf("%s\n", label);
+    std::printf("  %llu queries in %.1f ms  (%.0f queries/sec, %u workers)\n",
+                static_cast<unsigned long long>(stats.queries_served), ms,
+                total / (ms / 1e3), server.num_workers());
+    std::printf("  %llu enacts, %.1f queries/enact; %llu fused "
+                "(widest batch: %u lanes)\n",
+                static_cast<unsigned long long>(stats.enacts),
+                total / static_cast<double>(stats.enacts),
+                static_cast<unsigned long long>(stats.coalesced_queries),
+                stats.max_lanes);
+    std::printf("  result checksum: %llx\n\n",
+                static_cast<unsigned long long>(checksum));
+    return ms;
+  };
+
+  const double fused_ms = serve("coalescer ON (adaptive batching):", true);
+  const double plain_ms = serve("coalescer OFF (one enact per query):", false);
+  std::printf("coalescing speedup on this workload: %.2fx\n",
+              plain_ms / fused_ms);
+  std::printf("(checksums above must match: fusing never changes bytes)\n");
   return 0;
 }

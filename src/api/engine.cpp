@@ -5,6 +5,7 @@ namespace grx {
 // --- single-source traversal queries ----------------------------------------
 
 void Engine::bfs(VertexId source, BfsResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   bfs_.enact(*g_, source, opts.to_bfs(), out);
 }
 BfsResult Engine::bfs(VertexId source, const QueryOptions& opts) {
@@ -15,6 +16,7 @@ BfsResult Engine::bfs(VertexId source, const QueryOptions& opts) {
 
 void Engine::sssp(VertexId source, SsspResult& out,
                   const QueryOptions& opts) {
+  EnactScope scope(*this);
   sssp_.enact(*g_, source, opts.to_sssp(), out);
 }
 SsspResult Engine::sssp(VertexId source, const QueryOptions& opts) {
@@ -24,6 +26,7 @@ SsspResult Engine::sssp(VertexId source, const QueryOptions& opts) {
 }
 
 void Engine::bc(VertexId source, BcResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   bc_.enact(*g_, source, opts.to_bc(), out);
 }
 BcResult Engine::bc(VertexId source, const QueryOptions& opts) {
@@ -35,6 +38,7 @@ BcResult Engine::bc(VertexId source, const QueryOptions& opts) {
 // --- whole-graph analytics ---------------------------------------------------
 
 void Engine::cc(CcResult& out, const QueryOptions&) {
+  EnactScope scope(*this);
   cc_.enact(*g_, out);
 }
 CcResult Engine::cc(const QueryOptions& opts) {
@@ -44,6 +48,7 @@ CcResult Engine::cc(const QueryOptions& opts) {
 }
 
 void Engine::pagerank(PagerankResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   pr_.enact(*g_, opts.to_pagerank(), out);
 }
 PagerankResult Engine::pagerank(const QueryOptions& opts) {
@@ -53,6 +58,7 @@ PagerankResult Engine::pagerank(const QueryOptions& opts) {
 }
 
 void Engine::coloring(ColoringResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   coloring_.enact(*g_, opts.seed, out);
 }
 ColoringResult Engine::coloring(const QueryOptions& opts) {
@@ -62,6 +68,7 @@ ColoringResult Engine::coloring(const QueryOptions& opts) {
 }
 
 void Engine::mis(MisResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   mis_.enact(*g_, opts.seed, out);
 }
 MisResult Engine::mis(const QueryOptions& opts) {
@@ -71,6 +78,7 @@ MisResult Engine::mis(const QueryOptions& opts) {
 }
 
 void Engine::mst(MstResult& out, const QueryOptions&) {
+  EnactScope scope(*this);
   mst_.enact(*g_, out);
 }
 MstResult Engine::mst(const QueryOptions& opts) {
@@ -88,6 +96,7 @@ void Engine::require_transpose() {
 }
 
 void Engine::hits(HitsResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   require_transpose();
   hits_.enact(*g_, *gT_, opts.to_hits(), out);
 }
@@ -98,6 +107,7 @@ HitsResult Engine::hits(const QueryOptions& opts) {
 }
 
 void Engine::salsa(SalsaResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   require_transpose();
   salsa_.enact(*g_, *gT_, opts.to_salsa(), out);
 }
@@ -111,6 +121,7 @@ SalsaResult Engine::salsa(const QueryOptions& opts) {
 
 void Engine::batch_bfs(std::span<const VertexId> sources,
                        BatchBfsResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   batch_.bfs(*g_, sources, opts.to_batch(), out);
 }
 BatchBfsResult Engine::batch_bfs(std::span<const VertexId> sources,
@@ -122,6 +133,7 @@ BatchBfsResult Engine::batch_bfs(std::span<const VertexId> sources,
 
 void Engine::batch_sssp(std::span<const VertexId> sources,
                         BatchSsspResult& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   batch_.sssp(*g_, sources, opts.to_batch(), out);
 }
 BatchSsspResult Engine::batch_sssp(std::span<const VertexId> sources,
@@ -134,6 +146,7 @@ BatchSsspResult Engine::batch_sssp(std::span<const VertexId> sources,
 void Engine::batch_reachability(std::span<const VertexId> sources,
                                 BatchReachabilityResult& out,
                                 const QueryOptions& opts) {
+  EnactScope scope(*this);
   batch_.reachability(*g_, sources, opts.to_batch(), out);
 }
 BatchReachabilityResult Engine::batch_reachability(
@@ -146,6 +159,7 @@ BatchReachabilityResult Engine::batch_reachability(
 void Engine::batch_bc_forward(std::span<const VertexId> sources,
                               BatchBcForwardResult& out,
                               const QueryOptions& opts) {
+  EnactScope scope(*this);
   batch_.bc_forward(*g_, sources, opts.to_batch(), out);
 }
 BatchBcForwardResult Engine::batch_bc_forward(
@@ -159,6 +173,7 @@ BatchBcForwardResult Engine::batch_bc_forward(
 
 void Engine::bc_batched(std::span<const VertexId> sources,
                         std::vector<double>& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   bc_accumulate_batched(batch_, bc_, *g_, sources, opts.to_bc(), bc_fwd_,
                         out);
 }
@@ -171,6 +186,7 @@ std::vector<double> Engine::bc_batched(std::span<const VertexId> sources,
 
 void Engine::bc_sampled(std::uint32_t num_sources, std::uint64_t seed,
                         std::vector<double>& out, const QueryOptions& opts) {
+  EnactScope scope(*this);
   bc_accumulate_sampled(bc_, *g_, num_sources, seed, opts.to_bc(), bc_tmp_,
                         out);
 }

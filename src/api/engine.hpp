@@ -27,6 +27,7 @@
 // docs/api.md.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -82,6 +83,16 @@ class Engine {
   const Csr& graph() const { return *g_; }
   const Csr& transpose() const { return *gT_; }
   simt::Device& device() { return *dev_; }
+
+  /// True while a query is executing on this engine. An Engine is
+  /// exclusive: its pooled Problem state admits exactly one in-flight
+  /// query, and every query entry point trips a reentry guard (throws
+  /// CheckError) if a second thread enters concurrently — misuse fails
+  /// loudly instead of silently corrupting pooled buffers. Concurrency
+  /// belongs one layer up: grx::Server holds one Engine per worker.
+  bool busy() const {
+    return active_.load(std::memory_order_acquire) != 0;
+  }
 
   // --- single-source traversal queries --------------------------------------
 
@@ -161,6 +172,32 @@ class Engine {
   /// graph used as its own transpose would silently produce wrong scores,
   /// so the first such query checks structural symmetry once.
   void require_transpose();
+
+  /// RAII reentry guard taken by every query entry point: one atomic RMW
+  /// per query (noise next to an enactment), always on — concurrent entry
+  /// is a programming error whose symptom without the guard would be
+  /// corrupted pooled Problem state far from the cause.
+  class EnactScope {
+   public:
+    explicit EnactScope(const Engine& e) : e_(e) {
+      const auto prev = e_.active_.fetch_add(1, std::memory_order_acq_rel);
+      if (prev != 0) {
+        e_.active_.fetch_sub(1, std::memory_order_acq_rel);
+        GRX_CHECK_MSG(prev == 0,
+                      "concurrent enact on one grx::Engine: an Engine "
+                      "serves one query at a time — give each thread its "
+                      "own Engine (see grx::Server)");
+      }
+    }
+    ~EnactScope() { e_.active_.fetch_sub(1, std::memory_order_acq_rel); }
+    EnactScope(const EnactScope&) = delete;
+    EnactScope& operator=(const EnactScope&) = delete;
+
+   private:
+    const Engine& e_;
+  };
+
+  mutable std::atomic<std::uint32_t> active_{0};
 
   simt::Device* dev_;
   const Csr* g_;

@@ -1,0 +1,297 @@
+#include "api/server.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace grx {
+
+// --- QueryTicket -------------------------------------------------------------
+
+struct QueryTicket::State {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  QueryResult result;
+  std::exception_ptr error;
+};
+
+bool QueryTicket::ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lk(state_->m);
+  return state_->done;
+}
+
+QueryResult QueryTicket::get() {
+  GRX_CHECK_MSG(valid(), "get() on an empty or already-consumed QueryTicket");
+  std::shared_ptr<State> s = std::move(state_);
+  std::unique_lock<std::mutex> lk(s->m);
+  s->cv.wait(lk, [&] { return s->done; });
+  if (s->error) std::rethrow_exception(s->error);
+  return std::move(s->result);
+}
+
+void Server::fulfill(const std::shared_ptr<QueryTicket::State>& s,
+                     QueryResult&& r) {
+  {
+    std::lock_guard<std::mutex> lk(s->m);
+    s->result = std::move(r);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+void Server::fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
+                           std::exception_ptr e) {
+  {
+    std::lock_guard<std::mutex> lk(s->m);
+    if (s->done) return;  // never clobber a ticket already served
+    s->error = std::move(e);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+namespace {
+
+/// May `a` and `b` share one batched enact? Same primitive, and every
+/// option the batched engine consumes (BatchOptions fields) identical —
+/// anything else would silently serve one of them with the other's
+/// configuration.
+bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
+  if (a.kind != b.kind) return false;
+  const QueryOptions& x = a.opts;
+  const QueryOptions& y = b.opts;
+  return x.strategy == y.strategy && x.direction == y.direction &&
+         x.lb_node_edge_threshold == y.lb_node_edge_threshold &&
+         x.pull_alpha == y.pull_alpha && x.pull_beta == y.pull_beta &&
+         x.use_priority_queue == y.use_priority_queue && x.delta == y.delta;
+}
+
+}  // namespace
+
+// --- Server ------------------------------------------------------------------
+
+/// Per-worker private world: device, engine, and pooled result objects so
+/// the steady-state serving path allocates only the per-ticket demux
+/// vectors it hands to callers.
+struct Server::Worker {
+  explicit Worker(const Csr& g) : engine(dev, g) {}
+
+  simt::Device dev;
+  Engine engine;
+  std::thread thread;
+
+  std::vector<VertexId> sources;  ///< lane -> source of the current batch
+  BatchBfsResult bfs;
+  BatchSsspResult sssp;
+  BatchReachabilityResult reach;
+  BatchBcForwardResult bcf;
+  CcResult cc;
+  PagerankResult pr;
+};
+
+Server::Server(const Csr& g, const ServerOptions& opts)
+    : g_(&g), opts_(opts) {
+  if (opts_.num_workers == 0)
+    opts_.num_workers = std::max(1u, std::thread::hardware_concurrency());
+  opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
+                                              BatchEnactor::kMaxLanes);
+  workers_.reserve(opts_.num_workers);
+  for (std::uint32_t i = 0; i < opts_.num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(g));
+  // Engines constructed before any thread starts: the spawns below
+  // publish them (and the shared read-only graph) to the workers.
+  for (auto& w : workers_)
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  // Serialize the joins: stop() is documented thread-safe (and races the
+  // destructor), but std::thread::join itself is not — the second caller
+  // must wait here, then see joinable() == false.
+  std::lock_guard<std::mutex> jl(join_mu_);
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+QueryTicket Server::submit(const QueryRequest& req) {
+  const bool single_source =
+      req.kind != QueryKind::kCc && req.kind != QueryKind::kPagerank;
+  if (single_source)
+    GRX_CHECK_MSG(req.source < g_->num_vertices(),
+                  "query source out of range");
+  if (req.kind == QueryKind::kSssp)
+    GRX_CHECK_MSG(g_->has_weights(),
+                  "SSSP submitted to a server over an unweighted graph");
+  QueryTicket t;
+  t.state_ = std::make_shared<QueryTicket::State>();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    GRX_CHECK_MSG(!stopped_, "submit on a stopped grx::Server");
+    queue_.push_back(Pending{req, t.state_});
+  }
+  // notify_all, not _one: a worker mid-coalesce-window must wake to fuse
+  // the arrival even while an idle worker also wakes to check the queue.
+  cv_.notify_all();
+  return t;
+}
+
+QueryTicket Server::submit_bfs(VertexId source, const QueryOptions& opts) {
+  return submit({QueryKind::kBfs, source, opts});
+}
+QueryTicket Server::submit_sssp(VertexId source, const QueryOptions& opts) {
+  return submit({QueryKind::kSssp, source, opts});
+}
+QueryTicket Server::submit_reachability(VertexId source,
+                                        const QueryOptions& opts) {
+  return submit({QueryKind::kReachability, source, opts});
+}
+QueryTicket Server::submit_bc_forward(VertexId source,
+                                      const QueryOptions& opts) {
+  return submit({QueryKind::kBcForward, source, opts});
+}
+QueryTicket Server::submit_cc(const QueryOptions& opts) {
+  return submit({QueryKind::kCc, 0, opts});
+}
+QueryTicket Server::submit_pagerank(const QueryOptions& opts) {
+  return submit({QueryKind::kPagerank, 0, opts});
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.queries_served = stat_queries_.load(std::memory_order_relaxed);
+  s.enacts = stat_enacts_.load(std::memory_order_relaxed);
+  s.coalesced_queries = stat_coalesced_.load(std::memory_order_relaxed);
+  s.max_lanes = stat_max_lanes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::drain_compatible(std::vector<Pending>& batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opts_.max_batch;) {
+    if (fuse_compatible(batch.front().req, it->req)) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::worker_loop(Worker& w) {
+  // Pin this worker's kernel width if asked: omp_set_num_threads is a
+  // per-thread ICV, so it must run on the worker thread itself.
+  if (opts_.omp_threads_per_worker != 0)
+    omp_set_num_threads(static_cast<int>(opts_.omp_threads_per_worker));
+
+  std::vector<Pending> batch;
+  for (;;) {
+    batch.clear();
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return stopped_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopped and fully drained
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+
+    if (opts_.coalesce && opts_.max_batch > 1 &&
+        coalescable(batch.front().req.kind)) {
+      drain_compatible(batch);
+      if (opts_.coalesce_window_us > 0) {
+        // Adaptive close: the batch ships at whichever comes first —
+        // window expiry, full lanes, or shutdown. Every submit notifies,
+        // so arrivals inside the window fuse immediately.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(opts_.coalesce_window_us);
+        while (batch.size() < opts_.max_batch && !stopped_) {
+          if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+            drain_compatible(batch);  // final sweep at the deadline
+            break;
+          }
+          drain_compatible(batch);
+        }
+      }
+    }
+    lk.unlock();
+    execute(w, batch);
+  }
+}
+
+void Server::execute(Worker& w, std::vector<Pending>& batch) {
+  const auto lanes = static_cast<std::uint32_t>(batch.size());
+  const QueryKind kind = batch.front().req.kind;
+  const QueryOptions& opts = batch.front().req.opts;
+
+  // Counters first, fulfillment second: a client that has collected all
+  // its tickets then observes stats() covering at least those queries.
+  stat_queries_.fetch_add(lanes, std::memory_order_relaxed);
+  stat_enacts_.fetch_add(1, std::memory_order_relaxed);
+  if (lanes >= 2) stat_coalesced_.fetch_add(lanes, std::memory_order_relaxed);
+  std::uint32_t seen = stat_max_lanes_.load(std::memory_order_relaxed);
+  while (lanes > seen && !stat_max_lanes_.compare_exchange_weak(
+                             seen, lanes, std::memory_order_relaxed)) {
+  }
+
+  try {
+    if (coalescable(kind)) {
+      w.sources.resize(lanes);
+      for (std::uint32_t q = 0; q < lanes; ++q)
+        w.sources[q] = batch[q].req.source;
+      const std::span<const VertexId> srcs(w.sources);
+      for (std::uint32_t q = 0; q < lanes; ++q) {
+        QueryResult r;
+        r.kind = kind;
+        r.batch_lanes = lanes;
+        switch (kind) {
+          case QueryKind::kBfs:
+            if (q == 0) w.engine.batch_bfs(srcs, w.bfs, opts);
+            w.bfs.extract_lane(q, r.depth);
+            break;
+          case QueryKind::kSssp:
+            if (q == 0) w.engine.batch_sssp(srcs, w.sssp, opts);
+            w.sssp.extract_lane(q, r.dist);
+            break;
+          case QueryKind::kReachability:
+            if (q == 0) w.engine.batch_reachability(srcs, w.reach, opts);
+            w.reach.extract_lane(q, r.reachable);
+            break;
+          case QueryKind::kBcForward:
+            if (q == 0) w.engine.batch_bc_forward(srcs, w.bcf, opts);
+            w.bcf.extract_lane(q, r.depth, r.sigma);
+            break;
+          default:
+            break;
+        }
+        fulfill(batch[q].state, std::move(r));
+      }
+    } else {
+      QueryResult r;
+      r.kind = kind;
+      r.batch_lanes = 1;
+      if (kind == QueryKind::kCc) {
+        w.engine.cc(w.cc, opts);
+        r.component = w.cc.component;
+      } else {  // kPagerank
+        w.engine.pagerank(w.pr, opts);
+        r.rank = w.pr.rank;
+      }
+      fulfill(batch.front().state, std::move(r));
+    }
+  } catch (...) {
+    // A failed enact must not strand its tickets (or kill the worker):
+    // every query of the batch learns the failure via get().
+    const std::exception_ptr e = std::current_exception();
+    for (Pending& p : batch) fulfill_error(p.state, e);
+  }
+}
+
+}  // namespace grx

@@ -1,0 +1,239 @@
+// grx::Server — the concurrent query-serving layer over grx::Engine.
+//
+// The Engine (api/engine.hpp) is deliberately exclusive: one graph's
+// pooled Problem state, one in-flight query. A serving workload — many
+// client threads firing traversal queries at one shared graph — needs a
+// layer that owns the concurrency so the engines never have to:
+//
+//   grx::Server server(graph);              // worker pool + coalescer
+//   grx::QueryTicket t = server.submit_bfs(user);   // any thread, any time
+//   ... // do other work, submit more queries
+//   grx::QueryResult r = t.get();           // blocks until served
+//
+// Three pieces (docs/architecture.md, "The serving layer"):
+//
+//  * A thread-safe submission front: submit() enqueues onto an MPMC queue
+//    from any number of client threads and returns a QueryTicket — a
+//    future-style handle the result is later demuxed into. Submission
+//    never blocks on query execution.
+//
+//  * A worker pool, engine-per-worker: each worker thread owns its own
+//    simt::Device + Engine bound to the shared (read-only) graph. Problem
+//    state therefore needs no locks, the Engine's zero-steady-state-
+//    allocation contract holds per worker, and the only synchronization
+//    in the system is the queue and the ticket handoff — the surface
+//    tests/test_server.cpp proves race-free under ThreadSanitizer.
+//
+//  * An adaptive batch coalescer: same-primitive single-source queries
+//    (BFS / SSSP / reachability / BC-forward) with fuse-compatible
+//    options that arrive within `coalesce_window` of each other are fused
+//    into ONE BatchEnactor lane-matrix enact — up to `max_batch` (64)
+//    lanes, one shared edge scan — and demuxed back to their tickets via
+//    the batch results' extract_lane hooks. A batch closes at whichever
+//    comes first: the window expires, the lanes fill, or shutdown begins;
+//    a worker never waits on a window when its batch is already full, and
+//    a window of zero fuses only what is already queued (drain-only, no
+//    added latency). Because batch lanes are provably equal to solo runs
+//    (tests/test_batch.cpp, test_oracle_fuzz.cpp), coalescing changes
+//    throughput, never results: every ticket's bytes are identical with
+//    the coalescer on or off.
+//
+// Determinism / oracle contract: each served QueryResult is byte-identical
+// to what a serial, single-thread Engine would return for that request
+// (FP-valued whole-graph queries require pinning the workers' OpenMP
+// width, see ServerOptions::omp_threads_per_worker). Shutdown is graceful:
+// stop() — or the destructor — rejects new submissions, drains every
+// accepted query, and joins the pool, so no ticket is ever abandoned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+
+namespace grx {
+
+/// The query kinds the server serves. The four single-source traversal
+/// kinds are coalescable (lane-fusable into one batched enact); the
+/// whole-graph kinds always run solo on a worker's engine.
+enum class QueryKind : std::uint8_t {
+  kBfs,           ///< hop distances from `source` (depth)
+  kSssp,          ///< shortest-path distances from `source` (dist)
+  kReachability,  ///< reachable-from-`source` flags (reachable)
+  kBcForward,     ///< Brandes forward pass: levels + sigma (depth, sigma)
+  kCc,            ///< connected components (component) — never coalesced
+  kPagerank,      ///< PageRank scores (rank) — never coalesced
+};
+
+/// True for the single-source kinds the coalescer may fuse.
+constexpr bool coalescable(QueryKind k) {
+  return k == QueryKind::kBfs || k == QueryKind::kSssp ||
+         k == QueryKind::kReachability || k == QueryKind::kBcForward;
+}
+
+/// One query as submitted: what to run, from where, how.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kBfs;
+  VertexId source = 0;  ///< ignored by the whole-graph kinds
+  QueryOptions opts;    ///< same surface as Engine queries
+};
+
+/// The served result. Only the fields of the request's kind are filled
+/// (see QueryKind); the rest stay empty. Traversal results are per-vertex
+/// vectors — exactly the bytes a serial Engine oracle produces for the
+/// same request, regardless of worker interleaving or coalescing.
+struct QueryResult {
+  QueryKind kind = QueryKind::kBfs;
+  std::vector<std::uint32_t> depth;     ///< kBfs / kBcForward levels
+  std::vector<std::uint32_t> dist;      ///< kSssp
+  std::vector<std::uint8_t> reachable;  ///< kReachability (0/1 per vertex)
+  std::vector<double> sigma;            ///< kBcForward path counts
+  std::vector<VertexId> component;      ///< kCc
+  std::vector<double> rank;             ///< kPagerank
+  /// Lanes in the enact that served this query (1 == ran solo): the
+  /// coalescer's per-query fingerprint, for observability and tests.
+  std::uint32_t batch_lanes = 0;
+};
+
+/// Future-style handle to an in-flight query. Obtained from
+/// Server::submit; get() blocks until a worker fulfills it (valid across
+/// — and after — the server's lifetime: shutdown drains all accepted
+/// queries first). One-shot: get() moves the result out.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  // Move-only, like the result it wraps: a copy sharing the state would
+  // let a second get() silently observe the moved-from (empty) result.
+  QueryTicket(QueryTicket&&) = default;
+  QueryTicket& operator=(QueryTicket&&) = default;
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking readiness poll.
+  bool ready() const;
+
+  /// Blocks until served, then moves the result out (invalidating the
+  /// ticket). Rethrows any CheckError the enactment raised.
+  QueryResult get();
+
+ private:
+  friend class Server;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+struct ServerOptions {
+  /// Worker threads, each owning a private Device + Engine. 0 = one per
+  /// hardware thread (at least 1).
+  std::uint32_t num_workers = 0;
+  /// Master switch for the batch coalescer. Off: every query runs solo.
+  bool coalesce = true;
+  /// Lane cap per fused enact. 64 (one lane-mask word per vertex) is the
+  /// sweet spot; capped at BatchEnactor::kMaxLanes.
+  std::uint32_t max_batch = 64;
+  /// How long a worker holding a partial batch waits for more
+  /// fuse-compatible arrivals, in microseconds. 0 = drain-only: fuse
+  /// whatever is already queued, never delay a query.
+  std::uint32_t coalesce_window_us = 200;
+  /// OpenMP threads each worker's kernels may use. 0 = leave the
+  /// runtime's default (beware oversubscription: workers multiply).
+  /// 1 pins workers' kernels serial — required for byte-identical
+  /// FP-valued results (PageRank) against a single-thread oracle.
+  std::uint32_t omp_threads_per_worker = 0;
+};
+
+/// Aggregate serving counters (monotonic since construction).
+struct ServerStats {
+  std::uint64_t queries_served = 0;    ///< tickets fulfilled
+  std::uint64_t enacts = 0;            ///< engine enactments run
+  std::uint64_t coalesced_queries = 0; ///< queries served in a >=2-lane enact
+  std::uint32_t max_lanes = 0;         ///< widest fused batch so far
+};
+
+class Server {
+ public:
+  /// Binds the pool to `g` (captured by reference; must outlive the
+  /// server) and starts the workers. SSSP submissions require a weighted
+  /// graph (checked at submit, not at a worker, so misuse fails in the
+  /// submitting thread).
+  explicit Server(const Csr& g, const ServerOptions& opts = {});
+
+  /// Graceful: stop(), which drains every accepted query.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a query from any thread. Throws CheckError if the server is
+  /// stopped, the source is out of range, or the kind needs weights the
+  /// graph lacks.
+  QueryTicket submit(const QueryRequest& req);
+
+  // Convenience fronts over submit().
+  QueryTicket submit_bfs(VertexId source, const QueryOptions& opts = {});
+  QueryTicket submit_sssp(VertexId source, const QueryOptions& opts = {});
+  QueryTicket submit_reachability(VertexId source,
+                                  const QueryOptions& opts = {});
+  QueryTicket submit_bc_forward(VertexId source,
+                                const QueryOptions& opts = {});
+  QueryTicket submit_cc(const QueryOptions& opts = {});
+  QueryTicket submit_pagerank(const QueryOptions& opts = {});
+
+  /// Rejects new submissions, serves everything already accepted, joins
+  /// the pool. Idempotent; called by the destructor.
+  void stop();
+
+  std::uint32_t num_workers() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+  ServerStats stats() const;
+
+ private:
+  /// A submitted query waiting in the MPMC queue: the request plus the
+  /// ticket state its result will be demuxed into.
+  struct Pending {
+    QueryRequest req;
+    std::shared_ptr<QueryTicket::State> state;
+  };
+  struct Worker;
+
+  void worker_loop(Worker& w);
+  /// Moves every queued request fuse-compatible with `head` into `batch`
+  /// (up to max_batch). Caller holds the queue mutex.
+  void drain_compatible(std::vector<Pending>& batch);
+  void execute(Worker& w, std::vector<Pending>& batch);
+
+  /// Publishes a result (or failure) into a ticket and wakes its waiter.
+  static void fulfill(const std::shared_ptr<QueryTicket::State>& s,
+                      QueryResult&& r);
+  static void fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
+                            std::exception_ptr e);
+
+  const Csr* g_;
+  ServerOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopped_ = false;
+  std::mutex join_mu_;  ///< serializes concurrent stop()/destruction joins
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<std::uint64_t> stat_queries_{0};
+  std::atomic<std::uint64_t> stat_enacts_{0};
+  std::atomic<std::uint64_t> stat_coalesced_{0};
+  std::atomic<std::uint32_t> stat_max_lanes_{0};
+};
+
+}  // namespace grx

@@ -100,6 +100,18 @@ struct BatchBfsResult {
   std::uint32_t depth_at(VertexId v, std::uint32_t lane) const {
     return depth[static_cast<std::size_t>(v) * num_lanes + lane];
   }
+
+  /// Demux hook: copies lane `lane`'s |V| depths into `out` (capacity
+  /// reused). The per-lane values equal a single-query BFS from that
+  /// lane's source, so a coalescing server (grx::Server) can hand each
+  /// fused query back its own result byte-identical to a solo enact.
+  void extract_lane(std::uint32_t lane, std::vector<std::uint32_t>& out) const {
+    GRX_CHECK(lane < num_lanes);
+    const std::size_t n = depth.size() / num_lanes;
+    out.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      out[v] = depth[v * num_lanes + lane];
+  }
 };
 
 struct BatchSsspResult {
@@ -116,6 +128,16 @@ struct BatchSsspResult {
   std::uint32_t dist_at(VertexId v, std::uint32_t lane) const {
     return dist[static_cast<std::size_t>(v) * num_lanes + lane];
   }
+
+  /// Demux hook: lane `lane`'s |V| distances into `out` (capacity reused);
+  /// equal to a single-query SSSP from that lane's source.
+  void extract_lane(std::uint32_t lane, std::vector<std::uint32_t>& out) const {
+    GRX_CHECK(lane < num_lanes);
+    const std::size_t n = dist.size() / num_lanes;
+    out.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      out[v] = dist[v * num_lanes + lane];
+  }
 };
 
 /// Reachability keeps only the visited lane masks — 1 bit per (vertex,
@@ -127,6 +149,17 @@ struct BatchReachabilityResult {
 
   bool reachable(VertexId v, std::uint32_t lane) const {
     return visited.test(v, lane);
+  }
+
+  /// Demux hook: lane `lane`'s reachability flags (1 = reachable) into
+  /// `out`, one byte per vertex — the unpacked form a per-query caller
+  /// consumes. Equals `bfs depth != kInfinity` from that lane's source.
+  void extract_lane(std::uint32_t lane, std::vector<std::uint8_t>& out) const {
+    GRX_CHECK(lane < num_lanes);
+    const VertexId n = visited.num_vertices();
+    out.resize(n);
+    for (VertexId v = 0; v < n; ++v)
+      out[v] = visited.test(v, lane) ? 1 : 0;
   }
 };
 
@@ -144,6 +177,21 @@ struct BatchBcForwardResult {
   }
   double sigma_at(VertexId v, std::uint32_t lane) const {
     return sigma[static_cast<std::size_t>(v) * num_lanes + lane];
+  }
+
+  /// Demux hook: lane `lane`'s BFS levels and shortest-path counts into
+  /// caller buffers (capacity reused). Sigma counts are integer-valued
+  /// sums, so they are byte-identical to a solo Brandes forward pass.
+  void extract_lane(std::uint32_t lane, std::vector<std::uint32_t>& depth_out,
+                    std::vector<double>& sigma_out) const {
+    GRX_CHECK(lane < num_lanes);
+    const std::size_t n = depth.size() / num_lanes;
+    depth_out.resize(n);
+    sigma_out.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      depth_out[v] = depth[v * num_lanes + lane];
+      sigma_out[v] = sigma[v * num_lanes + lane];
+    }
   }
 };
 
