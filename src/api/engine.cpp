@@ -6,6 +6,7 @@ namespace grx {
 
 void Engine::bfs(VertexId source, BfsResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  bfs_.set_cancel(opts.cancel);
   bfs_.enact(*g_, source, opts.to_bfs(), out);
 }
 BfsResult Engine::bfs(VertexId source, const QueryOptions& opts) {
@@ -17,6 +18,7 @@ BfsResult Engine::bfs(VertexId source, const QueryOptions& opts) {
 void Engine::sssp(VertexId source, SsspResult& out,
                   const QueryOptions& opts) {
   EnactScope scope(*this);
+  sssp_.set_cancel(opts.cancel);
   sssp_.enact(*g_, source, opts.to_sssp(), out);
 }
 SsspResult Engine::sssp(VertexId source, const QueryOptions& opts) {
@@ -27,6 +29,7 @@ SsspResult Engine::sssp(VertexId source, const QueryOptions& opts) {
 
 void Engine::bc(VertexId source, BcResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  bc_.set_cancel(opts.cancel);
   bc_.enact(*g_, source, opts.to_bc(), out);
 }
 BcResult Engine::bc(VertexId source, const QueryOptions& opts) {
@@ -37,8 +40,9 @@ BcResult Engine::bc(VertexId source, const QueryOptions& opts) {
 
 // --- whole-graph analytics ---------------------------------------------------
 
-void Engine::cc(CcResult& out, const QueryOptions&) {
+void Engine::cc(CcResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  cc_.set_cancel(opts.cancel);
   cc_.enact(*g_, out);
 }
 CcResult Engine::cc(const QueryOptions& opts) {
@@ -49,6 +53,7 @@ CcResult Engine::cc(const QueryOptions& opts) {
 
 void Engine::pagerank(PagerankResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  pr_.set_cancel(opts.cancel);
   pr_.enact(*g_, opts.to_pagerank(), out);
 }
 PagerankResult Engine::pagerank(const QueryOptions& opts) {
@@ -59,6 +64,7 @@ PagerankResult Engine::pagerank(const QueryOptions& opts) {
 
 void Engine::coloring(ColoringResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  coloring_.set_cancel(opts.cancel);
   coloring_.enact(*g_, opts.seed, out);
 }
 ColoringResult Engine::coloring(const QueryOptions& opts) {
@@ -69,6 +75,7 @@ ColoringResult Engine::coloring(const QueryOptions& opts) {
 
 void Engine::mis(MisResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  mis_.set_cancel(opts.cancel);
   mis_.enact(*g_, opts.seed, out);
 }
 MisResult Engine::mis(const QueryOptions& opts) {
@@ -77,8 +84,9 @@ MisResult Engine::mis(const QueryOptions& opts) {
   return out;
 }
 
-void Engine::mst(MstResult& out, const QueryOptions&) {
+void Engine::mst(MstResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  mst_.set_cancel(opts.cancel);
   mst_.enact(*g_, out);
 }
 MstResult Engine::mst(const QueryOptions& opts) {
@@ -98,6 +106,7 @@ void Engine::require_transpose() {
 void Engine::hits(HitsResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
   require_transpose();
+  hits_.set_cancel(opts.cancel);
   hits_.enact(*g_, *gT_, opts.to_hits(), out);
 }
 HitsResult Engine::hits(const QueryOptions& opts) {
@@ -109,6 +118,7 @@ HitsResult Engine::hits(const QueryOptions& opts) {
 void Engine::salsa(SalsaResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
   require_transpose();
+  salsa_.set_cancel(opts.cancel);
   salsa_.enact(*g_, *gT_, opts.to_salsa(), out);
 }
 SalsaResult Engine::salsa(const QueryOptions& opts) {
@@ -122,6 +132,7 @@ SalsaResult Engine::salsa(const QueryOptions& opts) {
 void Engine::batch_bfs(std::span<const VertexId> sources,
                        BatchBfsResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  batch_.set_cancel(opts.cancel);
   batch_.bfs(*g_, sources, opts.to_batch(), out);
 }
 BatchBfsResult Engine::batch_bfs(std::span<const VertexId> sources,
@@ -134,6 +145,7 @@ BatchBfsResult Engine::batch_bfs(std::span<const VertexId> sources,
 void Engine::batch_sssp(std::span<const VertexId> sources,
                         BatchSsspResult& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  batch_.set_cancel(opts.cancel);
   batch_.sssp(*g_, sources, opts.to_batch(), out);
 }
 BatchSsspResult Engine::batch_sssp(std::span<const VertexId> sources,
@@ -147,6 +159,7 @@ void Engine::batch_reachability(std::span<const VertexId> sources,
                                 BatchReachabilityResult& out,
                                 const QueryOptions& opts) {
   EnactScope scope(*this);
+  batch_.set_cancel(opts.cancel);
   batch_.reachability(*g_, sources, opts.to_batch(), out);
 }
 BatchReachabilityResult Engine::batch_reachability(
@@ -160,6 +173,7 @@ void Engine::batch_bc_forward(std::span<const VertexId> sources,
                               BatchBcForwardResult& out,
                               const QueryOptions& opts) {
   EnactScope scope(*this);
+  batch_.set_cancel(opts.cancel);
   batch_.bc_forward(*g_, sources, opts.to_batch(), out);
 }
 BatchBcForwardResult Engine::batch_bc_forward(
@@ -174,6 +188,8 @@ BatchBcForwardResult Engine::batch_bc_forward(
 void Engine::bc_batched(std::span<const VertexId> sources,
                         std::vector<double>& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  batch_.set_cancel(opts.cancel);
+  bc_.set_cancel(opts.cancel);
   bc_accumulate_batched(batch_, bc_, *g_, sources, opts.to_bc(), bc_fwd_,
                         out);
 }
@@ -187,6 +203,7 @@ std::vector<double> Engine::bc_batched(std::span<const VertexId> sources,
 void Engine::bc_sampled(std::uint32_t num_sources, std::uint64_t seed,
                         std::vector<double>& out, const QueryOptions& opts) {
   EnactScope scope(*this);
+  bc_.set_cancel(opts.cancel);
   bc_accumulate_sampled(bc_, *g_, num_sources, seed, opts.to_bc(), bc_tmp_,
                         out);
 }

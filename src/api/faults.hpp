@@ -1,0 +1,146 @@
+// grx::FaultPlan — deterministic fault injection for the serving stack.
+//
+// Robustness claims only count when the failure paths actually run.
+// A FaultPlan decides, per enactment, whether to inject a fault and at
+// which BSP round, riding the CancelToken's per-round hook (the same
+// checkpoint the cooperative cancel/deadline path uses — so injection
+// exercises exactly the production stop seam, between rounds):
+//
+//   kAllocFailure — throw std::bad_alloc (an allocation failed mid-enact)
+//   kEnactThrow   — throw InjectedFault (an unexpected enact exception)
+//   kStall        — sleep stall_us (a wedged kernel / descheduled worker;
+//                   composes with deadlines to force DeadlineExceeded
+//                   deterministically, no wall-clock racing required)
+//   kCancel       — trip the token (forced cooperative cancellation)
+//   kWorkerCrash  — throw InjectedCrash (a worker dying mid-enact; the
+//                   server's watchdog must fail that worker's in-flight
+//                   tickets and respawn the worker)
+//
+// Two modes, freely combined: an explicit `script` consumed enact-by-
+// enact (tests pin exact faults to exact enacts/rounds), then seeded
+// random draws at the configured rates (the fuzz sweep's adversarial
+// schedule). draw(i) is a pure function of (plan, i): a seeded run
+// reproduces bit-for-bit.
+//
+// Wire a plan into a grx::Server via ServerOptions::faults, or arm a
+// single enactment by hand: arm_fault(plan.draw(i), token) then run the
+// query with that token (tests/test_faults.cpp does both).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "util/rng.hpp"
+
+namespace grx {
+
+/// An injected "unexpected" enact-time exception. Deliberately NOT a
+/// CheckError/QueryError: it models a foreign failure the serving layer
+/// has no contract with, so the watchdog path must handle it generically.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An injected worker death. Also a foreign exception type: the server
+/// cannot catch it by name in production, only by the catch-all watchdog.
+class InjectedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kAllocFailure,
+  kEnactThrow,
+  kStall,
+  kCancel,
+  kWorkerCrash,
+};
+
+/// One enactment's fault: what to inject and at which BSP round. Fires at
+/// the first round checkpoint with index >= round (an enact shorter than
+/// `round` rounds escapes the fault — realistic, and seed-stable).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t round = 0;
+  std::uint32_t stall_us = 0;  ///< kStall only
+};
+
+struct FaultPlan {
+  /// Explicit per-enact faults: enact i < script.size() gets script[i].
+  std::vector<FaultSpec> script;
+
+  /// Past the script, seeded random draws at these rates (sum <= 1; the
+  /// remainder is fault-free). All zero = no random faults.
+  std::uint64_t seed = 2016;
+  double p_alloc = 0.0;
+  double p_throw = 0.0;
+  double p_stall = 0.0;
+  double p_cancel = 0.0;
+  double p_crash = 0.0;
+  /// Random faults trigger at a round drawn uniformly from [0, max_round).
+  std::uint32_t max_round = 4;
+  std::uint32_t stall_us = 200;
+
+  /// The fault for enactment `enact_index` — pure, thread-safe,
+  /// reproducible: same plan + same index -> same spec.
+  FaultSpec draw(std::uint64_t enact_index) const {
+    if (enact_index < script.size()) return script[enact_index];
+    const double total = p_alloc + p_throw + p_stall + p_cancel + p_crash;
+    if (total <= 0.0) return {};
+    Rng rng(seed ^ (enact_index * 0x9e3779b97f4a7c15ULL + 0x5eed));
+    double u = rng.next_double();
+    FaultSpec f;
+    f.round = static_cast<std::uint32_t>(
+        rng.next_below(max_round == 0 ? 1 : max_round));
+    f.stall_us = stall_us;
+    if ((u -= p_alloc) < 0.0)
+      f.kind = FaultKind::kAllocFailure;
+    else if ((u -= p_throw) < 0.0)
+      f.kind = FaultKind::kEnactThrow;
+    else if ((u -= p_stall) < 0.0)
+      f.kind = FaultKind::kStall;
+    else if ((u -= p_cancel) < 0.0)
+      f.kind = FaultKind::kCancel;
+    else if ((u -= p_crash) < 0.0)
+      f.kind = FaultKind::kWorkerCrash;
+    return f;
+  }
+};
+
+/// Installs `f` on `token`'s round hook (token must be valid). One-shot:
+/// the fault fires at the first checkpoint with round >= f.round, then
+/// disarms (kStall must not stall every subsequent round).
+inline void arm_fault(const FaultSpec& f, CancelToken& token) {
+  if (f.kind == FaultKind::kNone) return;
+  token.set_round_hook([f, fired = false](detail::CancelShared& state,
+                                          std::uint32_t round) mutable {
+    if (fired || round < f.round) return;
+    fired = true;
+    switch (f.kind) {
+      case FaultKind::kAllocFailure:
+        throw std::bad_alloc();
+      case FaultKind::kEnactThrow:
+        throw InjectedFault("injected enact-time failure");
+      case FaultKind::kStall:
+        std::this_thread::sleep_for(std::chrono::microseconds(f.stall_us));
+        break;
+      case FaultKind::kCancel:
+        state.cancelled.store(true, std::memory_order_release);
+        break;
+      case FaultKind::kWorkerCrash:
+        throw InjectedCrash("injected worker crash");
+      case FaultKind::kNone:
+        break;
+    }
+  });
+}
+
+}  // namespace grx

@@ -14,6 +14,7 @@
 
 #include "core/advance.hpp"
 #include "core/batch_enactor.hpp"
+#include "core/cancel.hpp"
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
 #include "primitives/hits.hpp"
@@ -51,6 +52,17 @@ struct QueryOptions {
 
   // --- MIS / coloring ---
   std::uint64_t seed = 2016;
+
+  // --- robustness (all queries) ---
+  /// Cooperative stop handle: the Engine arms the enactor with this token
+  /// before every query, and the iteration loops check it between BSP
+  /// rounds — a cancel() or an expired deadline stops the enactment with
+  /// CancelledError / DeadlineExceededError, leaving the engine warm and
+  /// immediately reusable. Inert by default (one branch per round).
+  /// Server callers set deadlines on QueryRequest instead; the server
+  /// overwrites this field with its own per-enact token (docs/api.md,
+  /// "Failure semantics").
+  CancelToken cancel;
 
   BfsOptions to_bfs() const {
     BfsOptions o;

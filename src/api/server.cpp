@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace grx {
 
@@ -13,6 +14,7 @@ struct QueryTicket::State {
   std::mutex m;
   std::condition_variable cv;
   bool done = false;
+  QueryOutcome outcome = QueryOutcome::kPending;
   QueryResult result;
   std::exception_ptr error;
 };
@@ -21,6 +23,19 @@ bool QueryTicket::ready() const {
   if (!state_) return false;
   std::lock_guard<std::mutex> lk(state_->m);
   return state_->done;
+}
+
+bool QueryTicket::wait_for(std::chrono::microseconds timeout) const {
+  GRX_CHECK_MSG(valid(),
+                "wait_for on an empty or already-consumed QueryTicket");
+  std::unique_lock<std::mutex> lk(state_->m);
+  return state_->cv.wait_for(lk, timeout, [&] { return state_->done; });
+}
+
+QueryOutcome QueryTicket::outcome() const {
+  if (!state_) return QueryOutcome::kPending;
+  std::lock_guard<std::mutex> lk(state_->m);
+  return state_->outcome;
 }
 
 QueryResult QueryTicket::get() {
@@ -32,22 +47,34 @@ QueryResult QueryTicket::get() {
   return std::move(s->result);
 }
 
+std::optional<QueryResult> QueryTicket::try_get() {
+  GRX_CHECK_MSG(valid(),
+                "try_get() on an empty or already-consumed QueryTicket");
+  {
+    std::lock_guard<std::mutex> lk(state_->m);
+    if (!state_->done) return std::nullopt;
+  }
+  return get();
+}
+
 void Server::fulfill(const std::shared_ptr<QueryTicket::State>& s,
                      QueryResult&& r) {
   {
     std::lock_guard<std::mutex> lk(s->m);
     s->result = std::move(r);
+    s->outcome = QueryOutcome::kOk;
     s->done = true;
   }
   s->cv.notify_all();
 }
 
 void Server::fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
-                           std::exception_ptr e) {
+                           QueryOutcome outcome, std::exception_ptr e) {
   {
     std::lock_guard<std::mutex> lk(s->m);
-    if (s->done) return;  // never clobber a ticket already served
+    if (s->done) return;  // never clobber a ticket already resolved
     s->error = std::move(e);
+    s->outcome = outcome;
     s->done = true;
   }
   s->cv.notify_all();
@@ -58,7 +85,9 @@ namespace {
 /// May `a` and `b` share one batched enact? Same primitive, and every
 /// option the batched engine consumes (BatchOptions fields) identical —
 /// anything else would silently serve one of them with the other's
-/// configuration.
+/// configuration. Deadlines and tokens do NOT gate fusion: they are
+/// per-lane concerns the demux path resolves (late flag / cancel at the
+/// enact boundary).
 bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
   if (a.kind != b.kind) return false;
   const QueryOptions& x = a.opts;
@@ -75,13 +104,28 @@ bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
 
 /// Per-worker private world: device, engine, and pooled result objects so
 /// the steady-state serving path allocates only the per-ticket demux
-/// vectors it hands to callers.
+/// vectors it hands to callers. Device + engine live behind unique_ptr so
+/// the watchdog can rebuild them after a mid-enact death.
 struct Server::Worker {
-  explicit Worker(const Csr& g) : engine(dev, g) {}
+  explicit Worker(const Csr& g) { rebuild(g); }
 
-  simt::Device dev;
-  Engine engine;
+  /// Fresh device + engine. After an exception escaped an enact the old
+  /// engine's pooled problem state is mid-enact garbage with no invariants
+  /// to salvage; a respawned worker starts from a clean world.
+  void rebuild(const Csr& g) {
+    engine.reset();
+    dev = std::make_unique<simt::Device>();
+    engine = std::make_unique<Engine>(*dev, g);
+  }
+
+  std::unique_ptr<simt::Device> dev;
+  std::unique_ptr<Engine> engine;
   std::thread thread;
+
+  /// The in-flight batch, owned by this worker's thread. Lives here (not
+  /// on worker_loop's stack) so the watchdog can fail its unresolved
+  /// tickets when an exception unwinds the loop.
+  std::vector<Pending> batch;
 
   std::vector<VertexId> sources;  ///< lane -> source of the current batch
   BatchBfsResult bfs;
@@ -104,7 +148,7 @@ Server::Server(const Csr& g, const ServerOptions& opts)
   // Engines constructed before any thread starts: the spawns below
   // publish them (and the shared read-only graph) to the workers.
   for (auto& w : workers_)
-    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+    w->thread = std::thread([this, worker = w.get()] { worker_main(*worker); });
 }
 
 Server::~Server() { stop(); }
@@ -115,6 +159,7 @@ void Server::stop() {
     stopped_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();  // blocked submitters must wake to fail
   // Serialize the joins: stop() is documented thread-safe (and races the
   // destructor), but std::thread::join itself is not — the second caller
   // must wait here, then see joinable() == false.
@@ -132,12 +177,72 @@ QueryTicket Server::submit(const QueryRequest& req) {
   if (req.kind == QueryKind::kSssp)
     GRX_CHECK_MSG(g_->has_weights(),
                   "SSSP submitted to a server over an unweighted graph");
+
+  // Compose the query's robustness envelope once, at admission: the
+  // effective deadline (request budget, else the server default) and the
+  // server-owned token — a child of any client token, so the server can
+  // attach its deadline and fault hooks without mutating client state.
+  Pending p;
+  p.req = req;
+  const std::uint32_t budget_us =
+      req.deadline_us != 0 ? req.deadline_us : opts_.default_deadline_us;
+  if (budget_us != 0) {
+    p.has_deadline = true;
+    p.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(budget_us);
+  }
+  if (req.cancel.valid())
+    p.token = CancelToken::child_of(req.cancel);
+  else if (p.has_deadline)
+    p.token = CancelToken::make();
+  if (p.token.valid() && p.has_deadline) p.token.set_deadline(p.deadline);
+
   QueryTicket t;
   t.state_ = std::make_shared<QueryTicket::State>();
+  p.state = t.state_;
+
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
     GRX_CHECK_MSG(!stopped_, "submit on a stopped grx::Server");
-    queue_.push_back(Pending{req, t.state_});
+    if (opts_.max_queue > 0 && queue_.size() >= opts_.max_queue) {
+      if (opts_.admission == AdmissionPolicy::kReject) {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.rejected++;
+        throw RejectedError("submission rejected: queue full (" +
+                            std::to_string(opts_.max_queue) + " queued)");
+      }
+      // kBlock: wait for a worker to free a slot (back-pressure), bounded
+      // by the admission timeout if one is configured.
+      auto has_space = [&] {
+        return stopped_ || queue_.size() < opts_.max_queue;
+      };
+      if (opts_.admission_timeout_us == 0) {
+        space_cv_.wait(lk, has_space);
+      } else if (!space_cv_.wait_for(
+                     lk,
+                     std::chrono::microseconds(opts_.admission_timeout_us),
+                     has_space)) {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.rejected++;
+        throw RejectedError(
+            "submission rejected: admission timed out waiting for a queue "
+            "slot");
+      }
+      if (stopped_) {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.rejected++;
+        throw RejectedError(
+            "submission rejected: server stopped while awaiting admission");
+      }
+    }
+    {
+      // Submitted is bumped before the queue push (still under mu_, so a
+      // worker cannot serve the query first): stats() never shows more
+      // resolved queries than submitted ones.
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      stats_.queries_submitted++;
+    }
+    queue_.push_back(std::move(p));
   }
   // notify_all, not _one: a worker mid-coalesce-window must wake to fuse
   // the arrival even while an idle worker also wakes to check the queue.
@@ -167,13 +272,95 @@ QueryTicket Server::submit_pagerank(const QueryOptions& opts) {
 }
 
 ServerStats Server::stats() const {
-  ServerStats s;
-  s.queries_served = stat_queries_.load(std::memory_order_relaxed);
-  s.enacts = stat_enacts_.load(std::memory_order_relaxed);
-  s.coalesced_queries = stat_coalesced_.load(std::memory_order_relaxed);
-  s.max_lanes = stat_max_lanes_.load(std::memory_order_relaxed);
-  return s;
+  std::lock_guard<std::mutex> sl(stats_mu_);
+  return stats_;  // one guarded struct copy: fields mutually consistent
 }
+
+// --- outcome resolution ------------------------------------------------------
+//
+// Exactly-once discipline: each resolve_* bumps its counter (outcome
+// already decided), fulfills the ticket, then drops Pending::state — so
+// the watchdog can sweep a half-resolved batch without double-counting.
+// Counters precede fulfillment: a client that has collected its tickets
+// observes stats() covering them.
+
+void Server::resolve_served(Pending& p, QueryResult&& r, bool late) {
+  r.late = late;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.queries_served++;
+    if (late) stats_.late++;
+  }
+  fulfill(p.state, std::move(r));
+  p.state.reset();
+}
+
+void Server::resolve_shed(Pending& p) {
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.shed++;
+  }
+  fulfill_error(p.state, QueryOutcome::kDeadlineExceeded,
+                std::make_exception_ptr(DeadlineExceededError(
+                    "query shed: deadline passed before an enact slot was "
+                    "available")));
+  p.state.reset();
+}
+
+void Server::resolve_cancelled(Pending& p) {
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.cancelled++;
+  }
+  fulfill_error(p.state, QueryOutcome::kCancelled,
+                std::make_exception_ptr(
+                    CancelledError("query cancelled by its CancelToken")));
+  p.state.reset();
+}
+
+void Server::resolve_deadline(Pending& p) {
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.deadline_exceeded++;
+  }
+  fulfill_error(p.state, QueryOutcome::kDeadlineExceeded,
+                std::make_exception_ptr(DeadlineExceededError(
+                    "query deadline exceeded (stopped between rounds)")));
+  p.state.reset();
+}
+
+void Server::resolve_worker_failed(Pending& p, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.worker_failures++;
+  }
+  fulfill_error(
+      p.state, QueryOutcome::kWorkerFailed,
+      std::make_exception_ptr(WorkerFailedError(
+          "worker died mid-enact (worker respawned, query lost): " + why)));
+  p.state.reset();
+}
+
+void Server::resolve_stopped(std::vector<Pending>& batch,
+                             QueryOutcome fallback) {
+  // A cooperative stop ended the whole enact; classify each member by its
+  // OWN state (its token may have tripped for a different reason than the
+  // enact-wide one), falling back to what stopped the enact.
+  const auto now = std::chrono::steady_clock::now();
+  for (Pending& p : batch) {
+    if (!p.state) continue;
+    if (p.token.cancelled())
+      resolve_cancelled(p);
+    else if (p.has_deadline && now >= p.deadline)
+      resolve_deadline(p);
+    else if (fallback == QueryOutcome::kCancelled)
+      resolve_cancelled(p);
+    else
+      resolve_deadline(p);
+  }
+}
+
+// --- worker ------------------------------------------------------------------
 
 void Server::drain_compatible(std::vector<Pending>& batch) {
   for (auto it = queue_.begin();
@@ -187,13 +374,44 @@ void Server::drain_compatible(std::vector<Pending>& batch) {
   }
 }
 
-void Server::worker_loop(Worker& w) {
+void Server::worker_main(Worker& w) {
   // Pin this worker's kernel width if asked: omp_set_num_threads is a
   // per-thread ICV, so it must run on the worker thread itself.
   if (opts_.omp_threads_per_worker != 0)
     omp_set_num_threads(static_cast<int>(opts_.omp_threads_per_worker));
 
-  std::vector<Pending> batch;
+  // The watchdog. worker_loop returns only on graceful shutdown; any
+  // exception reaching here is a worker death (an enact threw something
+  // outside the cooperative-stop contract — bad_alloc, a foreign
+  // exception, an injected crash). Fail ONLY this worker's unresolved
+  // in-flight tickets, rebuild its world, keep serving: one poisoned
+  // query must not take the server down.
+  for (;;) {
+    try {
+      worker_loop(w);
+      return;
+    } catch (...) {
+      std::string why = "unknown exception";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        why = e.what();
+      } catch (...) {
+      }
+      for (Pending& p : w.batch)
+        if (p.state) resolve_worker_failed(p, why);
+      w.batch.clear();
+      {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.worker_respawns++;
+      }
+      w.rebuild(*g_);
+    }
+  }
+}
+
+void Server::worker_loop(Worker& w) {
+  std::vector<Pending>& batch = w.batch;
   for (;;) {
     batch.clear();
     std::unique_lock<std::mutex> lk(mu_);
@@ -201,45 +419,116 @@ void Server::worker_loop(Worker& w) {
     if (queue_.empty()) return;  // stopped and fully drained
     batch.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    if (opts_.max_queue > 0) space_cv_.notify_one();
 
     if (opts_.coalesce && opts_.max_batch > 1 &&
         coalescable(batch.front().req.kind)) {
+      const std::size_t pre = batch.size();
       drain_compatible(batch);
-      if (opts_.coalesce_window_us > 0) {
-        // Adaptive close: the batch ships at whichever comes first —
-        // window expiry, full lanes, or shutdown. Every submit notifies,
-        // so arrivals inside the window fuse immediately.
-        const auto deadline =
+      if (opts_.max_queue > 0 && batch.size() != pre) space_cv_.notify_all();
+      if (opts_.coalesce_window_us > 0 && !stopped_) {
+        // Adaptive close: the batch ships at whichever comes first — the
+        // window expires, the lanes fill, the EARLIEST member deadline
+        // arrives (holding a batch open past a member's budget would shed
+        // it for the coalescer's own convenience), or shutdown begins.
+        // Every submit notifies, so arrivals inside the window fuse
+        // immediately — and can only pull the close earlier.
+        const auto window_close =
             std::chrono::steady_clock::now() +
             std::chrono::microseconds(opts_.coalesce_window_us);
+        auto close_at = [&] {
+          auto c = window_close;
+          for (const Pending& p : batch)
+            if (p.has_deadline && p.deadline < c) c = p.deadline;
+          return c;
+        };
+        auto close = close_at();
         while (batch.size() < opts_.max_batch && !stopped_) {
-          if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-            drain_compatible(batch);  // final sweep at the deadline
+          if (cv_.wait_until(lk, close) == std::cv_status::timeout) {
+            const std::size_t n = batch.size();
+            drain_compatible(batch);  // final sweep at the close
+            if (opts_.max_queue > 0 && batch.size() != n)
+              space_cv_.notify_all();
             break;
           }
+          const std::size_t n = batch.size();
           drain_compatible(batch);
+          if (opts_.max_queue > 0 && batch.size() != n)
+            space_cv_.notify_all();
+          close = close_at();
         }
       }
     }
     lk.unlock();
     execute(w, batch);
+    batch.clear();
   }
 }
 
 void Server::execute(Worker& w, std::vector<Pending>& batch) {
+  // Pre-enact triage: honor client cancels and shed past-budget queries
+  // before they occupy lanes, compacting survivors in place.
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (p.token.cancelled()) {
+      resolve_cancelled(p);
+    } else if (p.has_deadline && now >= p.deadline) {
+      resolve_shed(p);
+    } else {
+      if (live != i) batch[live] = std::move(p);
+      ++live;
+    }
+  }
+  batch.resize(live);
+  if (batch.empty()) return;
+
   const auto lanes = static_cast<std::uint32_t>(batch.size());
   const QueryKind kind = batch.front().req.kind;
-  const QueryOptions& opts = batch.front().req.opts;
 
-  // Counters first, fulfillment second: a client that has collected all
-  // its tickets then observes stats() covering at least those queries.
-  stat_queries_.fetch_add(lanes, std::memory_order_relaxed);
-  stat_enacts_.fetch_add(1, std::memory_order_relaxed);
-  if (lanes >= 2) stat_coalesced_.fetch_add(lanes, std::memory_order_relaxed);
-  std::uint32_t seen = stat_max_lanes_.load(std::memory_order_relaxed);
-  while (lanes > seen && !stat_max_lanes_.compare_exchange_weak(
-                             seen, lanes, std::memory_order_relaxed)) {
+  // The enact-wide stop token. Solo: the query's own token (client-cancel
+  // linkage and deadline intact — the enact stops cooperatively between
+  // rounds). Fused: the lanes share one enact, so it may stop early only
+  // once EVERY member's budget has passed (deadline = max over members);
+  // an individual lane past its own budget is served `late` at demux.
+  CancelToken enact_token;
+  if (lanes == 1) {
+    enact_token = batch.front().token;
+  } else {
+    bool all_deadlines = true;
+    auto max_deadline = batch.front().deadline;
+    for (const Pending& p : batch) {
+      if (!p.has_deadline) {
+        all_deadlines = false;
+        break;
+      }
+      if (p.deadline > max_deadline) max_deadline = p.deadline;
+    }
+    if (all_deadlines) enact_token = CancelToken::with_deadline(max_deadline);
   }
+
+  // Deterministic fault injection rides the same token (api/faults.hpp):
+  // the enact index is drawn in execution order.
+  const std::uint64_t enact_idx =
+      enact_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.faults) {
+    const FaultSpec f = opts_.faults->draw(enact_idx);
+    if (f.kind != FaultKind::kNone) {
+      if (!enact_token.valid()) enact_token = CancelToken::make();
+      arm_fault(f, enact_token);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.enacts++;
+    if (lanes >= 2) stats_.coalesced_queries += lanes;
+    if (lanes > stats_.max_lanes) stats_.max_lanes = lanes;
+  }
+
+  QueryOptions opts = batch.front().req.opts;
+  opts.cancel = enact_token;
 
   try {
     if (coalescable(kind)) {
@@ -247,51 +536,83 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
       for (std::uint32_t q = 0; q < lanes; ++q)
         w.sources[q] = batch[q].req.source;
       const std::span<const VertexId> srcs(w.sources);
+      switch (kind) {
+        case QueryKind::kBfs:
+          w.engine->batch_bfs(srcs, w.bfs, opts);
+          break;
+        case QueryKind::kSssp:
+          w.engine->batch_sssp(srcs, w.sssp, opts);
+          break;
+        case QueryKind::kReachability:
+          w.engine->batch_reachability(srcs, w.reach, opts);
+          break;
+        case QueryKind::kBcForward:
+          w.engine->batch_bc_forward(srcs, w.bcf, opts);
+          break;
+        default:
+          break;
+      }
+      const auto after = std::chrono::steady_clock::now();
       for (std::uint32_t q = 0; q < lanes; ++q) {
+        Pending& p = batch[q];
+        // A client cancel that landed mid-enact could not stop this fused
+        // lane alone; the contract is Cancelled at the next boundary —
+        // which is now.
+        if (p.token.cancelled()) {
+          resolve_cancelled(p);
+          continue;
+        }
         QueryResult r;
         r.kind = kind;
         r.batch_lanes = lanes;
         switch (kind) {
           case QueryKind::kBfs:
-            if (q == 0) w.engine.batch_bfs(srcs, w.bfs, opts);
             w.bfs.extract_lane(q, r.depth);
             break;
           case QueryKind::kSssp:
-            if (q == 0) w.engine.batch_sssp(srcs, w.sssp, opts);
             w.sssp.extract_lane(q, r.dist);
             break;
           case QueryKind::kReachability:
-            if (q == 0) w.engine.batch_reachability(srcs, w.reach, opts);
             w.reach.extract_lane(q, r.reachable);
             break;
           case QueryKind::kBcForward:
-            if (q == 0) w.engine.batch_bc_forward(srcs, w.bcf, opts);
             w.bcf.extract_lane(q, r.depth, r.sigma);
             break;
           default:
             break;
         }
-        fulfill(batch[q].state, std::move(r));
+        resolve_served(p, std::move(r), p.has_deadline && after > p.deadline);
       }
     } else {
       QueryResult r;
       r.kind = kind;
       r.batch_lanes = 1;
       if (kind == QueryKind::kCc) {
-        w.engine.cc(w.cc, opts);
+        w.engine->cc(w.cc, opts);
         r.component = w.cc.component;
       } else {  // kPagerank
-        w.engine.pagerank(w.pr, opts);
+        w.engine->pagerank(w.pr, opts);
         r.rank = w.pr.rank;
       }
-      fulfill(batch.front().state, std::move(r));
+      Pending& p = batch.front();
+      if (p.token.cancelled()) {
+        resolve_cancelled(p);
+      } else {
+        const auto after = std::chrono::steady_clock::now();
+        resolve_served(p, std::move(r), p.has_deadline && after > p.deadline);
+      }
     }
-  } catch (...) {
-    // A failed enact must not strand its tickets (or kill the worker):
-    // every query of the batch learns the failure via get().
-    const std::exception_ptr e = std::current_exception();
-    for (Pending& p : batch) fulfill_error(p.state, e);
+  } catch (const CancelledError&) {
+    // Clean cooperative stop: the engine unwound at a round boundary and
+    // its pooled state resets on the next begin_enact — the worker is
+    // healthy. Classify members individually.
+    resolve_stopped(batch, QueryOutcome::kCancelled);
+  } catch (const DeadlineExceededError&) {
+    resolve_stopped(batch, QueryOutcome::kDeadlineExceeded);
   }
+  // Anything else (bad_alloc, a foreign exception, an injected crash) is
+  // a worker death: it propagates to worker_main's watchdog, which fails
+  // the batch's unresolved tickets and respawns this worker.
 }
 
 }  // namespace grx

@@ -10,19 +10,26 @@
 //   ... // do other work, submit more queries
 //   grx::QueryResult r = t.get();           // blocks until served
 //
-// Three pieces (docs/architecture.md, "The serving layer"):
+// Four pieces (docs/architecture.md, "The serving layer"):
 //
-//  * A thread-safe submission front: submit() enqueues onto an MPMC queue
-//    from any number of client threads and returns a QueryTicket — a
-//    future-style handle the result is later demuxed into. Submission
-//    never blocks on query execution.
+//  * A thread-safe submission front with bounded admission: submit()
+//    enqueues onto an MPMC queue and returns a QueryTicket — a
+//    future-style handle the result is later demuxed into. The queue can
+//    be capped (ServerOptions::max_queue); a full queue either rejects
+//    the submission (RejectedError, in the submitting thread) or blocks
+//    it until a slot frees or an admission timeout passes — overload
+//    back-pressure instead of unbounded memory growth.
 //
 //  * A worker pool, engine-per-worker: each worker thread owns its own
 //    simt::Device + Engine bound to the shared (read-only) graph. Problem
 //    state therefore needs no locks, the Engine's zero-steady-state-
 //    allocation contract holds per worker, and the only synchronization
-//    in the system is the queue and the ticket handoff — the surface
-//    tests/test_server.cpp proves race-free under ThreadSanitizer.
+//    in the system is the queue and the ticket handoff. A watchdog wraps
+//    every worker: if a worker dies on an exception mid-enact, only that
+//    worker's in-flight tickets fail (WorkerFailedError) and the worker
+//    is respawned with a fresh Device + Engine — the server keeps
+//    serving. tests/test_server.cpp + test_faults.cpp prove the surface
+//    race-free under ThreadSanitizer.
 //
 //  * An adaptive batch coalescer: same-primitive single-source queries
 //    (BFS / SSSP / reachability / BC-forward) with fuse-compatible
@@ -30,32 +37,45 @@
 //    into ONE BatchEnactor lane-matrix enact — up to `max_batch` (64)
 //    lanes, one shared edge scan — and demuxed back to their tickets via
 //    the batch results' extract_lane hooks. A batch closes at whichever
-//    comes first: the window expires, the lanes fill, or shutdown begins;
-//    a worker never waits on a window when its batch is already full, and
-//    a window of zero fuses only what is already queued (drain-only, no
-//    added latency). Because batch lanes are provably equal to solo runs
-//    (tests/test_batch.cpp, test_oracle_fuzz.cpp), coalescing changes
-//    throughput, never results: every ticket's bytes are identical with
-//    the coalescer on or off.
+//    comes first: the window expires, the lanes fill, the EARLIEST MEMBER
+//    DEADLINE arrives (a batch is never held open past a member's
+//    budget), or shutdown begins. Because batch lanes are provably equal
+//    to solo runs, coalescing changes throughput, never results.
+//
+//  * Deadlines and cooperative cancellation: a query may carry a deadline
+//    budget and/or a client CancelToken (QueryRequest). Queries already
+//    past budget are SHED before occupying an enact slot; running queries
+//    check the token between BSP rounds (core/cancel.hpp) and stop with a
+//    typed outcome — the ticket resolves with CancelledError /
+//    DeadlineExceededError instead of blocking forever. A fused lane that
+//    cannot stop alone is served past its own budget and flagged `late`.
+//    Full contract: docs/api.md, "Failure semantics".
 //
 // Determinism / oracle contract: each served QueryResult is byte-identical
 // to what a serial, single-thread Engine would return for that request
 // (FP-valued whole-graph queries require pinning the workers' OpenMP
 // width, see ServerOptions::omp_threads_per_worker). Shutdown is graceful:
 // stop() — or the destructor — rejects new submissions, drains every
-// accepted query, and joins the pool, so no ticket is ever abandoned.
+// accepted query (serving, shedding, or failing each one — no ticket is
+// ever abandoned), and joins the pool. Deterministic fault injection
+// (ServerOptions::faults, api/faults.hpp) drives every failure path above
+// under test.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "api/engine.hpp"
+#include "api/faults.hpp"
+#include "core/cancel.hpp"
 
 namespace grx {
 
@@ -77,11 +97,32 @@ constexpr bool coalescable(QueryKind k) {
          k == QueryKind::kReachability || k == QueryKind::kBcForward;
 }
 
-/// One query as submitted: what to run, from where, how.
+/// How a ticket resolved (QueryTicket::outcome). kPending until done.
+enum class QueryOutcome : std::uint8_t {
+  kPending,           ///< not yet resolved (or ticket invalid/consumed)
+  kOk,                ///< served with a value (possibly late, see result)
+  kCancelled,         ///< client CancelToken tripped (CancelledError)
+  kDeadlineExceeded,  ///< shed or stopped past budget (DeadlineExceededError)
+  kWorkerFailed,      ///< worker died mid-enact (WorkerFailedError)
+};
+
+/// One query as submitted: what to run, from where, how — plus the
+/// robustness contract it wants.
 struct QueryRequest {
   QueryKind kind = QueryKind::kBfs;
   VertexId source = 0;  ///< ignored by the whole-graph kinds
   QueryOptions opts;    ///< same surface as Engine queries
+  /// Deadline budget in microseconds, measured from submit(). 0 = none
+  /// (or ServerOptions::default_deadline_us if that is set). Past-budget
+  /// queries are shed before enacting or stopped between rounds; a fused
+  /// lane that cannot stop alone is served `late` instead.
+  std::uint32_t deadline_us = 0;
+  /// Optional client cancellation handle: create with CancelToken::make(),
+  /// keep a copy, submit, cancel() any time. A solo query stops between
+  /// rounds; a fused or not-yet-started query resolves Cancelled at its
+  /// next boundary. (QueryOptions::cancel is ignored by the server — the
+  /// server composes its own per-enact token from this field.)
+  CancelToken cancel;
 };
 
 /// The served result. Only the fields of the request's kind are filled
@@ -99,10 +140,14 @@ struct QueryResult {
   /// Lanes in the enact that served this query (1 == ran solo): the
   /// coalescer's per-query fingerprint, for observability and tests.
   std::uint32_t batch_lanes = 0;
+  /// True when the query was served after its own deadline (a fused lane
+  /// cannot stop alone; the value is still exact). Counted in
+  /// ServerStats::late.
+  bool late = false;
 };
 
 /// Future-style handle to an in-flight query. Obtained from
-/// Server::submit; get() blocks until a worker fulfills it (valid across
+/// Server::submit; get() blocks until a worker resolves it (valid across
 /// — and after — the server's lifetime: shutdown drains all accepted
 /// queries first). One-shot: get() moves the result out.
 class QueryTicket {
@@ -121,14 +166,38 @@ class QueryTicket {
   /// Non-blocking readiness poll.
   bool ready() const;
 
-  /// Blocks until served, then moves the result out (invalidating the
-  /// ticket). Rethrows any CheckError the enactment raised.
+  /// Blocks until resolved or `timeout` passes; true iff resolved. Never
+  /// consumes the ticket — poll-with-budget for clients that must not
+  /// risk an indefinite block (e.g. a worker died: the watchdog resolves
+  /// its tickets, and wait_for observes that without hanging).
+  bool wait_for(std::chrono::microseconds timeout) const;
+
+  /// How the query resolved; kPending while in flight (and on an invalid
+  /// or already-consumed ticket). Non-consuming: check before get() to
+  /// branch without handling exceptions.
+  QueryOutcome outcome() const;
+
+  /// Blocks until resolved, then moves the result out (invalidating the
+  /// ticket). Rethrows the typed failure (CancelledError,
+  /// DeadlineExceededError, WorkerFailedError — all CheckError) if the
+  /// query did not produce a value.
   QueryResult get();
+
+  /// Non-blocking get: std::nullopt while in flight (ticket stays
+  /// valid); otherwise consumes the ticket exactly like get() — returns
+  /// the value or rethrows the typed failure.
+  std::optional<QueryResult> try_get();
 
  private:
   friend class Server;
   struct State;
   std::shared_ptr<State> state_;
+};
+
+/// What submit() does when the bounded queue is full.
+enum class AdmissionPolicy : std::uint8_t {
+  kReject,  ///< throw RejectedError immediately (shed load at the door)
+  kBlock,   ///< block until a slot frees or admission_timeout_us passes
 };
 
 struct ServerOptions {
@@ -142,21 +211,62 @@ struct ServerOptions {
   std::uint32_t max_batch = 64;
   /// How long a worker holding a partial batch waits for more
   /// fuse-compatible arrivals, in microseconds. 0 = drain-only: fuse
-  /// whatever is already queued, never delay a query.
+  /// whatever is already queued, never delay a query. A member deadline
+  /// earlier than the window closes the batch early regardless.
   std::uint32_t coalesce_window_us = 200;
   /// OpenMP threads each worker's kernels may use. 0 = leave the
   /// runtime's default (beware oversubscription: workers multiply).
   /// 1 pins workers' kernels serial — required for byte-identical
   /// FP-valued results (PageRank) against a single-thread oracle.
   std::uint32_t omp_threads_per_worker = 0;
+
+  // --- bounded admission / overload policy ---
+  /// Cap on queued (accepted, not yet executing) queries. 0 = unbounded
+  /// (the pre-robustness behavior). Under overload a bounded queue keeps
+  /// memory flat and tail latency of admitted queries bounded.
+  std::uint32_t max_queue = 0;
+  /// Full-queue behavior (only meaningful with max_queue > 0).
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// kBlock: longest a submitter waits for a slot before RejectedError.
+  /// 0 = wait indefinitely (until a slot frees or the server stops).
+  std::uint32_t admission_timeout_us = 0;
+  /// Deadline budget applied to requests that do not carry their own.
+  /// 0 = none.
+  std::uint32_t default_deadline_us = 0;
+
+  /// Deterministic fault injection (api/faults.hpp): each enact draws
+  /// FaultSpec i from the plan (i = enact index in execution order) and
+  /// arms it on the enact's cancel token. Test/bench harness only; null
+  /// in production.
+  std::shared_ptr<const FaultPlan> faults;
 };
 
-/// Aggregate serving counters (monotonic since construction).
+/// Aggregate serving counters (monotonic since construction). Snapshot
+/// via stats() — one mutex-guarded struct copy, so the fields are
+/// mutually consistent; per-query counters are bumped after the outcome
+/// is decided and before the ticket is fulfilled, so a client that has
+/// collected its tickets observes stats covering them, and a query is
+/// never reported served if it subsequently failed.
+///
+/// Accounting identity (quiescent, e.g. after stop()):
+///   queries_submitted == queries_served + shed + cancelled
+///                        + deadline_exceeded + worker_failures
+/// `rejected` counts submissions that never produced a ticket (thrown in
+/// the submitting thread) and is outside the identity; `late` is a
+/// subset of queries_served.
 struct ServerStats {
-  std::uint64_t queries_served = 0;    ///< tickets fulfilled
-  std::uint64_t enacts = 0;            ///< engine enactments run
-  std::uint64_t coalesced_queries = 0; ///< queries served in a >=2-lane enact
-  std::uint32_t max_lanes = 0;         ///< widest fused batch so far
+  std::uint64_t queries_submitted = 0;  ///< accepted (a ticket exists)
+  std::uint64_t queries_served = 0;     ///< resolved with a value
+  std::uint64_t enacts = 0;             ///< engine enactments started
+  std::uint64_t coalesced_queries = 0;  ///< queries in a >=2-lane enact
+  std::uint64_t rejected = 0;           ///< refused at admission (no ticket)
+  std::uint64_t shed = 0;               ///< dropped past-budget pre-enact
+  std::uint64_t cancelled = 0;          ///< resolved CancelledError
+  std::uint64_t deadline_exceeded = 0;  ///< stopped mid-enact past budget
+  std::uint64_t worker_failures = 0;    ///< tickets failed by a dying worker
+  std::uint64_t late = 0;               ///< served after their own deadline
+  std::uint64_t worker_respawns = 0;    ///< watchdog worker rebuilds
+  std::uint32_t max_lanes = 0;          ///< widest fused batch so far
 };
 
 class Server {
@@ -175,7 +285,10 @@ class Server {
 
   /// Enqueues a query from any thread. Throws CheckError if the server is
   /// stopped, the source is out of range, or the kind needs weights the
-  /// graph lacks.
+  /// graph lacks; throws RejectedError (also a CheckError) if bounded
+  /// admission refuses the query. An accepted query whose budget expires
+  /// while it queues is shed by the worker-side triage: its ticket
+  /// resolves with DeadlineExceededError (it is never silently dropped).
   QueryTicket submit(const QueryRequest& req);
 
   // Convenience fronts over submit().
@@ -188,8 +301,9 @@ class Server {
   QueryTicket submit_cc(const QueryOptions& opts = {});
   QueryTicket submit_pagerank(const QueryOptions& opts = {});
 
-  /// Rejects new submissions, serves everything already accepted, joins
-  /// the pool. Idempotent; called by the destructor.
+  /// Rejects new submissions, resolves everything already accepted
+  /// (serving, shedding, or failing each ticket), joins the pool.
+  /// Idempotent; called by the destructor.
   void stop();
 
   std::uint32_t num_workers() const {
@@ -199,41 +313,60 @@ class Server {
   ServerStats stats() const;
 
  private:
-  /// A submitted query waiting in the MPMC queue: the request plus the
-  /// ticket state its result will be demuxed into.
+  /// A submitted query waiting in the MPMC queue: the request, the ticket
+  /// state its result will be demuxed into, and its robustness envelope
+  /// (effective deadline + the server-side cancel token wrapping any
+  /// client token).
   struct Pending {
     QueryRequest req;
     std::shared_ptr<QueryTicket::State> state;
+    CancelToken token;  ///< server-owned; child of req.cancel when given
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
   struct Worker;
 
+  void worker_main(Worker& w);
   void worker_loop(Worker& w);
-  /// Moves every queued request fuse-compatible with `head` into `batch`
-  /// (up to max_batch). Caller holds the queue mutex.
+  /// Moves every queued request fuse-compatible with `batch.front()` into
+  /// `batch` (up to max_batch). Caller holds the queue mutex.
   void drain_compatible(std::vector<Pending>& batch);
   void execute(Worker& w, std::vector<Pending>& batch);
+
+  // Outcome resolution: counters first (under stats_mu_, outcome already
+  // decided), fulfillment second. fulfill_* never clobber a resolved
+  // ticket.
+  void resolve_served(Pending& p, QueryResult&& r, bool late);
+  void resolve_stopped(std::vector<Pending>& batch, QueryOutcome fallback);
+  void resolve_shed(Pending& p);
+  void resolve_cancelled(Pending& p);
+  void resolve_deadline(Pending& p);
+  void resolve_worker_failed(Pending& p, const std::string& why);
 
   /// Publishes a result (or failure) into a ticket and wakes its waiter.
   static void fulfill(const std::shared_ptr<QueryTicket::State>& s,
                       QueryResult&& r);
   static void fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
-                            std::exception_ptr e);
+                            QueryOutcome outcome, std::exception_ptr e);
 
   const Csr* g_;
   ServerOptions opts_;
 
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< queue non-empty / stopping
+  std::condition_variable space_cv_;  ///< queue slot freed (kBlock waiters)
   std::deque<Pending> queue_;
   bool stopped_ = false;
   std::mutex join_mu_;  ///< serializes concurrent stop()/destruction joins
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::atomic<std::uint64_t> stat_queries_{0};
-  std::atomic<std::uint64_t> stat_enacts_{0};
-  std::atomic<std::uint64_t> stat_coalesced_{0};
-  std::atomic<std::uint32_t> stat_max_lanes_{0};
+  /// Enact index feeding FaultPlan::draw — execution order, not
+  /// submission order.
+  std::atomic<std::uint64_t> enact_counter_{0};
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
 };
 
 }  // namespace grx

@@ -1,0 +1,213 @@
+// Cooperative cancellation and deadlines for enactments — the robustness
+// seam the serving stack (grx::Server -> Engine -> EnactorBase loops)
+// threads through every query.
+//
+// A CancelToken is a cheap shared handle to a stop request: a client (or
+// the server's admission layer) creates one, hands it to a query via
+// QueryOptions::cancel, and every iteration loop checks it *between BSP
+// rounds* (EnactorBase::check_cancel). A tripped token stops the enactment
+// with a typed exception — CancelledError or DeadlineExceededError — at
+// the next round boundary: pooled Problem state is simply left for the
+// next begin_enact() to reset (the zero-steady-state-allocation contract
+// is untouched; nothing is torn down, nothing re-allocated), and the
+// caller observes a typed failure instead of a result.
+//
+// The default-constructed token is inert and costs one branch per round;
+// enactments run exactly as before this layer existed. Deadlines use the
+// steady clock. Tokens compose: a child token (child_of) trips when its
+// parent trips, so a server can wrap a client-supplied token with its own
+// deadline without mutating shared state.
+//
+// The token also carries the deterministic fault-injection seam: an
+// optional per-round hook (set_round_hook) runs before each stop check,
+// so a FaultPlan (api/faults.hpp) can throw, stall, or cancel at a chosen
+// round — the test harness's way of proving every failure path without
+// wall-clock races.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+/// Why an enactment must stop, checked between rounds.
+enum class StopReason : std::uint8_t {
+  kNone,       ///< keep running
+  kCancelled,  ///< cancel() was called (on this token or an ancestor)
+  kDeadline,   ///< the deadline passed
+};
+
+/// Typed failure taxonomy. All derive from CheckError so existing
+/// catch(const CheckError&) sites keep working; serving code and tests
+/// catch the precise types.
+class QueryError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// The query was cooperatively cancelled between rounds.
+class CancelledError final : public QueryError {
+ public:
+  using QueryError::QueryError;
+};
+
+/// The query's deadline passed; it was stopped between rounds (or shed
+/// before ever occupying an enact slot).
+class DeadlineExceededError final : public QueryError {
+ public:
+  using QueryError::QueryError;
+};
+
+/// Admission refused the query: the bounded queue was full (reject
+/// policy, or block policy timed out). Thrown in the submitting thread.
+class RejectedError final : public QueryError {
+ public:
+  using QueryError::QueryError;
+};
+
+/// The worker executing the query died on an exception mid-enact; the
+/// watchdog failed the in-flight tickets with this and respawned the
+/// worker. what() carries the original failure.
+class WorkerFailedError final : public QueryError {
+ public:
+  using QueryError::QueryError;
+};
+
+namespace detail {
+
+struct CancelShared {
+  std::atomic<bool> cancelled{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::shared_ptr<const CancelShared> parent;  ///< trips us when it trips
+  /// Fault-injection seam: runs before each round's stop check; may
+  /// throw, sleep, or flip the passed state's `cancelled`. Installed
+  /// single-threaded before the enact starts, called only from the
+  /// enacting thread. Receives the state (not a CancelToken) so the hook
+  /// can trip the token without owning it — a token capture would cycle
+  /// the shared_ptr.
+  std::function<void(CancelShared& state, std::uint32_t round)> on_round;
+
+  bool is_cancelled() const {
+    for (const CancelShared* s = this; s != nullptr; s = s->parent.get())
+      if (s->cancelled.load(std::memory_order_acquire)) return true;
+    return false;
+  }
+
+  StopReason reason(std::chrono::steady_clock::time_point now) const {
+    if (is_cancelled()) return StopReason::kCancelled;
+    for (const CancelShared* s = this; s != nullptr; s = s->parent.get())
+      if (s->has_deadline && now >= s->deadline) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+};
+
+}  // namespace detail
+
+/// Shared cancellation/deadline handle. Copies observe the same state;
+/// the default-constructed token is inert (never stops anything).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A fresh, cancellable token (no deadline until set_deadline).
+  static CancelToken make() {
+    CancelToken t;
+    t.state_ = std::make_shared<detail::CancelShared>();
+    return t;
+  }
+
+  /// A token that trips when `deadline` passes.
+  static CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancelToken t = make();
+    t.set_deadline(deadline);
+    return t;
+  }
+
+  /// A token that trips `budget` from now.
+  static CancelToken with_budget(std::chrono::microseconds budget) {
+    return with_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// A token that trips whenever `parent` trips, but owns its own flag,
+  /// deadline, and round hook — how the server adds a deadline to a
+  /// client-supplied token without mutating shared state. An inert
+  /// parent yields an independent fresh token.
+  static CancelToken child_of(const CancelToken& parent) {
+    CancelToken t = make();
+    t.state_->parent = parent.state_;
+    return t;
+  }
+
+  /// False for the inert default: nothing to check, zero stop overhead.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Requests a cooperative stop. Thread-safe; no-op on an inert token
+  /// (there is no shared state for anyone to observe).
+  void cancel() {
+    if (state_) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const { return state_ && state_->is_cancelled(); }
+
+  /// Sets/overwrites this token's deadline. Not thread-safe: call before
+  /// sharing the token with the enacting thread.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    GRX_CHECK_MSG(valid(), "set_deadline on an inert CancelToken");
+    state_->has_deadline = true;
+    state_->deadline = deadline;
+  }
+
+  bool has_deadline() const { return state_ && state_->has_deadline; }
+  std::chrono::steady_clock::time_point deadline() const {
+    return state_ ? state_->deadline
+                  : std::chrono::steady_clock::time_point{};
+  }
+
+  /// Installs the per-round fault hook (see FaultPlan). Not thread-safe:
+  /// install before the enact starts. The hook may throw, sleep, or call
+  /// `state.cancelled.store(true)` to force a cooperative cancel.
+  void set_round_hook(
+      std::function<void(detail::CancelShared&, std::uint32_t)> hook) {
+    GRX_CHECK_MSG(valid(), "set_round_hook on an inert CancelToken");
+    state_->on_round = std::move(hook);
+  }
+
+  /// The stop decision for the round starting now.
+  StopReason stop_reason() const {
+    if (!state_) return StopReason::kNone;
+    return state_->reason(std::chrono::steady_clock::now());
+  }
+
+  /// One per-round checkpoint: runs the fault hook (which may itself
+  /// throw), then throws the typed error if the token has tripped.
+  /// Called by every iteration loop between rounds; `round` is the
+  /// 0-based round about to run.
+  void checkpoint(std::uint32_t round) const {
+    if (!state_) return;
+    if (state_->on_round) state_->on_round(*state_, round);
+    switch (state_->reason(std::chrono::steady_clock::now())) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kCancelled:
+        throw CancelledError("query cancelled (cooperative stop at round " +
+                             std::to_string(round) + ")");
+      case StopReason::kDeadline:
+        throw DeadlineExceededError(
+            "query deadline exceeded (cooperative stop at round " +
+            std::to_string(round) + ")");
+    }
+  }
+
+ private:
+  std::shared_ptr<detail::CancelShared> state_;
+};
+
+}  // namespace grx

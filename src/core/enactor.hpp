@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/advance.hpp"
+#include "core/cancel.hpp"
 #include "core/filter.hpp"
 #include "core/frontier.hpp"
 #include "simt/device.hpp"
@@ -56,7 +57,22 @@ class EnactorBase {
   /// paper's primitives all converge to an empty frontier).
   static constexpr std::uint32_t kMaxIterations = 100000;
 
+  /// Arms cooperative cancellation/deadline for subsequent enactments:
+  /// every iteration loop calls check_cancel() between BSP rounds, so a
+  /// tripped token stops the enact with CancelledError /
+  /// DeadlineExceededError at the next round boundary. Pooled state is
+  /// left as-is for the next begin_enact() to reset — a cancelled
+  /// enactor is immediately reusable and still allocation-free once
+  /// warm. Sticky until replaced; the inert default token costs one
+  /// branch per round. The Engine re-arms this from QueryOptions::cancel
+  /// on every query.
+  void set_cancel(CancelToken token) { cancel_ = std::move(token); }
+
  protected:
+  /// The between-rounds checkpoint: fault hook first (deterministic
+  /// injection seam), then the typed stop throw. `round` is the 0-based
+  /// round about to run.
+  void check_cancel(std::uint32_t round) const { cancel_.checkpoint(round); }
   /// Generic iteration driver for operator programs (core/program.hpp):
   /// Problem-init, the convergence predicate, the per-iteration safety net,
   /// and iteration logging all live here — a primitive supplies only its
@@ -105,6 +121,7 @@ class EnactorBase {
   }
 
   simt::Device& dev_;
+  CancelToken cancel_;  ///< cooperative stop handle; inert by default
   Frontier in_{FrontierKind::kVertex};
   Frontier out_{FrontierKind::kVertex};
   /// Post-filter staging frontier, pooled across iterations so the BSP loop

@@ -163,6 +163,10 @@ std::uint64_t EnactorBase::run_program(const Csr& g, Prog& prog) {
   prog.init(ctx);
   std::uint64_t edges = 0;
   while (!prog.converged(ctx)) {
+    // Cooperative stop point: an expired deadline or a cancel request
+    // ends the enactment here, between BSP rounds, with a typed error —
+    // pooled state needs no teardown (the next begin_enact resets it).
+    check_cancel(static_cast<std::uint32_t>(log_.size()));
     GRX_CHECK_MSG(log_.size() < kMaxIterations,
                   "program exceeded the max-iteration safety net");
     const IterationStats s = prog.step(ctx);

@@ -543,6 +543,9 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
   std::uint64_t edges = 0;
   BatchDirection dir(opts);
   while (!in_.empty()) {
+    // Cooperative stop point (deadline / cancel / fault hook), between
+    // lane-matrix rounds — the batch analog of run_program's checkpoint.
+    check_cancel(static_cast<std::uint32_t>(log_.size()));
     GRX_CHECK(log_.size() < kMaxIterations);
     bool prepared = false;
     const bool pull = dir.choose_pull(dev_, g, in_.items(), opts.direction,
@@ -683,6 +686,7 @@ void BatchEnactor::sssp(const Csr& g, std::span<const VertexId> sources,
 
   std::uint64_t edges = 0;
   while (!in_.empty()) {
+    check_cancel(static_cast<std::uint32_t>(log_.size()));
     GRX_CHECK(log_.size() < kMaxIterations);
     if (!pq_.enabled()) {
       const std::uint64_t iter_edges = push_round<BatchRelaxFunctor>(
@@ -795,6 +799,7 @@ void BatchEnactor::bc_forward(const Csr& g,
 
   std::uint64_t edges = 0;
   while (!in_.empty()) {
+    check_cancel(static_cast<std::uint32_t>(log_.size()));
     GRX_CHECK(log_.size() < kMaxIterations);
     const std::uint64_t iter_edges = push_round<BatchBcForwardFunctor>(
         dev_, g, in_, out_, filtered_, p, acfg, fcfg, advance_ws_,

@@ -110,7 +110,11 @@ void BcEnactor::enact(const Csr& g, VertexId source, const BcOptions& opts,
   bcfg.strategy = opts.strategy;
   bcfg.idempotent = false;
   bcfg.collect_outputs = false;
+  const auto fwd_rounds = static_cast<std::uint32_t>(log_.size());
   for (std::uint32_t li = num_levels_; li-- > 0;) {
+    // The backward sweep honors the same cooperative stop contract as the
+    // forward program; rounds keep counting up past the forward phase.
+    check_cancel(fwd_rounds + (num_levels_ - 1 - li));
     p.iteration = li;
     bwd_level_.items().assign(levels_[li].begin(), levels_[li].end());
     const AdvanceStats a = advance<BackwardFunctor>(dev_, g, bwd_level_,
@@ -159,6 +163,7 @@ void BcEnactor::backward_accumulate(const Csr& g,
   bcfg.idempotent = false;
   bcfg.collect_outputs = false;
   for (std::uint32_t li = max_level + 1; li-- > 0;) {
+    check_cancel(max_level - li);
     p.iteration = li;
     bwd_level_.items().assign(bwd_levels_[li].begin(),
                               bwd_levels_[li].end());

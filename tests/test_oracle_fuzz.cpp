@@ -284,6 +284,108 @@ TEST(OracleFuzz, ConcurrentServerMatchesSerialOracles) {
   }
 }
 
+TEST(OracleFuzz, FaultSweepEveryTicketResolvesAndSurvivorsStayExact) {
+  // The robustness closure of the sweep above: a seeded random FaultPlan
+  // (allocation failures, foreign throws, stalls, forced cancels, worker
+  // crashes) runs against every hostile topology while clients mix tight
+  // deadlines and mid-flight cancellations into the stream. Invariants,
+  // regardless of which faults land where:
+  //   1. liveness — every ticket resolves (value or typed QueryError);
+  //   2. exactness — every SURVIVING query byte-matches the serial
+  //      oracles (a fault may kill a query, never corrupt another);
+  //   3. accounting — submitted == served + shed + cancelled
+  //      + deadline_exceeded + worker_failures after the drain.
+  // CI runs this under ASan and TSan: the failure paths must also be
+  // leak- and race-free.
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->seed = seed * 1000003u;
+      plan->p_alloc = 0.08;
+      plan->p_throw = 0.08;
+      plan->p_stall = 0.10;
+      plan->p_cancel = 0.12;
+      plan->p_crash = 0.08;
+      plan->stall_us = 500;
+      ServerOptions so;
+      so.num_workers = 2;
+      so.coalesce_window_us = 200;
+      so.max_queue = 8;
+      so.admission = AdmissionPolicy::kBlock;  // back-pressure, no rejects
+      so.faults = plan;
+      Server server(c.g, so);
+
+      constexpr std::uint32_t kThreads = 3, kPerThread = 6;
+      struct Issued {
+        QueryRequest req;
+        QueryTicket ticket;
+        CancelToken handle;
+      };
+      std::vector<std::vector<Issued>> issued(kThreads);
+      std::vector<std::thread> clients;
+      for (std::uint32_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+          Rng rng(seed * 977 + t);
+          for (std::uint32_t i = 0; i < kPerThread; ++i) {
+            QueryRequest req;
+            const std::uint64_t k = rng.next_below(3);
+            req.kind = k == 0   ? QueryKind::kBfs
+                       : k == 1 ? QueryKind::kSssp
+                                : QueryKind::kReachability;
+            req.source =
+                static_cast<VertexId>(rng.next_below(c.g.num_vertices()));
+            if (rng.next_below(4) == 0) req.deadline_us = 2000;  // tight
+            CancelToken handle;
+            if (rng.next_below(4) == 0) {
+              handle = CancelToken::make();
+              req.cancel = handle;
+            }
+            Issued q{req, server.submit(req), handle};
+            // Half the client tokens trip right after submission, racing
+            // admission, the coalesce window, and the enact itself.
+            if (q.handle.valid() && rng.next_bool(0.5)) q.handle.cancel();
+            issued[t].push_back(std::move(q));
+          }
+        });
+      }
+      for (std::thread& th : clients) th.join();
+
+      for (std::uint32_t t = 0; t < kThreads; ++t)
+        for (Issued& q : issued[t]) {
+          ASSERT_TRUE(q.ticket.wait_for(std::chrono::seconds(30)))
+              << c.name << " ticket never resolved";
+          try {
+            const QueryResult r = q.ticket.get();
+            const auto depth = serial::bfs(c.g, q.req.source);
+            if (q.req.kind == QueryKind::kBfs) {
+              ASSERT_EQ(r.depth, depth)
+                  << c.name << " survivor bfs src " << q.req.source;
+            } else if (q.req.kind == QueryKind::kSssp) {
+              ASSERT_EQ(r.dist, serial::dijkstra(c.g, q.req.source))
+                  << c.name << " survivor sssp src " << q.req.source;
+            } else {
+              ASSERT_EQ(r.reachable.size(), depth.size());
+              for (VertexId v = 0; v < c.g.num_vertices(); ++v)
+                ASSERT_EQ(r.reachable[v] != 0, depth[v] != kInfinity)
+                    << c.name << " survivor reach src " << q.req.source
+                    << " v " << v;
+            }
+          } catch (const QueryError&) {
+            // Cancelled / DeadlineExceeded / WorkerFailed: typed, expected.
+          }
+        }
+
+      server.stop();
+      const ServerStats s = server.stats();
+      EXPECT_EQ(s.queries_submitted, kThreads * kPerThread) << c.name;
+      EXPECT_EQ(s.queries_submitted,
+                s.queries_served + s.shed + s.cancelled + s.deadline_exceeded +
+                    s.worker_failures)
+          << c.name << " accounting identity broken";
+    }
+  }
+}
+
 TEST(OracleFuzz, MultiWordBatchMatchesSerialEveryLane) {
   // B > 64 exercises multi-word lane masks through the full stack: packed
   // frontier, claim+split, far bank, and wake all handle words_per_vertex
