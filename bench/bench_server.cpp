@@ -41,7 +41,9 @@
 #include "baselines/serial/serial.hpp"
 #include "bench_common.hpp"
 #include "graph/builder.hpp"
+#include "graph/dynamic.hpp"
 #include "graph/generators.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -282,6 +284,137 @@ int run_overload_arm(const Csr& g, const std::vector<VertexId>& sources,
   return rc;
 }
 
+/// The streaming-graph arm (ISSUE 7): the same closed-loop BFS workload,
+/// served from a grx::DynamicGraph while a writer thread churns ~1% of
+/// the edges per second through Server::apply_updates (batched, paced).
+/// Reports serving q/s and latency alongside the mutation-side numbers —
+/// epochs published, worker rebinds, coalesce splits forced by epoch
+/// changes, and the compaction pause (max single delta-log fold).
+/// Returns 0 iff every ticket resolved with a value and reclamation left
+/// exactly the head snapshot live after the drain.
+int run_mutation_arm(const Csr& g, const std::vector<VertexId>& sources,
+                     std::uint32_t clients, std::uint32_t rounds,
+                     std::uint32_t window_us, std::uint32_t workers) {
+  DynamicGraphOptions dopt;
+  dopt.symmetric = true;  // the bench graph is undirected; keep it so
+  dopt.compact_every = 8;
+  DynamicGraph dyn(g, dopt);
+
+  ServerOptions so;
+  so.num_workers = workers;
+  so.coalesce = true;
+  so.coalesce_window_us = window_us;
+  Server server(dyn, so);
+
+  // ~1%/s edge churn: a paced writer applying fixed-size batches. Weights
+  // and endpoints are seeded; inserts and (often-hitting) deletes split
+  // evenly, so the edge count stays near the baseline.
+  const double updates_per_sec =
+      0.01 * static_cast<double>(std::max<EdgeId>(1, g.num_edges()));
+  const auto period = std::chrono::milliseconds(5);
+  const auto batch_size = static_cast<std::uint32_t>(std::max(
+      1.0, updates_per_sec * std::chrono::duration<double>(period).count()));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> unresolved{0};
+  std::thread writer([&] {
+    Rng rng(2016);
+    const VertexId n = g.num_vertices();
+    std::vector<EdgeUpdate> batch;
+    auto next = std::chrono::steady_clock::now();
+    while (!done.load(std::memory_order_acquire)) {
+      batch.clear();
+      for (std::uint32_t i = 0; i < batch_size; ++i) {
+        const auto u = static_cast<VertexId>(rng.next_below(n));
+        const auto v = static_cast<VertexId>(rng.next_below(n));
+        if (rng.next_bool(0.5)) {
+          batch.push_back(EdgeUpdate::insert_edge(
+              u, v, static_cast<Weight>(rng.next_in(1, 64))));
+        } else {
+          batch.push_back(EdgeUpdate::remove_edge(u, v));
+        }
+      }
+      server.apply_updates(batch);
+      next += period;
+      std::this_thread::sleep_until(next);
+    }
+  });
+
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  Timer wall;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      lat[c].reserve(rounds);
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        const VertexId src = sources[(r * clients + c) % sources.size()];
+        Timer t;
+        QueryTicket ticket =
+            server.submit({QueryKind::kBfs, src, QueryOptions{}});
+        if (!ticket.wait_for(std::chrono::seconds(60))) {
+          unresolved.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        (void)ticket.get();
+        lat[c].push_back(t.elapsed_ms());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double wall_ms = wall.elapsed_ms();
+  done.store(true, std::memory_order_release);
+  writer.join();
+  server.stop();
+
+  const ServerStats s = server.stats();
+  dyn.collect();  // workers released their pins at stop(); drain retirees
+  const DynamicGraphStats d = dyn.stats();
+
+  std::vector<double> latency;
+  for (auto& l : lat) latency.insert(latency.end(), l.begin(), l.end());
+  const double queries = static_cast<double>(latency.size());
+  std::printf(
+      "mutation arm (BFS under ~1%%/s churn, batch %u per %lld ms):\n"
+      "  %.0f q/s | p50 %.2f ms, p99 %.2f ms | served %llu/%llu\n"
+      "  epochs %llu (update batches %llu, %llu edge updates) | "
+      "rebinds %llu, epoch fuse splits %llu\n"
+      "  compactions %llu, pause max %.2f ms (total %.2f ms) | "
+      "snapshots live after drain %llu\n",
+      batch_size, static_cast<long long>(period.count()),
+      queries / (wall_ms / 1e3), percentile(latency, 50),
+      percentile(latency, 99),
+      static_cast<unsigned long long>(s.queries_served),
+      static_cast<unsigned long long>(s.queries_submitted),
+      static_cast<unsigned long long>(d.epoch),
+      static_cast<unsigned long long>(s.update_batches),
+      static_cast<unsigned long long>(s.updates_applied),
+      static_cast<unsigned long long>(s.epoch_rebinds),
+      static_cast<unsigned long long>(s.epoch_fuse_splits),
+      static_cast<unsigned long long>(d.compactions),
+      d.compact_us_max / 1000.0, d.compact_us_total / 1000.0,
+      static_cast<unsigned long long>(d.live_snapshots));
+
+  int rc = 0;
+  if (unresolved.load() != 0) {
+    std::printf("FAIL: %llu mutation-arm tickets never resolved\n",
+                static_cast<unsigned long long>(unresolved.load()));
+    rc = 1;
+  }
+  if (s.queries_served != s.queries_submitted) {
+    std::printf("FAIL: faultless mutation arm did not serve every query\n");
+    rc = 1;
+  }
+  if (d.live_snapshots != 1) {
+    std::printf("FAIL: %llu snapshots still live after the drain "
+                "(reclamation leak)\n",
+                static_cast<unsigned long long>(d.live_snapshots));
+    rc = 1;
+  }
+  if (rc == 0) std::printf("mutation arm OK\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -363,6 +496,12 @@ int main(int argc, char** argv) {
       /*target_qps=*/std::max(2.0 * bfs_sustained_qps, 100.0), window_us,
       workers, bfs_uncontended_p99, /*enforce_p99=*/!smoke);
   if (overload_rc != 0) return overload_rc;
+
+  // Streaming-graph arm: same closed-loop BFS workload against a live,
+  // mutating graph.
+  const int mutation_rc =
+      run_mutation_arm(g, sources, clients, rounds, window_us, workers);
+  if (mutation_rc != 0) return mutation_rc;
 
   if (check) {
     const std::uint64_t bad =

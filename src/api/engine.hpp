@@ -84,6 +84,27 @@ class Engine {
   const Csr& transpose() const { return *gT_; }
   simt::Device& device() { return *dev_; }
 
+  /// Rebinds the engine to a different graph — the streaming-graph seam:
+  /// a server worker points its pooled engine at a newer DynamicGraph
+  /// snapshot without rebuilding enactors. Pooled state is retained
+  /// (buffers re-size per enact, so only a grown edge count allocates);
+  /// the symmetry cache resets, and HITS/SALSA again treat the graph as
+  /// its own transpose until rebind(g, transpose) supplies one. Requires
+  /// no query in flight (throws CheckError otherwise). The new graph is
+  /// captured by reference and must stay alive across subsequent queries
+  /// — for snapshots, hold the SnapshotView for the duration.
+  void rebind(const Csr& g) {
+    rebind(g, g);
+    transpose_explicit_ = false;
+  }
+  void rebind(const Csr& g, const Csr& transpose) {
+    GRX_CHECK_MSG(!busy(), "Engine::rebind while a query is in flight");
+    g_ = &g;
+    gT_ = &transpose;
+    transpose_explicit_ = true;
+    symmetry_verified_ = false;
+  }
+
   /// True while a query is executing on this engine. An Engine is
   /// exclusive: its pooled Problem state admits exactly one in-flight
   /// query, and every query entry point trips a reentry guard (throws

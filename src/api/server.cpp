@@ -107,20 +107,38 @@ bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
 /// vectors it hands to callers. Device + engine live behind unique_ptr so
 /// the watchdog can rebuild them after a mid-enact death.
 struct Server::Worker {
-  explicit Worker(const Csr& g) { rebuild(g); }
+  explicit Worker(Server& srv) { rebuild(srv); }
 
   /// Fresh device + engine. After an exception escaped an enact the old
   /// engine's pooled problem state is mid-enact garbage with no invariants
   /// to salvage; a respawned worker starts from a clean world.
-  void rebuild(const Csr& g) {
+  void rebuild(Server& srv) {
     engine.reset();
     dev = std::make_unique<simt::Device>();
-    engine = std::make_unique<Engine>(*dev, g);
+    if (srv.dyn_ != nullptr) {
+      // Bind to the current snapshot just to construct the engine. The
+      // temporary pin is released immediately: before every enact,
+      // execute() compares the freshly pinned view's epoch against
+      // bound_epoch and rebinds when it moved — and while the epoch has
+      // NOT moved, the bound snapshot is still the head and thus alive.
+      SnapshotView v = srv.dyn_->snapshot();
+      bound_epoch = v.epoch();
+      engine = std::make_unique<Engine>(*dev, v.csr());
+    } else {
+      engine = std::make_unique<Engine>(*dev, *srv.g_);
+    }
   }
 
   std::unique_ptr<simt::Device> dev;
   std::unique_ptr<Engine> engine;
   std::thread thread;
+
+  /// Dynamic mode: the snapshot pinned at dequeue time, serving the whole
+  /// current batch; released after execute() so an idle worker never
+  /// blocks reclamation. Invalid (never pinned) on a static server.
+  SnapshotView view;
+  /// Dynamic mode: the epoch this worker's engine is currently bound to.
+  Epoch bound_epoch = 0;
 
   /// The in-flight batch, owned by this worker's thread. Lives here (not
   /// on worker_loop's stack) so the watchdog can fail its unresolved
@@ -136,15 +154,28 @@ struct Server::Worker {
   PagerankResult pr;
 };
 
-Server::Server(const Csr& g, const ServerOptions& opts)
-    : g_(&g), opts_(opts) {
+Server::Server(const Csr& g, const ServerOptions& opts) : opts_(opts) {
+  g_ = &g;
+  n_ = g.num_vertices();
+  weighted_ = g.has_weights();
+  start();
+}
+
+Server::Server(DynamicGraph& g, const ServerOptions& opts) : opts_(opts) {
+  dyn_ = &g;
+  n_ = g.num_vertices();
+  weighted_ = true;  // snapshots always materialize weights
+  start();
+}
+
+void Server::start() {
   if (opts_.num_workers == 0)
     opts_.num_workers = std::max(1u, std::thread::hardware_concurrency());
   opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
                                               BatchEnactor::kMaxLanes);
   workers_.reserve(opts_.num_workers);
   for (std::uint32_t i = 0; i < opts_.num_workers; ++i)
-    workers_.push_back(std::make_unique<Worker>(g));
+    workers_.push_back(std::make_unique<Worker>(*this));
   // Engines constructed before any thread starts: the spawns below
   // publish them (and the shared read-only graph) to the workers.
   for (auto& w : workers_)
@@ -172,10 +203,9 @@ QueryTicket Server::submit(const QueryRequest& req) {
   const bool single_source =
       req.kind != QueryKind::kCc && req.kind != QueryKind::kPagerank;
   if (single_source)
-    GRX_CHECK_MSG(req.source < g_->num_vertices(),
-                  "query source out of range");
+    GRX_CHECK_MSG(req.source < n_, "query source out of range");
   if (req.kind == QueryKind::kSssp)
-    GRX_CHECK_MSG(g_->has_weights(),
+    GRX_CHECK_MSG(weighted_,
                   "SSSP submitted to a server over an unweighted graph");
 
   // Compose the query's robustness envelope once, at admission: the
@@ -271,9 +301,39 @@ QueryTicket Server::submit_pagerank(const QueryOptions& opts) {
   return submit({QueryKind::kPagerank, 0, opts});
 }
 
+Epoch Server::apply_updates(std::span<const EdgeUpdate> updates) {
+  GRX_CHECK_MSG(dyn_ != nullptr,
+                "apply_updates on a static-graph grx::Server");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    GRX_CHECK_MSG(!stopped_, "apply_updates on a stopped grx::Server");
+  }
+  // The graph's writer mutex serializes concurrent mutators; in-flight
+  // queries keep serving their pinned snapshots untouched.
+  const Epoch e = dyn_->apply_updates(updates);
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.update_batches++;
+    stats_.updates_applied += updates.size();
+  }
+  return e;
+}
+
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> sl(stats_mu_);
-  return stats_;  // one guarded struct copy: fields mutually consistent
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    s = stats_;  // one guarded struct copy: fields mutually consistent
+  }
+  if (dyn_ != nullptr) {
+    // Graph-derived gauges read at snapshot time (the graph has its own
+    // atomics; serving counters above stay mutually consistent).
+    const DynamicGraphStats d = dyn_->stats();
+    s.graph_epoch = d.epoch;
+    s.compactions = d.compactions;
+    s.snapshots_live = d.live_snapshots;
+  }
+  return s;
 }
 
 // --- outcome resolution ------------------------------------------------------
@@ -362,10 +422,25 @@ void Server::resolve_stopped(std::vector<Pending>& batch,
 
 // --- worker ------------------------------------------------------------------
 
-void Server::drain_compatible(std::vector<Pending>& batch) {
+bool Server::epoch_stale(const Worker& w) const {
+  return dyn_ != nullptr && w.view.valid() &&
+         dyn_->epoch() != w.view.epoch();
+}
+
+void Server::drain_compatible(Worker& w, std::vector<Pending>& batch) {
+  // The epoch is part of the fuse-compat key: once the graph publishes
+  // past the batch's pinned snapshot, no further query may join — fused
+  // members always share one snapshot, and a query is never fused onto a
+  // snapshot older than the newest at its fuse time.
+  const bool stale = epoch_stale(w);
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < opts_.max_batch;) {
     if (fuse_compatible(batch.front().req, it->req)) {
+      if (stale) {
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.epoch_fuse_splits++;
+        return;
+      }
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -401,11 +476,12 @@ void Server::worker_main(Worker& w) {
       for (Pending& p : w.batch)
         if (p.state) resolve_worker_failed(p, why);
       w.batch.clear();
+      w.view.release();  // a dying worker must not pin a snapshot forever
       {
         std::lock_guard<std::mutex> sl(stats_mu_);
         stats_.worker_respawns++;
       }
-      w.rebuild(*g_);
+      w.rebuild(*this);
     }
   }
 }
@@ -421,12 +497,16 @@ void Server::worker_loop(Worker& w) {
     queue_.pop_front();
     if (opts_.max_queue > 0) space_cv_.notify_one();
 
+    // Dynamic mode: pin the newest snapshot NOW, at dequeue — the whole
+    // batch (this query and everything fused into it) serves this epoch.
+    if (dyn_ != nullptr) w.view = dyn_->snapshot();
+
     if (opts_.coalesce && opts_.max_batch > 1 &&
         coalescable(batch.front().req.kind)) {
       const std::size_t pre = batch.size();
-      drain_compatible(batch);
+      drain_compatible(w, batch);
       if (opts_.max_queue > 0 && batch.size() != pre) space_cv_.notify_all();
-      if (opts_.coalesce_window_us > 0 && !stopped_) {
+      if (opts_.coalesce_window_us > 0 && !stopped_ && !epoch_stale(w)) {
         // Adaptive close: the batch ships at whichever comes first — the
         // window expires, the lanes fill, the EARLIEST member deadline
         // arrives (holding a batch open past a member's budget would shed
@@ -446,15 +526,18 @@ void Server::worker_loop(Worker& w) {
         while (batch.size() < opts_.max_batch && !stopped_) {
           if (cv_.wait_until(lk, close) == std::cv_status::timeout) {
             const std::size_t n = batch.size();
-            drain_compatible(batch);  // final sweep at the close
+            drain_compatible(w, batch);  // final sweep at the close
             if (opts_.max_queue > 0 && batch.size() != n)
               space_cv_.notify_all();
             break;
           }
           const std::size_t n = batch.size();
-          drain_compatible(batch);
+          drain_compatible(w, batch);
           if (opts_.max_queue > 0 && batch.size() != n)
             space_cv_.notify_all();
+          // A publish closed this batch's epoch: nothing more can fuse,
+          // so holding the window open would only add latency.
+          if (epoch_stale(w)) break;
           close = close_at();
         }
       }
@@ -462,6 +545,7 @@ void Server::worker_loop(Worker& w) {
     lk.unlock();
     execute(w, batch);
     batch.clear();
+    w.view.release();  // idle workers never block snapshot reclamation
   }
 }
 
@@ -486,6 +570,22 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
 
   const auto lanes = static_cast<std::uint32_t>(batch.size());
   const QueryKind kind = batch.front().req.kind;
+
+  // Dynamic mode: serve this batch against the snapshot pinned at dequeue
+  // time, rebinding the pooled engine when the epoch moved since the last
+  // enact. The rebind is a pointer swap — pooled buffers re-size per
+  // enact, so steady state stays allocation-free while the edge count
+  // does not grow past its high-water mark.
+  Epoch serving_epoch = 0;
+  if (dyn_ != nullptr) {
+    serving_epoch = w.view.epoch();
+    if (serving_epoch != w.bound_epoch) {
+      w.engine->rebind(w.view.csr());
+      w.bound_epoch = serving_epoch;
+      std::lock_guard<std::mutex> sl(stats_mu_);
+      stats_.epoch_rebinds++;
+    }
+  }
 
   // The enact-wide stop token. Solo: the query's own token (client-cancel
   // linkage and deadline intact — the enact stops cooperatively between
@@ -565,6 +665,7 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
         QueryResult r;
         r.kind = kind;
         r.batch_lanes = lanes;
+        r.epoch = serving_epoch;
         switch (kind) {
           case QueryKind::kBfs:
             w.bfs.extract_lane(q, r.depth);
@@ -587,6 +688,7 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
       QueryResult r;
       r.kind = kind;
       r.batch_lanes = 1;
+      r.epoch = serving_epoch;
       if (kind == QueryKind::kCc) {
         w.engine->cc(w.cc, opts);
         r.component = w.cc.component;

@@ -51,8 +51,18 @@
 //    cannot stop alone is served past its own budget and flagged `late`.
 //    Full contract: docs/api.md, "Failure semantics".
 //
+//  * A streaming-graph mode: constructed over a grx::DynamicGraph
+//    (graph/dynamic.hpp) instead of a Csr, the server serves queries
+//    concurrently with live edge insert/delete batches entering through
+//    apply_updates(). A worker pins the newest snapshot at dequeue time
+//    and serves the whole batch against it — the graph epoch joins the
+//    fuse-compat key, so fused lanes always share one snapshot — then
+//    releases the pin, letting epoch-based reclamation free superseded
+//    snapshots. QueryResult::epoch names the snapshot served.
+//
 // Determinism / oracle contract: each served QueryResult is byte-identical
 // to what a serial, single-thread Engine would return for that request
+// evaluated on the epoch the query pinned (static servers: the one graph)
 // (FP-valued whole-graph queries require pinning the workers' OpenMP
 // width, see ServerOptions::omp_threads_per_worker). Shutdown is graceful:
 // stop() — or the destructor — rejects new submissions, drains every
@@ -76,6 +86,7 @@
 #include "api/engine.hpp"
 #include "api/faults.hpp"
 #include "core/cancel.hpp"
+#include "graph/dynamic.hpp"
 
 namespace grx {
 
@@ -144,6 +155,12 @@ struct QueryResult {
   /// cannot stop alone; the value is still exact). Counted in
   /// ServerStats::late.
   bool late = false;
+  /// The graph epoch this query was served against: the snapshot the
+  /// worker pinned at dequeue time (0 for a static-graph server, which
+  /// only ever has epoch 0). The oracle contract under live mutation is
+  /// per-epoch: the result is byte-equal to a serial Engine run on THIS
+  /// epoch's graph.
+  Epoch epoch = 0;
 };
 
 /// Future-style handle to an in-flight query. Obtained from
@@ -267,6 +284,20 @@ struct ServerStats {
   std::uint64_t late = 0;               ///< served after their own deadline
   std::uint64_t worker_respawns = 0;    ///< watchdog worker rebuilds
   std::uint32_t max_lanes = 0;          ///< widest fused batch so far
+
+  // --- streaming-graph counters (all 0 on a static-graph server) ---
+  std::uint64_t update_batches = 0;   ///< apply_updates() calls accepted
+  std::uint64_t updates_applied = 0;  ///< individual EdgeUpdates accepted
+  /// Coalesce drains cut short because the graph epoch moved mid-window
+  /// (fused batch members must share an epoch — see docs/architecture.md,
+  /// "Streaming graphs").
+  std::uint64_t epoch_fuse_splits = 0;
+  /// Worker engine rebinds to a newer snapshot (at most one per epoch per
+  /// worker — an idle epoch costs nothing).
+  std::uint64_t epoch_rebinds = 0;
+  std::uint64_t graph_epoch = 0;     ///< newest published epoch at stats()
+  std::uint64_t compactions = 0;     ///< delta-log folds so far
+  std::uint64_t snapshots_live = 0;  ///< head + retired-but-pinned snapshots
 };
 
 class Server {
@@ -276,6 +307,13 @@ class Server {
   /// graph (checked at submit, not at a worker, so misuse fails in the
   /// submitting thread).
   explicit Server(const Csr& g, const ServerOptions& opts = {});
+
+  /// Serve a live, mutable graph (captured by reference; must outlive the
+  /// server). Every query pins the newest snapshot at dequeue time and is
+  /// byte-equal to a serial oracle on that epoch's graph; mutations enter
+  /// through apply_updates(). Snapshots always carry weights, so SSSP is
+  /// always admissible on a dynamic server.
+  explicit Server(DynamicGraph& g, const ServerOptions& opts = {});
 
   /// Graceful: stop(), which drains every accepted query.
   ~Server();
@@ -300,6 +338,18 @@ class Server {
                                 const QueryOptions& opts = {});
   QueryTicket submit_cc(const QueryOptions& opts = {});
   QueryTicket submit_pagerank(const QueryOptions& opts = {});
+
+  /// The mutation front (dynamic-graph servers only; throws CheckError on
+  /// a static server or after stop()). Applies one batch of edge updates
+  /// and publishes a new epoch; queries already dequeued keep serving
+  /// their pinned snapshot, queries dequeued afterwards see the new one.
+  /// Callable from any thread; batches are serialized by the graph's
+  /// writer mutex. Accounted in ServerStats::update_batches /
+  /// updates_applied (admission accounting separate from the query path).
+  Epoch apply_updates(std::span<const EdgeUpdate> updates);
+
+  /// True when this server fronts a DynamicGraph.
+  bool dynamic() const { return dyn_ != nullptr; }
 
   /// Rejects new submissions, resolves everything already accepted
   /// (serving, shedding, or failing each ticket), joins the pool.
@@ -326,11 +376,19 @@ class Server {
   };
   struct Worker;
 
+  void start();
   void worker_main(Worker& w);
   void worker_loop(Worker& w);
   /// Moves every queued request fuse-compatible with `batch.front()` into
-  /// `batch` (up to max_batch). Caller holds the queue mutex.
-  void drain_compatible(std::vector<Pending>& batch);
+  /// `batch` (up to max_batch). On a dynamic server the graph epoch joins
+  /// the fuse-compat key: if the graph moved past the batch's pinned
+  /// epoch, draining stops (counted in ServerStats::epoch_fuse_splits) —
+  /// fused members always share one snapshot, and a query is never fused
+  /// onto a snapshot older than the newest at its fuse time. Caller holds
+  /// the queue mutex.
+  void drain_compatible(Worker& w, std::vector<Pending>& batch);
+  /// True when the dynamic graph has published past `w`'s pinned epoch.
+  bool epoch_stale(const Worker& w) const;
   void execute(Worker& w, std::vector<Pending>& batch);
 
   // Outcome resolution: counters first (under stats_mu_, outcome already
@@ -349,7 +407,10 @@ class Server {
   static void fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
                             QueryOutcome outcome, std::exception_ptr e);
 
-  const Csr* g_;
+  const Csr* g_ = nullptr;       ///< static mode; null on a dynamic server
+  DynamicGraph* dyn_ = nullptr;  ///< dynamic mode; null on a static server
+  VertexId n_ = 0;               ///< vertex count (fixed in both modes)
+  bool weighted_ = false;        ///< SSSP admissible (always on dynamic)
   ServerOptions opts_;
 
   std::mutex mu_;

@@ -1,0 +1,231 @@
+// Epoch-based reclamation for single-writer, many-reader snapshot
+// structures — the memory-safety backbone of grx::DynamicGraph
+// (graph/dynamic.hpp).
+//
+// The protocol is the classic EBR shape specialised to one (externally
+// serialised) writer:
+//
+//   readers   pin():   claim a slot, announce the current global epoch,
+//                      then re-validate the announcement until it matches
+//                      a fresh load of the global epoch. After a pin
+//                      returns, any node retired at a later epoch than the
+//                      announced one is guaranteed to stay alive until the
+//                      pin is released. Pins are lock-free: a reader never
+//                      waits on the writer or on other readers (the
+//                      validation loop only re-runs when the writer
+//                      publishes, which is rare and bounded in practice).
+//   writer    advance():         bump the global epoch (one per publish).
+//             retire(node, e):   queue `node` for deletion; `e` must be an
+//                                epoch no reader could have pinned before
+//                                the node became unreachable (for
+//                                DynamicGraph: the epoch *after* the head
+//                                swap).
+//             collect():         free every retired node whose retire
+//                                epoch is <= the minimum announced epoch.
+//
+// Why the validation loop: between a reader loading the global epoch and
+// storing it into its slot, the writer may advance and scan the slots —
+// missing the in-flight reader. Re-validating after the store closes the
+// window: once the stored epoch equals a subsequent load of the global
+// epoch, the writer's next scan must observe the announcement (all
+// epoch/slot operations are seq_cst, so the store and the scan cannot
+// both "miss" each other in the total order). A reader that loses the
+// race and leaves a *stale* (older) announcement is conservative — it
+// only delays reclamation, never permits a premature free.
+//
+// Safety argument for collect(): a node retired at epoch e_ret became
+// unreachable before the writer advanced the global epoch to e_ret. Any
+// reader whose validated announcement is >= e_ret therefore pinned after
+// the node was unpublished and can never hold a reference to it; any
+// reader that could hold one has an announcement < e_ret and blocks the
+// free. Hence: free iff e_ret <= min announced epoch (idle slots count
+// as +infinity).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace grx {
+
+/// Monotone snapshot generation number. Epoch 0 is the initial state of
+/// the protected structure; every writer publish advances it by one.
+using Epoch = std::uint64_t;
+
+/// Sentinel stored in an unoccupied reader slot. Also doubles as
+/// "+infinity" in min-announcement scans, so `min_pinned() == kIdleEpoch`
+/// means "no reader is pinned".
+inline constexpr Epoch kIdleEpoch = ~Epoch{0};
+
+/// Single-writer epoch-based reclaimer for nodes of type T.
+///
+/// Thread contract:
+///   - pin() / Pin::release() — any thread, lock-free, may run
+///     concurrently with everything else.
+///   - current(), min_pinned(), retired_pending() — any thread.
+///   - advance(), retire(), collect() — writer side; the caller must
+///     serialise these externally (DynamicGraph holds its writer mutex).
+///
+/// Slots are a fixed array sized at construction; pin() throws CheckError
+/// when more than `max_readers` pins are simultaneously live, which keeps
+/// the writer's scan O(max_readers) and allocation-free.
+template <typename T>
+class EpochReclaimer {
+ public:
+  explicit EpochReclaimer(std::uint32_t max_readers = 128)
+      : slots_(max_readers) {
+    GRX_CHECK_MSG(max_readers > 0, "EpochReclaimer needs at least one slot");
+  }
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// Destroying the reclaimer frees everything still retired. All pins
+  /// must have been released — a live Pin would be left dangling.
+  ~EpochReclaimer() {
+    GRX_CHECK_MSG(min_pinned() == kIdleEpoch,
+                  "EpochReclaimer destroyed with a reader still pinned");
+  }
+
+  /// RAII announcement of "I am reading at this epoch". Movable,
+  /// non-copyable; release() is idempotent and safe on an empty pin.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { swap(other); }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        swap(other);
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    bool engaged() const { return owner_ != nullptr; }
+    /// The validated announcement; kIdleEpoch for an empty pin.
+    Epoch epoch() const { return owner_ ? epoch_ : kIdleEpoch; }
+
+    void release() {
+      if (owner_ != nullptr) {
+        owner_->slots_[slot_].announced.store(kIdleEpoch,
+                                              std::memory_order_release);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    friend class EpochReclaimer;
+    Pin(EpochReclaimer* owner, std::uint32_t slot, Epoch epoch)
+        : owner_(owner), slot_(slot), epoch_(epoch) {}
+    void swap(Pin& other) noexcept {
+      std::swap(owner_, other.owner_);
+      std::swap(slot_, other.slot_);
+      std::swap(epoch_, other.epoch_);
+    }
+
+    EpochReclaimer* owner_ = nullptr;
+    std::uint32_t slot_ = 0;
+    Epoch epoch_ = kIdleEpoch;
+  };
+
+  /// Announce and validate a read epoch. After this returns, every node
+  /// retired at an epoch > pin.epoch() stays alive until release().
+  Pin pin() {
+    const auto n = static_cast<std::uint32_t>(slots_.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Epoch expected = kIdleEpoch;
+      Epoch announced = epoch_.load(std::memory_order_seq_cst);
+      if (!slots_[i].announced.compare_exchange_strong(
+              expected, announced, std::memory_order_seq_cst)) {
+        continue;  // slot occupied, probe the next one
+      }
+      // Validate: re-announce until the slot matches a fresh load of the
+      // global epoch, so the writer's next scan cannot miss us.
+      for (;;) {
+        const Epoch now = epoch_.load(std::memory_order_seq_cst);
+        if (now == announced) break;
+        announced = now;
+        slots_[i].announced.store(announced, std::memory_order_seq_cst);
+      }
+      return Pin(this, i, announced);
+    }
+    GRX_CHECK_MSG(false,
+                  "EpochReclaimer: all reader slots occupied (max_readers "
+                  "exceeded)");
+    return Pin();  // unreachable
+  }
+
+  /// The current global epoch.
+  Epoch current() const { return epoch_.load(std::memory_order_seq_cst); }
+
+  /// Minimum announced epoch across all reader slots; kIdleEpoch when no
+  /// reader is pinned. Writer-side scans use this as the reclamation
+  /// horizon; tests use it to assert "nobody is pinned".
+  Epoch min_pinned() const {
+    Epoch min = kIdleEpoch;
+    for (const Slot& s : slots_) {
+      const Epoch e = s.announced.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+  /// Number of nodes retired but not yet freed (held back by a pin or by
+  /// collect() not having run). Readable from any thread.
+  std::size_t retired_pending() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  // ---- writer side (externally serialised) ----
+
+  /// Bump the global epoch; returns the new value. Call once per publish,
+  /// *after* the new node is reachable and the old one is not.
+  Epoch advance() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Queue `node` for deletion. `retire_epoch` is the epoch after which
+  /// no new reader can obtain the node (for a head-swap structure: the
+  /// value advance() returned for the publish that unlinked it).
+  void retire(std::unique_ptr<const T> node, Epoch retire_epoch) {
+    retired_.push_back(Retired{retire_epoch, std::move(node)});
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+
+  /// Free every retired node whose retire epoch is at or below the
+  /// minimum announced epoch. Returns how many were freed.
+  std::size_t collect() {
+    const Epoch horizon = min_pinned();
+    const std::size_t before = retired_.size();
+    std::erase_if(retired_, [horizon](const Retired& r) {
+      return r.retire_epoch <= horizon;
+    });
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+    return before - retired_.size();
+  }
+
+ private:
+  struct Slot {
+    // Padded to a cache line so reader announcements don't false-share.
+    alignas(64) std::atomic<Epoch> announced{kIdleEpoch};
+  };
+  struct Retired {
+    Epoch retire_epoch;
+    std::unique_ptr<const T> node;
+  };
+
+  std::atomic<Epoch> epoch_{0};
+  std::vector<Slot> slots_;
+  std::vector<Retired> retired_;          // writer-only
+  std::atomic<std::size_t> retired_count_{0};
+};
+
+}  // namespace grx

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "graph/builder.hpp"
@@ -12,6 +14,14 @@
 #include "util/rng.hpp"
 
 namespace grx::testing {
+
+/// Restores the ambient OpenMP width on scope exit — for tests that pin
+/// kernels serial (byte-exact FP oracles) without leaking the setting
+/// into later tests in the same binary.
+struct ThreadRestorer {
+  int saved_ = omp_get_max_threads();
+  ~ThreadRestorer() { omp_set_num_threads(saved_); }
+};
 
 /// Builds an undirected weighted CSR from a generator edge list.
 inline Csr undirected(const EdgeList& el, std::uint64_t weight_seed = 7) {
@@ -29,6 +39,27 @@ inline Csr undirected_symw(EdgeList el, std::uint64_t weight_seed = 7) {
   BuildOptions opts;
   opts.symmetrize = true;
   return build_csr(el, opts);
+}
+
+/// The canonical power-law serving fixture shared by the server-layer
+/// suites (test_server at scale 10, test_faults at scale 9, test_dynamic):
+/// an undirected RMAT with symmetric weights, seed 2016, edge factor 8.
+/// Cached per scale so repeated tests share one build.
+inline const Csr& power_law_serving_graph(std::uint32_t scale = 10) {
+  static std::mutex mu;
+  static std::map<std::uint32_t, Csr> cache;  // node-stable references
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find(scale);
+  if (it == cache.end())
+    it = cache.emplace(scale, undirected_symw(rmat(scale, 8, 2016))).first;
+  return it->second;
+}
+
+/// A graph with a deep BFS frontier (many rounds), so per-round hooks
+/// (fault injection, mid-enact stalls) reliably fire.
+inline const Csr& deep_serving_graph() {
+  static const Csr g = undirected_symw(road_grid(16, 16, 0.0, 0.0, 2016));
+  return g;
 }
 
 /// A deterministic connected-ish random graph for property tests.

@@ -35,19 +35,13 @@ namespace grx {
 namespace {
 
 using namespace std::chrono_literals;
-using testing::undirected_symw;
-
-const Csr& serving_graph() {
-  static const Csr g = undirected_symw(rmat(9, 8, 2016));
-  return g;
-}
+/// The hoisted power-law serving fixture (test_common.hpp), one scale
+/// below test_server's so faulted enacts stay fast.
+const Csr& serving_graph() { return testing::power_law_serving_graph(9); }
 
 /// A graph with a deep BFS frontier (many rounds), so faults pinned to
 /// round >= 2 reliably fire.
-const Csr& deep_graph() {
-  static const Csr g = undirected_symw(road_grid(16, 16, 0.0, 0.0, 2016));
-  return g;
-}
+const Csr& deep_graph() { return testing::deep_serving_graph(); }
 
 /// Spin until the server has started `n` enacts (the stat is bumped just
 /// before the engine runs, so this observes "a worker picked the query

@@ -33,18 +33,11 @@
 namespace grx {
 namespace {
 
-using testing::undirected_symw;
+using testing::ThreadRestorer;
 
-struct ThreadRestorer {
-  int saved_ = omp_get_max_threads();
-  ~ThreadRestorer() { omp_set_num_threads(saved_); }
-};
-
-/// The shared serving graph (same shape as test_engine's).
-const Csr& serving_graph() {
-  static const Csr g = undirected_symw(rmat(10, 8, 2016));
-  return g;
-}
+/// The shared serving graph (same shape as test_engine's) — the hoisted
+/// power-law fixture from test_common.hpp.
+const Csr& serving_graph() { return testing::power_law_serving_graph(10); }
 
 /// What a serial single-thread Engine answers for `req` — the oracle
 /// every concurrently-served result must equal byte-for-byte.
