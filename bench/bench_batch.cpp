@@ -192,25 +192,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto qps = [&](double ms) { return batch / (ms / 1e3); };
+  using grx::bench::qps_str;
+  using grx::bench::ratio_str;
   Table t({"primitive", "B", "seq wall ms", "batch wall ms", "wall speedup",
            "seq dev ms", "batch dev ms", "dev speedup", "batch q/s (wall)"});
   const auto row = [&](const char* name, const Arm& seq, const Arm& bat) {
     t.add_row({name, std::to_string(batch), Table::num(seq.wall_ms, 2),
                Table::num(bat.wall_ms, 2),
-               Table::num(seq.wall_ms / bat.wall_ms, 2),
+               ratio_str(seq.wall_ms, bat.wall_ms),
                Table::num(seq.device_ms, 2), Table::num(bat.device_ms, 2),
-               Table::num(seq.device_ms / bat.device_ms, 2),
-               Table::num(qps(bat.wall_ms), 0)});
+               ratio_str(seq.device_ms, bat.device_ms),
+               qps_str(batch, bat.wall_ms)});
   };
   row("BFS", bfs_seq, bfs_bat);
   row("SSSP near/far", sssp_seq, sssp_bat);
   row("SSSP Bellman-Ford", sssp_seq, sssp_bf);
   std::printf("%s", t.to_string().c_str());
+  std::printf("vector backend: %s (force scalar with GRX_DISABLE_VEC=1)\n",
+              simt::to_string(bfs_last.backend));
   std::printf(
-      "SSSP near/far vs Bellman-Ford batch: %.2fx device, %.2fx wall\n",
-      sssp_bf.device_ms / sssp_bat.device_ms,
-      sssp_bf.wall_ms / sssp_bat.wall_ms);
+      "SSSP near/far vs Bellman-Ford batch: %sx device, %sx wall\n",
+      ratio_str(sssp_bf.device_ms, sssp_bat.device_ms).c_str(),
+      ratio_str(sssp_bf.wall_ms, sssp_bat.wall_ms).c_str());
   print_lane_stats(sssp_last);
 
   if (check) {

@@ -42,6 +42,21 @@ inline std::vector<VertexId> scattered_sources(const Csr& g,
   return grx::scattered_sources(g.num_vertices(), count);
 }
 
+/// Guarded ratio for bench reporting: a tiny timed section (--smoke runs,
+/// sub-resolution arms) can quantize its denominator to zero, and a raw
+/// division would print inf/NaN. Reports "n/a" instead.
+inline std::string ratio_str(double num, double den, int digits = 2) {
+  const double r = num / den;
+  if (!(den > 0.0) || !std::isfinite(r)) return "n/a";
+  return Table::num(r, digits);
+}
+
+/// Queries-per-second with the same zero-denominator guard.
+inline std::string qps_str(double queries, double ms) {
+  if (!(ms > 0.0)) return "n/a";
+  return Table::num(queries / (ms / 1e3), 0);
+}
+
 inline int shrink_from(const Cli& cli, int def = 2) {
   if (cli.has("shrink")) return static_cast<int>(cli.get_int("shrink", def));
   if (const char* env = std::getenv("GRX_SHRINK")) return std::atoi(env);

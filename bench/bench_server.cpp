@@ -382,7 +382,8 @@ int run_mutation_arm(const Csr& g, const std::vector<VertexId>& sources,
       "  compactions %llu, pause max %.2f ms (total %.2f ms) | "
       "snapshots live after drain %llu\n",
       batch_size, static_cast<long long>(period.count()),
-      queries / (wall_ms / 1e3), percentile(latency, 50),
+      wall_ms > 0.0 ? queries / (wall_ms / 1e3) : 0.0,
+      percentile(latency, 50),
       percentile(latency, 99),
       static_cast<unsigned long long>(s.queries_served),
       static_cast<unsigned long long>(s.queries_submitted),
@@ -454,7 +455,7 @@ int main(int argc, char** argv) {
   const auto row = [&](const char* prim, const char* arm, const ArmResult& r) {
     const double queries = static_cast<double>(r.latency_ms.size());
     t.add_row({prim, arm, Table::num(r.wall_ms, 1),
-               Table::num(queries / (r.wall_ms / 1e3), 0),
+               grx::bench::qps_str(queries, r.wall_ms),
                Table::num(percentile(r.latency_ms, 50), 2),
                Table::num(percentile(r.latency_ms, 99), 2),
                std::to_string(r.stats.enacts),
@@ -472,16 +473,22 @@ int main(int argc, char** argv) {
                                     coalesced);
     row(prim, "uncoalesced", plain);
     row(prim, "coalesced", fused);
-    const double speedup = plain.wall_ms / fused.wall_ms;
+    // Smoke-sized arms can quantize a wall time to zero; guard every
+    // division so the report shows n/a / 0 instead of inf.
+    const double speedup =
+        fused.wall_ms > 0.0 ? plain.wall_ms / fused.wall_ms : 0.0;
     if (kind == QueryKind::kBfs) {
       bfs_speedup = speedup;
-      bfs_sustained_qps = static_cast<double>(fused.latency_ms.size()) /
-                          (fused.wall_ms / 1e3);
+      bfs_sustained_qps =
+          fused.wall_ms > 0.0
+              ? static_cast<double>(fused.latency_ms.size()) /
+                    (fused.wall_ms / 1e3)
+              : 0.0;
       bfs_uncontended_p99 = percentile(fused.latency_ms, 99);
     }
-    std::printf("%s coalesced vs uncoalesced: %.2fx throughput "
+    std::printf("%s coalesced vs uncoalesced: %sx throughput "
                 "(%.1f%% of queries fused)\n",
-                prim, speedup,
+                prim, grx::bench::ratio_str(plain.wall_ms, fused.wall_ms).c_str(),
                 100.0 * static_cast<double>(fused.stats.coalesced_queries) /
                     static_cast<double>(
                         std::max<std::uint64_t>(1, fused.stats.queries_served)));

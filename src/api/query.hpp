@@ -42,6 +42,12 @@ struct QueryOptions {
   bool use_priority_queue = true;
   std::uint32_t delta = 0;  ///< 0 = auto (sssp_auto_delta)
 
+  // --- batched kernels ---
+  /// Vector backend for the batched lane-word kernels (simt/vec.hpp):
+  /// kAuto picks the best CPU-supported path at enact time; kScalar forces
+  /// the reference loops. Results are byte-identical across backends.
+  BackendOptions backend;
+
   // --- PageRank ---
   double damping = 0.85;
   double epsilon = 1e-6;
@@ -120,6 +126,7 @@ struct QueryOptions {
     o.pull_beta = pull_beta;
     o.use_priority_queue = use_priority_queue;
     o.delta = delta;
+    o.backend = backend;
     return o;
   }
 };

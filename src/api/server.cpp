@@ -95,7 +95,8 @@ bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
   return x.strategy == y.strategy && x.direction == y.direction &&
          x.lb_node_edge_threshold == y.lb_node_edge_threshold &&
          x.pull_alpha == y.pull_alpha && x.pull_beta == y.pull_beta &&
-         x.use_priority_queue == y.use_priority_queue && x.delta == y.delta;
+         x.use_priority_queue == y.use_priority_queue && x.delta == y.delta &&
+         x.backend.vec == y.backend.vec;
 }
 
 }  // namespace

@@ -53,6 +53,7 @@
 #include "core/enactor.hpp"
 #include "core/priority_queue.hpp"
 #include "graph/csr.hpp"
+#include "simt/vec.hpp"
 
 namespace grx {
 
@@ -87,6 +88,12 @@ struct BatchOptions {
   /// single-query SsspOptions.
   bool use_priority_queue = true;
   std::uint32_t delta = 0;
+  /// Lane-kernel backend (simt/vec.hpp): kAuto picks the best
+  /// CPU-supported vector path per enact; kScalar forces the reference
+  /// loops. Results are byte-identical across backends — this knob trades
+  /// only wall clock. Part of the server's fuse-compatibility key: queries
+  /// pinning different backends never share a batch.
+  BackendOptions backend;
 };
 
 /// Dense per-(vertex, lane) value matrix layout shared by the batched
@@ -94,6 +101,9 @@ struct BatchOptions {
 /// values are contiguous (the layout the lane-sweep kernel writes).
 struct BatchBfsResult {
   std::uint32_t num_lanes = 0;
+  /// The lane-kernel backend the enact actually ran (kAuto resolved) —
+  /// observability only, results are backend-independent.
+  simt::VecBackend backend = simt::VecBackend::kScalar;
   std::vector<std::uint32_t> depth;  ///< |V| x B, kInfinity where unreached
   EnactSummary summary;
 
@@ -116,6 +126,8 @@ struct BatchBfsResult {
 
 struct BatchSsspResult {
   std::uint32_t num_lanes = 0;
+  /// Resolved lane-kernel backend this enact ran (observability only).
+  simt::VecBackend backend = simt::VecBackend::kScalar;
   std::vector<std::uint32_t> dist;  ///< |V| x B, kInfinity where unreachable
   /// Near/far schedule counters, one entry per lane (empty when the
   /// priority schedule was disabled): level advances, near/far pile
@@ -144,6 +156,8 @@ struct BatchSsspResult {
 /// query) pair, the cheapest batched result shape.
 struct BatchReachabilityResult {
   std::uint32_t num_lanes = 0;
+  /// Resolved lane-kernel backend this enact ran (observability only).
+  simt::VecBackend backend = simt::VecBackend::kScalar;
   LaneMatrix visited;  ///< bit (v, q) set iff v reachable from sources[q]
   EnactSummary summary;
 
@@ -168,6 +182,8 @@ struct BatchReachabilityResult {
 /// gunrock_bc_batched (primitives/bc.hpp).
 struct BatchBcForwardResult {
   std::uint32_t num_lanes = 0;
+  /// Resolved lane-kernel backend this enact ran (observability only).
+  simt::VecBackend backend = simt::VecBackend::kScalar;
   std::vector<std::uint32_t> depth;  ///< |V| x B BFS levels
   std::vector<double> sigma;         ///< |V| x B shortest-path counts
   EnactSummary summary;
@@ -273,6 +289,7 @@ class BatchEnactor : public EnactorBase {
   LanePriorityFrontier pq_;           ///< per-lane near/far schedule (SSSP)
   std::vector<std::uint32_t> snap_;   ///< enqueue-time labels (|V| x B)
   std::vector<std::uint64_t> relax_pairs_;  ///< per-thread relax tallies
+  std::vector<std::uint64_t> pull_live_;  ///< pull skip bitmap (|V| bits)
 };
 
 }  // namespace grx

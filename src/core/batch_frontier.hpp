@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/frontier.hpp"
+#include "util/aligned.hpp"
 #include "util/common.hpp"
 
 namespace grx {
@@ -95,13 +96,19 @@ class LaneMatrix {
     words_.swap(other.words_);
   }
 
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  const aligned_vector<std::uint64_t>& words() const { return words_; }
 
  private:
   VertexId n_ = 0;
   std::uint32_t lanes_ = 0;
   std::uint32_t wpv_ = 0;
-  std::vector<std::uint64_t> words_;  // plain words; atomics via atomic_ref
+  // Plain words (atomics via atomic_ref), cache-line aligned: the vector
+  // backend reads whole rows with 256/512-bit loads, and the alignment
+  // contract (docs/architecture.md, "Vector backend") wants every lane
+  // row's storage to start on a 64-byte boundary. Note rows themselves are
+  // wpv_*8-byte strided, so only full-width *unaligned-safe* accesses are
+  // legal on arbitrary rows — which is all simt/vec.hpp issues.
+  aligned_vector<std::uint64_t> words_;
 };
 
 /// Double-buffered lane masks for the batched BSP loop: `cur` holds the

@@ -33,6 +33,7 @@
 #include "simt/atomic.hpp"
 #include "simt/device.hpp"
 #include "simt/primitives.hpp"
+#include "simt/vec.hpp"
 
 namespace grx {
 
@@ -222,11 +223,15 @@ class LanePriorityFrontier {
 
   /// Starts a new enactment over `num_vertices` x `num_lanes` lane cells
   /// with per-lane initial cutoff `delta` (level 1). `delta == 0` disables
-  /// the schedule; no buffers are touched.
+  /// the schedule; no buffers are touched. `backend` selects the lane-word
+  /// kernels for the split/wake inner loops (resolved, never kAuto —
+  /// results are byte-identical across backends).
   void begin(VertexId num_vertices, std::uint32_t num_lanes,
-             std::uint32_t delta) {
+             std::uint32_t delta,
+             simt::VecBackend backend = simt::VecBackend::kScalar) {
     delta_ = delta;
     if (!enabled()) return;
+    vb_ = backend;
     b_ = num_lanes;
     wpv_ = (num_lanes + kLanesPerWord - 1) / kLanesPerWord;
     flush_below_ = num_vertices / 4;
@@ -235,6 +240,10 @@ class LanePriorityFrontier {
     in_far_.assign(num_vertices, 0);
     far_list_.clear();
     cutoff_.assign(b_, delta);
+    // u32 mirror of the per-lane cutoffs for the vector compare: delta is
+    // u32 so no lane starts wide; the bump loop maintains both mirrors.
+    cutoff32_.assign(b_, delta);
+    cutoff_wide_.assign(wpv_, 0);
     stats_.assign(b_, PriorityQueueStats{});
     near_mask_.assign(wpv_, 0);
     far_mask_.assign(wpv_, 0);
@@ -319,22 +328,44 @@ class LanePriorityFrontier {
         if (!bits) continue;
         const std::uint32_t lane_base = w * kLanesPerWord;
         std::uint64_t nearw = 0;
-        std::uint64_t scan = bits;
-        do {
-          const auto q = static_cast<std::uint32_t>(__builtin_ctzll(scan));
-          scan &= scan - 1;
-          ++checks;
-          const std::uint32_t d = dist[base + lane_base + q];
-          if (d < cutoff_[lane_base + q]) {
-            nearw |= 1ull << q;
-            snap[base + lane_base + q] = d;  // enqueue-time label
-            tally_near_[tid + lane_base + q]++;
-          } else {
-            tally_far_[tid + lane_base + q]++;
-            tally_min_[tid + lane_base + q] =
-                std::min(tally_min_[tid + lane_base + q], d);
-          }
-        } while (scan);
+        if (vb_ != simt::VecBackend::kScalar) {
+          // Vector form of the ctz loop below: one masked u32 compare
+          // against the cutoff mirror decides the whole word (wide
+          // cutoffs — > u32 max — admit every distance via the per-word
+          // wide mask), then masked kernels commit the enqueue labels and
+          // the per-lane tallies. Safe in parallel mode too: the claim
+          // filter gives this thread exclusive ownership of v's rows, and
+          // dist is read-only here.
+          checks += static_cast<std::uint64_t>(__builtin_popcountll(bits));
+          const std::uint32_t* drow = dist + base + lane_base;
+          nearw = simt::lt_bounds_u32(vb_, drow,
+                                      cutoff32_.data() + lane_base, bits) |
+                  (bits & cutoff_wide_[w]);
+          simt::masked_copy_u32(vb_, snap + base + lane_base, drow, nearw);
+          simt::masked_inc_u64(vb_, tally_near_.data() + tid + lane_base,
+                               nearw);
+          const std::uint64_t fw = bits & ~nearw;
+          simt::masked_inc_u64(vb_, tally_far_.data() + tid + lane_base, fw);
+          simt::masked_min_u32(vb_, tally_min_.data() + tid + lane_base,
+                               drow, fw);
+        } else {
+          std::uint64_t scan = bits;
+          do {
+            const auto q = static_cast<std::uint32_t>(__builtin_ctzll(scan));
+            scan &= scan - 1;
+            ++checks;
+            const std::uint32_t d = dist[base + lane_base + q];
+            if (d < cutoff_[lane_base + q]) {
+              nearw |= 1ull << q;
+              snap[base + lane_base + q] = d;  // enqueue-time label
+              tally_near_[tid + lane_base + q]++;
+            } else {
+              tally_far_[tid + lane_base + q]++;
+              tally_min_[tid + lane_base + q] =
+                  std::min(tally_min_[tid + lane_base + q], d);
+            }
+          } while (scan);
+        }
         const std::uint64_t farw = bits & ~nearw;
         nxt[w] = nearw;
         // Bank new far bits; drop bank bits promoted near (stale entries).
@@ -430,6 +461,14 @@ class LanePriorityFrontier {
         cutoff_[q] = flush ? kFlushedCutoff
                            : std::max(cutoff_[q] + delta_,
                                       static_cast<std::uint64_t>(m) + delta_);
+        // Keep the vector-compare mirrors in step: clamp to u32 and mark
+        // lanes whose true cutoff exceeds the clamp (those admit every
+        // distance, which the wide mask encodes exactly).
+        constexpr std::uint64_t kU32Max = 0xFFFFFFFFull;
+        cutoff32_[q] = static_cast<std::uint32_t>(
+            std::min(cutoff_[q], kU32Max));
+        if (cutoff_[q] > kU32Max)
+          cutoff_wide_[w] |= 1ull << (q - lane_base);
         stats_[q].splits++;
         bumped_[w] |= 1ull << (q - lane_base);
         any_bumped = true;
@@ -476,20 +515,41 @@ class LanePriorityFrontier {
         std::uint64_t cand = bank[w] & bumped_[w];
         const std::uint32_t lane_base = w * kLanesPerWord;
         std::uint64_t moved = 0;
-        while (cand) {
-          const auto q = static_cast<std::uint32_t>(__builtin_ctzll(cand));
-          cand &= cand - 1;
-          ++checks;
-          const std::uint32_t d = dist[base + lane_base + q];
-          if (d < cutoff_[lane_base + q]) {
-            moved |= 1ull << q;
-            snap[base + lane_base + q] = d;  // enqueue-time label
-            tally_near_[tid + lane_base + q]++;
-          } else {
-            // Survivor: re-tally the bumped lane's minimum (exact again
-            // after the fold below).
-            tally_min_[tid + lane_base + q] =
-                std::min(tally_min_[tid + lane_base + q], d);
+        if (vb_ != simt::VecBackend::kScalar) {
+          // Vector wake: same cutoff compare as claim_split; survivors
+          // re-tally the bumped lane's minimum (exact after the fold).
+          // Row ownership is exclusive (far_list_ holds each vertex once).
+          if (cand) {
+            checks +=
+                static_cast<std::uint64_t>(__builtin_popcountll(cand));
+            const std::uint32_t* drow = dist + base + lane_base;
+            moved = simt::lt_bounds_u32(vb_, drow,
+                                        cutoff32_.data() + lane_base,
+                                        cand) |
+                    (cand & cutoff_wide_[w]);
+            simt::masked_copy_u32(vb_, snap + base + lane_base, drow,
+                                  moved);
+            simt::masked_inc_u64(vb_, tally_near_.data() + tid + lane_base,
+                                 moved);
+            simt::masked_min_u32(vb_, tally_min_.data() + tid + lane_base,
+                                 drow, cand & ~moved);
+          }
+        } else {
+          while (cand) {
+            const auto q = static_cast<std::uint32_t>(__builtin_ctzll(cand));
+            cand &= cand - 1;
+            ++checks;
+            const std::uint32_t d = dist[base + lane_base + q];
+            if (d < cutoff_[lane_base + q]) {
+              moved |= 1ull << q;
+              snap[base + lane_base + q] = d;  // enqueue-time label
+              tally_near_[tid + lane_base + q]++;
+            } else {
+              // Survivor: re-tally the bumped lane's minimum (exact again
+              // after the fold below).
+              tally_min_[tid + lane_base + q] =
+                  std::min(tally_min_[tid + lane_base + q], d);
+            }
           }
         }
         if (moved) {
@@ -586,6 +646,7 @@ class LanePriorityFrontier {
   std::uint32_t delta_ = 0;
   std::uint32_t b_ = 0;
   std::uint32_t wpv_ = 0;
+  simt::VecBackend vb_ = simt::VecBackend::kScalar;  ///< resolved backend
   std::size_t flush_below_ = 0;           ///< tail-flush pile threshold
   std::size_t peak_pile_ = 0;             ///< largest pile seen this enact
   LaneMatrix far_;                        ///< far membership bank
@@ -593,15 +654,17 @@ class LanePriorityFrontier {
   std::vector<std::uint32_t> far_list_;   ///< vertices with banked bits
   std::vector<std::uint32_t> far_next_;   ///< pile rebuild staging
   std::vector<std::uint64_t> cutoff_;     ///< per-lane priority cutoff
+  aligned_vector<std::uint32_t> cutoff32_;  ///< u32 cutoff mirror (clamped)
+  std::vector<std::uint64_t> cutoff_wide_;  ///< per-word: cutoff > u32 max
   std::vector<PriorityQueueStats> stats_; ///< per-lane schedule stats
   std::vector<std::uint64_t> near_mask_;  ///< lanes near-active this round
   std::vector<std::uint64_t> far_mask_;   ///< lanes with banked far work
   std::vector<std::uint64_t> drained_;    ///< far work, no near work
   std::vector<std::uint64_t> bumped_;     ///< lanes whose cutoff advanced
   std::vector<std::uint32_t> far_min_;    ///< per-lane min banked distance
-  std::vector<std::uint64_t> tally_near_; ///< per-thread near counters
-  std::vector<std::uint64_t> tally_far_;  ///< per-thread far counters
-  std::vector<std::uint32_t> tally_min_;  ///< per-thread min-dist tallies
+  aligned_vector<std::uint64_t> tally_near_; ///< per-thread near counters
+  aligned_vector<std::uint64_t> tally_far_;  ///< per-thread far counters
+  aligned_vector<std::uint32_t> tally_min_;  ///< per-thread min-dist tallies
   std::vector<std::uint64_t> cell_counts_; ///< per-thread cell-pass tallies
   simt::ChunkedOutput near_stage_;
   simt::ChunkedOutput far_stage_;

@@ -34,6 +34,7 @@
 #include "core/compute.hpp"
 #include "core/filter.hpp"
 #include "primitives/sssp.hpp"  // sssp_auto_delta, shared with single-query
+#include "simt/vec.hpp"
 #include "util/timer.hpp"
 
 namespace grx {
@@ -125,6 +126,12 @@ struct BatchSsspProblem {
   std::uint32_t wpv = 0;
   std::uint32_t iteration = 0;
   bool serial = false;  ///< see BatchBfsProblem::serial
+  /// Resolved lane-kernel backend. Only the serial relax path vectorizes:
+  /// in parallel mode concurrent atomic_min writers race any full-width
+  /// read of the dist row, so the parallel branch stays per-lane scalar
+  /// (the claim/split/sweep kernels vectorize in both modes — there the
+  /// rows are exclusively owned and dist is read-only).
+  simt::VecBackend vb = simt::VecBackend::kScalar;
 
   static constexpr std::size_t kPairStride = 8;
 };
@@ -149,23 +156,32 @@ struct BatchRelaxFunctor {
       pairs += static_cast<std::uint64_t>(__builtin_popcountll(m));
       std::uint64_t improved = 0;
       const std::uint32_t lane_base = w * kLanesPerWord;
-      do {
-        const auto q =
-            lane_base + static_cast<std::uint32_t>(__builtin_ctzll(m));
-        m &= m - 1;
-        const std::uint32_t ds = simt::atomic_load(p.labels[src_base + q]);
-        if (ds == kInfinity) continue;  // stale lane, nothing to relax
-        const std::uint32_t cand = ds + wt;
-        if (p.serial) {
-          std::uint32_t& dd = p.dist[dst_base + q];
-          if (cand < dd) {
-            dd = cand;
+      if (p.serial && p.vb != simt::VecBackend::kScalar) {
+        // Single-writer relax: the whole active word in a few masked
+        // vector ops (see BatchSsspProblem::vb for why parallel mode
+        // stays scalar). Arithmetic matches the loop below exactly.
+        improved = simt::relax_min_u32(p.vb, p.dist + dst_base + lane_base,
+                                       p.labels + src_base + lane_base, wt,
+                                       m);
+      } else {
+        do {
+          const auto q =
+              lane_base + static_cast<std::uint32_t>(__builtin_ctzll(m));
+          m &= m - 1;
+          const std::uint32_t ds = simt::atomic_load(p.labels[src_base + q]);
+          if (ds == kInfinity) continue;  // stale lane, nothing to relax
+          const std::uint32_t cand = ds + wt;
+          if (p.serial) {
+            std::uint32_t& dd = p.dist[dst_base + q];
+            if (cand < dd) {
+              dd = cand;
+              improved |= 1ull << (q - lane_base);
+            }
+          } else if (cand < simt::atomic_min(p.dist[dst_base + q], cand)) {
             improved |= 1ull << (q - lane_base);
           }
-        } else if (cand < simt::atomic_min(p.dist[dst_base + q], cand)) {
-          improved |= 1ull << (q - lane_base);
-        }
-      } while (m);
+        } while (m);
+      }
       if (improved) {
         if (p.serial) {
           ndst[w] |= improved;
@@ -266,12 +282,22 @@ constexpr std::uint32_t kMaxWpv =
 /// newly found lanes are committed to `depth` (when non-null) and folded
 /// into `visited` right here, so pull iterations skip the separate sweep
 /// kernel entirely.
+/// `live` is a |V|-bit skip bitmap owned by the enactor: bit v set means
+/// vertex v might still have undiscovered lanes. The pull sweep walks live
+/// bits only (ctz per 64-vertex group) and clears a vertex's bit the round
+/// its pend empties — either observed empty (saturated via a push round) or
+/// fully covered by this round's probe. Late pull rounds, where most of the
+/// graph is saturated, thus touch a handful of words instead of paying the
+/// per-vertex fixed cost |V| times. Saturation is monotone (visited only
+/// gains bits), so a stale-set bit costs exactly one extra visit.
 std::uint64_t batch_pull_step(simt::Device& dev, const Csr& g,
                               LaneMatrix& cur, LaneMatrix& next,
                               LaneMatrix& visited, std::uint32_t* depth,
                               std::uint32_t next_depth,
+                              const std::vector<std::uint32_t>& frontier,
                               std::vector<std::uint32_t>& out,
-                              AdvanceWorkspace& ws) {
+                              AdvanceWorkspace& ws, std::uint64_t* live,
+                              simt::VecBackend vb) {
   using CM = simt::CostModel;
   const std::uint32_t wpv = cur.words_per_vertex();
   const std::uint32_t b = cur.num_lanes();
@@ -281,104 +307,127 @@ std::uint64_t batch_pull_step(simt::Device& dev, const Csr& g,
   if (const std::uint32_t rem = b % kLanesPerWord; rem != 0)
     lane_mask[wpv - 1] = (1ull << rem) - 1;
 
-  const std::size_t num_warps =
-      (g.num_vertices() + CM::kWarpSize - 1) / CM::kWarpSize;
-  ws.out.begin(num_warps, g.num_vertices());
-  if (ws.warp_probes.size() < num_warps) ws.warp_probes.resize(num_warps);
-  dev.for_each("batch_advance_pull", g.num_vertices(),
-               [&](simt::Lane& lane, std::size_t vi) {
-                 const std::size_t warp = vi / CM::kWarpSize;
-                 if (vi % CM::kWarpSize == 0) {
-                   ws.out.counts[warp] = 0;
-                   ws.warp_probes[warp] = 0;
-                 }
-                 const auto v = static_cast<VertexId>(vi);
-                 lane.load_coalesced(wpv);  // visited-row read
-                 std::uint64_t* vis = visited.row(v);
-                 const std::size_t dbase = static_cast<std::size_t>(v) * b;
-                 // Commit one word of newly found lanes: depth values (when
-                 // asked for), visited fold, next mask, contiguous writes.
-                 const auto commit = [&](std::uint32_t w, std::uint64_t bits) {
-                   next.row(v)[w] = bits;
-                   vis[w] |= bits;
-                   if (depth == nullptr) return;
-                   std::uint64_t writes = 0;
-                   const std::uint32_t lane_base = w * kLanesPerWord;
-                   do {
-                     const auto q = lane_base + static_cast<std::uint32_t>(
-                                                    __builtin_ctzll(bits));
-                     bits &= bits - 1;
-                     depth[dbase + q] = next_depth;
-                     ++writes;
-                   } while (bits);
-                   lane.charge(writes * CM::kCoalesced);
-                 };
-                 if (wpv == 1) {
-                   // Single-word batches (B <= 64, the common case): the
-                   // whole per-vertex state is three words; keep the probe
-                   // loop branch-light.
-                   std::uint64_t pend1 = lane_mask[0] & ~vis[0];
-                   if (!pend1) return;
-                   const std::uint64_t* curbase = cur.row(0);
-                   std::uint64_t got1 = 0;
-                   std::uint64_t probes = 0;
-                   const EdgeId end = g.row_end(v);
-                   for (EdgeId e = g.row_start(v); e < end; ++e) {
-                     ++probes;
-                     const std::uint64_t d = curbase[g.col_index(e)] & pend1;
-                     if (d) {
-                       got1 |= d;
-                       pend1 &= ~d;
-                       if (!pend1) break;
-                     }
-                   }
-                   lane.charge(probes * CM::kCoalesced);
-                   ws.warp_probes[warp] += probes;
-                   if (!got1) return;
-                   commit(0, got1);
-                   ws.out.scratch[warp * CM::kWarpSize +
-                                  ws.out.counts[warp]++] = v;
-                   return;
-                 }
-                 std::uint64_t pend[kMaxWpv];
-                 std::uint64_t got[kMaxWpv];
-                 std::uint64_t pending = 0;
-                 for (std::uint32_t w = 0; w < wpv; ++w) {
-                   pend[w] = lane_mask[w] & ~vis[w];
-                   got[w] = 0;
-                   pending |= pend[w];
-                 }
-                 if (!pending) return;  // saturated: all lanes discovered
-                 std::uint64_t probes = 0;
-                 bool won = false;
-                 const EdgeId end = g.row_end(v);
-                 for (EdgeId e = g.row_start(v); e < end && pending; ++e) {
-                   ++probes;
-                   const std::uint64_t* fu = cur.row(g.col_index(e));
-                   pending = 0;
-                   for (std::uint32_t w = 0; w < wpv; ++w) {
-                     const std::uint64_t d = fu[w] & pend[w];
-                     if (d) {
-                       got[w] |= d;
-                       pend[w] &= ~d;
-                       won = true;
-                     }
-                     pending |= pend[w];
-                   }
-                 }
-                 lane.charge(probes * wpv * CM::kCoalesced);
-                 ws.warp_probes[warp] += probes;
-                 if (!won) return;
-                 for (std::uint32_t w = 0; w < wpv; ++w)
-                   if (got[w]) commit(w, got[w]);
-                 ws.out.scratch[warp * CM::kWarpSize +
-                                ws.out.counts[warp]++] = v;
-               });
-  simt::scatter_into(dev, ws.out, num_warps, out, [](std::size_t c) {
-    return c * simt::CostModel::kWarpSize;
-  });
+  // Union of lanes still expanding: every set bit of every cur row is a
+  // lane with a non-empty frontier, so a probe can only ever return bits
+  // inside this union — restricting the probe target to it yields the
+  // same discoveries while letting the early exit fire once the *active*
+  // part of a vertex's pend is covered (a pend bit of a finished or
+  // far-away lane would otherwise force a full adjacency scan). Lane
+  // activity is monotone in BFS-style loops (an emptied lane frontier
+  // stays empty), so a vertex whose pend misses the union is dead for
+  // every remaining round and leaves the live bitmap for good.
+  std::uint64_t active[kMaxWpv] = {};
+  for (const std::uint32_t v : frontier) {
+    const std::uint64_t* r = cur.row(v);
+    for (std::uint32_t w = 0; w < wpv; ++w) active[w] |= r[w];
+  }
+  dev.charge_pass("batch_lane_union",
+                  static_cast<std::uint64_t>(frontier.size()) * wpv,
+                  CM::kCoalesced, /*fused=*/true);
+
+  // One warp-program per 64-vertex group (one live-bitmap word); staged
+  // output is per-group, gathered in vertex order below. Work within a
+  // group is charged cooperatively (bulk): probes and row reads spread
+  // over warp lanes, the persistent-thread shape a GPU pull kernel uses.
+  const std::size_t num_groups =
+      (static_cast<std::size_t>(g.num_vertices()) + 63) / 64;
+  ws.out.begin(num_groups, g.num_vertices());
+  if (ws.warp_probes.size() < num_groups) ws.warp_probes.resize(num_groups);
+  dev.for_each_warp(
+      "batch_advance_pull", num_groups, [&](simt::Warp& warp) {
+        const std::size_t gw = warp.id();
+        ws.out.counts[gw] = 0;
+        ws.warp_probes[gw] = 0;
+        warp.step(1, CM::kCoalesced);  // live-word read
+        std::uint64_t lv = live[gw];
+        if (!lv) return;
+        std::uint64_t still = lv;  // bits that stay live after this round
+        std::uint64_t probes_w = 0, writes_w = 0, visits = 0;
+        std::uint32_t emitted = 0;
+        do {
+          const unsigned bit = static_cast<unsigned>(__builtin_ctzll(lv));
+          lv &= lv - 1;
+          const auto v = static_cast<VertexId>(gw * 64 + bit);
+          ++visits;
+          std::uint64_t* vis = visited.row(v);
+          const std::size_t dbase = static_cast<std::size_t>(v) * b;
+          // Commit one word of newly found lanes: depth values (when
+          // asked for), visited fold, next mask, contiguous writes.
+          const auto commit = [&](std::uint32_t w, std::uint64_t bits) {
+            next.row(v)[w] = bits;
+            vis[w] |= bits;
+            if (depth == nullptr) return;
+            writes_w += static_cast<std::uint64_t>(
+                __builtin_popcountll(bits));
+            simt::masked_store_u32(vb, depth + dbase + w * kLanesPerWord,
+                                   bits, next_depth);
+          };
+          if (wpv == 1) {
+            // Single-word batches (B <= 64, the common case): the whole
+            // per-vertex state is three words; the probe loop is the
+            // vectorized gather kernel (its scalar variant is the probe
+            // loop verbatim — probe counts, and therefore the cost model
+            // and edges_processed, are backend-independent).
+            const std::uint64_t pend1 = lane_mask[0] & ~vis[0] & active[0];
+            if (!pend1) {  // saturated, or dead for every remaining lane
+              still &= ~(1ull << bit);
+              continue;
+            }
+            std::uint64_t got1 = 0;
+            probes_w += simt::pull_probe_u64(vb, cur.row(0),
+                                             g.neighbors(v).data(),
+                                             g.degree(v), pend1, &got1);
+            if (!got1) continue;
+            if ((pend1 & ~got1) == 0) still &= ~(1ull << bit);
+            commit(0, got1);
+            ws.out.scratch[gw * 64 + emitted++] = v;
+            continue;
+          }
+          std::uint64_t pend[kMaxWpv];
+          std::uint64_t got[kMaxWpv];
+          std::uint64_t pending = 0;
+          for (std::uint32_t w = 0; w < wpv; ++w) {
+            pend[w] = lane_mask[w] & ~vis[w] & active[w];
+            got[w] = 0;
+            pending |= pend[w];
+          }
+          if (!pending) {  // saturated, or dead for every remaining lane
+            still &= ~(1ull << bit);
+            continue;
+          }
+          bool won = false;
+          const EdgeId end = g.row_end(v);
+          for (EdgeId e = g.row_start(v); e < end && pending; ++e) {
+            probes_w += 1;
+            const std::uint64_t* fu = cur.row(g.col_index(e));
+            pending = 0;
+            for (std::uint32_t w = 0; w < wpv; ++w) {
+              const std::uint64_t d = fu[w] & pend[w];
+              if (d) {
+                got[w] |= d;
+                pend[w] &= ~d;
+                won = true;
+              }
+              pending |= pend[w];
+            }
+          }
+          if (!pending) still &= ~(1ull << bit);
+          if (!won) continue;
+          for (std::uint32_t w = 0; w < wpv; ++w)
+            if (got[w]) commit(w, got[w]);
+          ws.out.scratch[gw * 64 + emitted++] = v;
+        } while (lv);
+        live[gw] = still;
+        ws.out.counts[gw] = emitted;
+        ws.warp_probes[gw] = probes_w;
+        warp.bulk(visits, wpv * CM::kCoalesced);  // visited-row reads
+        warp.bulk(probes_w, wpv * CM::kCoalesced);  // frontier-mask probes
+        if (writes_w) warp.bulk(writes_w, CM::kCoalesced);  // depth commits
+      });
+  simt::scatter_into(dev, ws.out, num_groups,
+                     out, [](std::size_t c) { return c * 64; });
   std::uint64_t probes = 0;
-  for (std::size_t w = 0; w < num_warps; ++w) probes += ws.warp_probes[w];
+  for (std::size_t w = 0; w < num_groups; ++w) probes += ws.warp_probes[w];
   return probes;
 }
 
@@ -472,7 +521,8 @@ std::uint64_t push_round(simt::Device& dev, const Csr& g, const Frontier& in,
 /// one writer per row — the filter's claim guarantees uniqueness.
 void lane_sweep(simt::Device& dev, const std::vector<std::uint32_t>& fresh,
                 LaneMatrix& next, LaneMatrix& visited, std::uint32_t* depth,
-                std::uint32_t num_lanes, std::uint32_t next_depth) {
+                std::uint32_t num_lanes, std::uint32_t next_depth,
+                simt::VecBackend vb) {
   const std::uint32_t wpv = next.words_per_vertex();
   dev.for_each("batch_lane_sweep", fresh.size(),
                [&](simt::Lane& ln, std::size_t i) {
@@ -485,24 +535,37 @@ void lane_sweep(simt::Device& dev, const std::vector<std::uint32_t>& fresh,
                  ln.load_scattered(wpv);  // mask row update
                  std::uint64_t lane_writes = 0;
                  for (std::uint32_t w = 0; w < wpv; ++w) {
-                   std::uint64_t bits = nxt[w];
+                   const std::uint64_t bits = nxt[w];
                    if (!bits) continue;
                    vis[w] |= bits;
                    if (depth == nullptr) continue;
-                   const std::uint32_t lane_base = w * kLanesPerWord;
-                   do {
-                     const auto q = lane_base + static_cast<std::uint32_t>(
-                                                    __builtin_ctzll(bits));
-                     bits &= bits - 1;
-                     depth[base + q] = next_depth;
-                     ++lane_writes;
-                   } while (bits);
+                   // Masked depth commit — single writer per row (the
+                   // filter's claim), so full-width stores are safe in
+                   // parallel mode too.
+                   simt::masked_store_u32(vb, depth + base + w * kLanesPerWord,
+                                          bits, next_depth);
+                   lane_writes += static_cast<std::uint64_t>(
+                       __builtin_popcountll(bits));
                  }
                  ln.charge(lane_writes * simt::CostModel::kCoalesced);
                });
 }
 
 }  // namespace
+
+std::uint32_t batch_scale_delta(std::uint32_t auto_delta,
+                                VertexId num_vertices, std::uint32_t b) {
+  // Batch-aware sizing on top of the shared single-query heuristic: the
+  // fixed cost of a priority level (launches, split and wake sweeps) is
+  // shared by all B lanes, so a batch affords ~B/4-times finer bands —
+  // and finer bands are what cut the per-lane relaxation volume. Capped
+  // at the single-query delta for narrow batches. Tiny graphs stay
+  // unsplit: the whole traversal is a handful of launch-bound rounds, so
+  // per-level overhead can never amortize (the batch analog of the
+  // heuristic's low-degree gate).
+  if (num_vertices < kMinPriorityVertices || auto_delta == 0) return 0;
+  return std::min(auto_delta, std::max(1u, auto_delta * 4 / b));
+}
 
 std::uint32_t BatchEnactor::seed(const Csr& g,
                                  std::span<const VertexId> sources) {
@@ -527,6 +590,7 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
                                            std::uint32_t* depth,
                                            std::uint32_t num_lanes) {
   const std::uint32_t wpv = lanes_.cur.words_per_vertex();
+  const simt::VecBackend vb = simt::resolve_backend(opts.backend.vec);
 
   BatchBfsProblem p;
   p.cur = &lanes_.cur;
@@ -539,6 +603,15 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
 
   const AdvanceConfig acfg = batch_advance_config(opts, num_lanes);
   const FilterConfig fcfg;  // exact dedup lives in the claim functor
+
+  // Pull skip bitmap: every vertex starts live; pull rounds prune bits as
+  // vertices saturate (see batch_pull_step). assign() reuses capacity —
+  // no steady-state allocation across enacts of the same graph.
+  const std::size_t live_words =
+      (static_cast<std::size_t>(g.num_vertices()) + 63) / 64;
+  pull_live_.assign(live_words, ~0ull);
+  if (const auto rem = g.num_vertices() % 64; rem != 0)
+    pull_live_[live_words - 1] = (1ull << rem) - 1;
 
   std::uint64_t edges = 0;
   BatchDirection dir(opts);
@@ -556,14 +629,15 @@ std::uint64_t BatchEnactor::traverse_lanes(const Csr& g,
       // Pull emits a duplicate-free frontier in vertex order (no claim
       // filter needed) and commits depth/visited inline.
       iter_edges = batch_pull_step(dev_, g, lanes_.cur, lanes_.next,
-                                   visited_, depth, next_depth,
-                                   filtered_.items(), advance_ws_);
+                                   visited_, depth, next_depth, in_.items(),
+                                   filtered_.items(), advance_ws_,
+                                   pull_live_.data(), vb);
     } else {
       iter_edges = push_round<BatchBfsFunctor>(dev_, g, in_, out_, filtered_,
                                                p, acfg, fcfg, advance_ws_,
                                                filter_ws_, prepared);
       lane_sweep(dev_, filtered_.items(), lanes_.next, visited_, depth,
-                 num_lanes, next_depth);
+                 num_lanes, next_depth, vb);
     }
     edges += iter_edges;
     dir.prev_size = in_.size();
@@ -588,6 +662,7 @@ void BatchEnactor::bfs(const Csr& g, std::span<const VertexId> sources,
   visited_.reset(g.num_vertices(), b);
 
   res.num_lanes = b;
+  res.backend = simt::resolve_backend(opts.backend.vec);
   res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
                    kInfinity);
   for (std::uint32_t q = 0; q < b; ++q) {
@@ -617,26 +692,14 @@ void BatchEnactor::sssp(const Csr& g, std::span<const VertexId> sources,
   const std::uint32_t wpv = lanes_.cur.words_per_vertex();
 
   std::uint32_t delta = opts.delta;
-  if (opts.use_priority_queue && delta == 0) {
-    // Batch-aware sizing on top of the shared single-query heuristic: the
-    // fixed cost of a priority level (launches, split and wake sweeps) is
-    // shared by all B lanes, so a batch affords ~B/4-times finer bands —
-    // and finer bands are what cut the per-lane relaxation volume.
-    // Capped at the single-query delta for narrow batches. Tiny graphs
-    // stay unsplit: the whole traversal is a handful of launch-bound
-    // rounds, so per-level overhead can never amortize (the batch analog
-    // of the heuristic's low-degree gate).
-    const std::uint32_t auto_delta =
-        g.num_vertices() < kMinPriorityVertices ? 0 : sssp_auto_delta(g);
-    delta = auto_delta == 0
-                ? 0
-                : std::min(auto_delta,
-                           std::max(1u, auto_delta * 4 / b));
-  }
+  if (opts.use_priority_queue && delta == 0)
+    delta = batch_scale_delta(sssp_auto_delta(g), g.num_vertices(), b);
   if (!opts.use_priority_queue) delta = 0;
-  pq_.begin(g.num_vertices(), b, delta);
+  const simt::VecBackend vb = simt::resolve_backend(opts.backend.vec);
+  pq_.begin(g.num_vertices(), b, delta, vb);
 
   res.num_lanes = b;
+  res.backend = vb;
   res.delta = delta;
   res.lane_stats.clear();
   res.dist.assign(static_cast<std::size_t>(g.num_vertices()) * b, kInfinity);
@@ -665,6 +728,7 @@ void BatchEnactor::sssp(const Csr& g, std::span<const VertexId> sources,
   p.num_lanes = b;
   p.wpv = wpv;
   p.serial = omp_get_max_threads() == 1;
+  p.vb = vb;
 
   const AdvanceConfig acfg = batch_advance_config(opts, b);
   const FilterConfig fcfg;
@@ -751,6 +815,7 @@ void BatchEnactor::reachability(const Csr& g,
   const std::uint64_t edges = traverse_lanes(g, opts, /*depth=*/nullptr, b);
 
   res.num_lanes = b;
+  res.backend = simt::resolve_backend(opts.backend.vec);
   res.visited.reset(g.num_vertices(), b);
   res.visited.swap(visited_);
   finish_into(res.summary, edges, wall.elapsed_ms());
@@ -773,8 +838,10 @@ void BatchEnactor::bc_forward(const Csr& g,
   const std::uint32_t b = seed(g, sources);
   const std::uint32_t wpv = lanes_.cur.words_per_vertex();
   visited_.reset(g.num_vertices(), b);
+  const simt::VecBackend vb = simt::resolve_backend(opts.backend.vec);
 
   res.num_lanes = b;
+  res.backend = vb;
   res.depth.assign(static_cast<std::size_t>(g.num_vertices()) * b,
                    kInfinity);
   res.sigma.assign(static_cast<std::size_t>(g.num_vertices()) * b, 0.0);
@@ -806,7 +873,7 @@ void BatchEnactor::bc_forward(const Csr& g,
         filter_ws_);
     edges += iter_edges;
     lane_sweep(dev_, filtered_.items(), lanes_.next, visited_,
-               res.depth.data(), b, p.iteration + 1);
+               res.depth.data(), b, p.iteration + 1, vb);
     finish_round(p, iter_edges, /*used_pull=*/false);
   }
 

@@ -11,6 +11,16 @@
 
 namespace grx {
 
+/// Scales the single-query auto-delta (`sssp_auto_delta`) for a B-wide
+/// batch, applying the small-graph gate: 0 (schedule off) below 4096
+/// vertices or when the heuristic itself declines, else the per-lane
+/// band width the batched near/far schedule uses. Exposed so callers that
+/// cache the heuristic's inputs (Engine's per-graph delta cache) resolve
+/// the exact delta the enactor would — the two must never diverge, or a
+/// rebind would silently change schedules.
+std::uint32_t batch_scale_delta(std::uint32_t auto_delta,
+                                VertexId num_vertices, std::uint32_t b);
+
 /// B-source BFS depths: result.depth_at(v, q) is dist(sources[q], v).
 BatchBfsResult batch_bfs(simt::Device& dev, const Csr& g,
                          std::span<const VertexId> sources,

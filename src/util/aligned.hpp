@@ -1,0 +1,57 @@
+// 64-byte-aligned allocator for the lane-word containers.
+//
+// The vector backend (simt/vec.hpp) reads lane matrices with full-width
+// AVX2/AVX-512 loads. Those are issued unaligned-safe, but aligning the
+// backing stores to a cache line keeps every 512-bit access inside one
+// line and — more importantly — makes the alignment contract explicit at
+// the type level: anything vector kernels touch is allocated through
+// AlignedAllocator<..., 64>, so no lane row ever starts at an address a
+// future aligned load would fault on.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace grx {
+
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no smaller than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// std::vector whose storage starts on a cache-line boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace grx

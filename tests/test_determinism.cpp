@@ -438,6 +438,62 @@ TEST(Determinism, BatchSsspNearFarIdenticalAcrossStrategies) {
   }
 }
 
+// --- vector backend axis -----------------------------------------------------
+//
+// The lane-word kernels (simt/vec.hpp) promise byte parity across
+// backends: kScalar is the reference semantics, and every vector path must
+// reproduce its frontiers, labels, per-lane schedule stats, iteration
+// counts, and even the pull probe counts (edges_processed feeds the cost
+// model) bit for bit. B = 67 keeps the multi-word mask path in play.
+
+constexpr simt::VecBackend kVecRequests[] = {
+    simt::VecBackend::kAvx2, simt::VecBackend::kAvx512,
+    simt::VecBackend::kAuto};
+
+TEST(Determinism, BatchResultsIdenticalAcrossVecBackends) {
+  for (const Csr& g : test_graphs()) {
+    const auto sources = scattered_sources(g, 67);
+    simt::Device dev;
+    BatchOptions sopts;
+    sopts.direction = Direction::kOptimal;  // exercise the batch pull step
+    sopts.delta = 16;                       // and the claim-split/wake path
+    sopts.backend.vec = simt::VecBackend::kScalar;
+    const BatchBfsResult bfs_ref = batch_bfs(dev, g, sources, sopts);
+    const BatchSsspResult sssp_ref = batch_sssp(dev, g, sources, sopts);
+    const BatchReachabilityResult reach_ref =
+        batch_reachability(dev, g, sources, sopts);
+    const BatchBcForwardResult bc_ref =
+        batch_bc_forward(dev, g, sources, sopts);
+    ASSERT_EQ(bfs_ref.backend, simt::VecBackend::kScalar);
+    for (const simt::VecBackend req : kVecRequests) {
+      BatchOptions o = sopts;
+      o.backend.vec = req;
+      const BatchBfsResult bfs = batch_bfs(dev, g, sources, o);
+      EXPECT_EQ(bfs.backend, simt::resolve_backend(req)) << to_string(req);
+      EXPECT_EQ(bfs.depth, bfs_ref.depth) << to_string(req);
+      EXPECT_EQ(bfs.summary.iterations, bfs_ref.summary.iterations)
+          << to_string(req);
+      EXPECT_EQ(bfs.summary.edges_processed, bfs_ref.summary.edges_processed)
+          << to_string(req);
+      const BatchSsspResult sssp = batch_sssp(dev, g, sources, o);
+      EXPECT_EQ(sssp.dist, sssp_ref.dist) << to_string(req);
+      EXPECT_EQ(sssp.lane_stats, sssp_ref.lane_stats) << to_string(req);
+      EXPECT_EQ(sssp.delta, sssp_ref.delta) << to_string(req);
+      EXPECT_EQ(sssp.summary.iterations, sssp_ref.summary.iterations)
+          << to_string(req);
+      const BatchReachabilityResult reach =
+          batch_reachability(dev, g, sources, o);
+      for (VertexId v = 0; v < g.num_vertices(); ++v)
+        for (std::uint32_t w = 0; w < reach.visited.words_per_vertex(); ++w)
+          ASSERT_EQ(reach.visited.row(v)[w], reach_ref.visited.row(v)[w])
+              << to_string(req) << " vertex " << v << " word " << w;
+      const BatchBcForwardResult bc = batch_bc_forward(dev, g, sources, o);
+      EXPECT_EQ(bc.depth, bc_ref.depth) << to_string(req);
+      EXPECT_EQ(bc.sigma, bc_ref.sigma) << to_string(req);
+    }
+  }
+}
+
 TEST(Determinism, WorkspaceReuseMatchesFreshWorkspace) {
   // Pooled workspaces must be invisible to results: running a second,
   // different advance on a reused workspace gives the same output as a

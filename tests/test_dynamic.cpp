@@ -38,6 +38,7 @@
 #include "core/epoch.hpp"
 #include "graph/dynamic.hpp"
 #include "graph/generators.hpp"
+#include "primitives/batch.hpp"
 #include "test_common.hpp"
 #include "util/rng.hpp"
 
@@ -400,6 +401,36 @@ TEST(EngineRebind, ServesTheNewGraphAfterRebind) {
   const Csr rebuilt = ref.to_csr();
   EXPECT_EQ(eng.bfs(src).depth, serial::bfs(rebuilt, src));
   EXPECT_EQ(eng.sssp(src).dist, serial::dijkstra(rebuilt, src));
+}
+
+TEST(EngineRebind, AutoDeltaRecomputedAfterRebind) {
+  // The Engine caches sssp_auto_delta per graph shape. After a rebind to a
+  // different-shape graph, a batched SSSP must run with the delta a fresh
+  // enactor would derive for the *new* graph — a stale cached value would
+  // silently change the near/far schedule across epochs.
+  const Csr& small = grx::testing::power_law_serving_graph(9);   // below the
+  // 4096-vertex batch gate: schedule off (delta 0)
+  const Csr& big = grx::testing::power_law_serving_graph(12);    // gate open
+  simt::Device dev;
+  Engine eng(dev, small);
+  const auto src_small = grx::testing::scattered_sources(small, 8);
+  const auto src_big = grx::testing::scattered_sources(big, 8);
+
+  const std::uint32_t d_small = eng.batch_sssp(src_small).delta;
+  {
+    simt::Device fresh;
+    EXPECT_EQ(d_small, batch_sssp(fresh, small, src_small).delta);
+  }
+  eng.rebind(big);
+  const std::uint32_t d_big = eng.batch_sssp(src_big).delta;
+  {
+    simt::Device fresh;
+    EXPECT_EQ(d_big, batch_sssp(fresh, big, src_big).delta);
+  }
+  // The shapes genuinely disagree, so serving the stale delta would show.
+  EXPECT_NE(d_small, d_big);
+  eng.rebind(small);
+  EXPECT_EQ(eng.batch_sssp(src_small).delta, d_small);
 }
 
 // --- reclamation under churn (the TSan arm) ---------------------------------

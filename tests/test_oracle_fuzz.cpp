@@ -196,11 +196,17 @@ TEST(OracleFuzz, BatchedBfsMatchesSerialEveryLane) {
       const auto sources = fuzz_sources(c.g, 9);
       simt::Device dev;
       std::vector<BatchBfsResult> runs;
-      runs.push_back(batch_bfs(dev, c.g, sources));  // push default
-      if (c.symmetric) {
+      // Backend axis: the auto-resolved vector path and the forced-scalar
+      // reference must both land on the oracle (and hence on each other).
+      for (const simt::VecBackend vb :
+           {simt::VecBackend::kAuto, simt::VecBackend::kScalar}) {
         BatchOptions bopts;
-        bopts.direction = Direction::kOptimal;
-        runs.push_back(batch_bfs(dev, c.g, sources, bopts));
+        bopts.backend.vec = vb;
+        runs.push_back(batch_bfs(dev, c.g, sources, bopts));  // push
+        if (c.symmetric) {
+          bopts.direction = Direction::kOptimal;
+          runs.push_back(batch_bfs(dev, c.g, sources, bopts));
+        }
       }
       for (std::uint32_t q = 0; q < sources.size(); ++q) {
         const auto oracle = serial::bfs(c.g, sources[q]);
@@ -223,14 +229,18 @@ TEST(OracleFuzz, BatchedSsspMatchesDijkstraEveryLane) {
       forced.delta = 16;
       BatchOptions off;               // Bellman-Ford baseline path
       off.use_priority_queue = false;
-      for (const BatchOptions& o : {auto_pq, forced, off}) {
+      // Scalar-forced near/far arm: the vector and reference lane kernels
+      // sweep the same hostile shapes.
+      BatchOptions forced_scalar = forced;
+      forced_scalar.backend.vec = simt::VecBackend::kScalar;
+      for (const BatchOptions& o : {auto_pq, forced, off, forced_scalar}) {
         const BatchSsspResult run = batch_sssp(dev, c.g, sources, o);
         for (std::uint32_t q = 0; q < sources.size(); ++q) {
           const auto oracle = serial::dijkstra(c.g, sources[q]);
           for (VertexId v = 0; v < c.g.num_vertices(); ++v)
             ASSERT_EQ(run.dist_at(v, q), oracle[v])
                 << c.name << " lane " << q << " vertex " << v << " delta "
-                << run.delta;
+                << run.delta << " backend " << to_string(run.backend);
         }
       }
     }
@@ -568,6 +578,14 @@ TEST(OracleFuzz, MultiWordBatchMatchesSerialEveryLane) {
   ASSERT_EQ(sssp.delta, 12u);
   ASSERT_EQ(sssp.lane_stats.size(), sources.size());
   const BatchBfsResult bfs = batch_bfs(dev, c.g, sources);
+  // Multi-word backend parity: the forced-scalar run must be byte-equal —
+  // distances, per-lane schedule stats, and probe-fed edge counts alike.
+  BatchOptions forced_scalar = forced;
+  forced_scalar.backend.vec = simt::VecBackend::kScalar;
+  const BatchSsspResult sc = batch_sssp(dev, c.g, sources, forced_scalar);
+  EXPECT_EQ(sc.dist, sssp.dist);
+  EXPECT_EQ(sc.lane_stats, sssp.lane_stats);
+  EXPECT_EQ(sc.summary.edges_processed, sssp.summary.edges_processed);
   for (std::uint32_t q = 0; q < sources.size(); ++q) {
     const auto dij = serial::dijkstra(c.g, sources[q]);
     const auto lvl = serial::bfs(c.g, sources[q]);

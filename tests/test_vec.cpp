@@ -1,0 +1,290 @@
+// Backend parity for the vectorized lane-word kernels (simt/vec.hpp).
+//
+// The scalar ctz-loops are the semantics; every vector variant must
+// reproduce them bit-for-bit on every input — including the wrapping u32
+// arithmetic of the relax, the stale-lane (kInfinity label) skip, and the
+// exact early-exit probe count of the pull loop, which feeds the cost
+// model and must not drift across backends. The fuzz below drives each
+// dispatcher with hostile masks (empty, full, single-bit, partial tails of
+// a non-multiple-of-64 batch) and checks three things per call: the
+// outputs match the scalar reference, the return masks match, and lanes
+// outside the mask are never written (the maskstore fault-suppression
+// contract — run under ASan by the sanitizer CI job, an out-of-mask
+// touch on an exact-sized buffer is also an out-of-bounds access).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/vec.hpp"
+#include "util/rng.hpp"
+
+namespace grx {
+namespace {
+
+using simt::VecBackend;
+
+constexpr std::uint32_t kInf = 0xFFFFFFFFu;
+
+/// The vector backends this CPU can actually run (resolve_backend clamps
+/// unsupported requests down, so asking for kAvx512 on an AVX2 machine
+/// yields kAvx2 — only genuinely distinct resolved backends are listed).
+std::vector<VecBackend> supported_vector_backends() {
+  std::vector<VecBackend> out;
+  for (const VecBackend req : {VecBackend::kAvx2, VecBackend::kAvx512})
+    if (simt::resolve_backend(req) == req) out.push_back(req);
+  return out;
+}
+
+/// Hostile lane masks: the corners every kernel's group loop must get
+/// right, plus `extra` random words from `rng`. `width` < 64 confines all
+/// masks to a partial tail word (lanes >= width must never be touched).
+std::vector<std::uint64_t> fuzz_masks(Rng& rng, std::uint32_t width,
+                                      int extra) {
+  const std::uint64_t full =
+      width >= 64 ? ~0ull : (1ull << width) - 1;
+  std::vector<std::uint64_t> masks = {
+      0ull,
+      full,
+      1ull,                              // lane 0 only
+      1ull << (width - 1),               // highest valid lane only
+      full & 0x8000000000000001ull,      // both ends of the word
+      full & 0x5555555555555555ull,      // alternating
+      full & 0x00000000FFFFFFFFull,      // low half (AVX-512 group seam)
+      full & 0xFF00FF00FF00FF00ull,      // AVX2 byte-group seams
+  };
+  for (int i = 0; i < extra; ++i)
+    masks.push_back(rng.next_u64() & full);
+  return masks;
+}
+
+/// Lane payloads stressing the arithmetic corners: kInf (stale lanes and
+/// untouched dist cells), values that wrap on +wt, and ordinary randoms.
+std::vector<std::uint32_t> fuzz_lanes(Rng& rng) {
+  std::vector<std::uint32_t> v(64);
+  for (auto& x : v) {
+    switch (rng.next_below(8)) {
+      case 0: x = kInf; break;
+      case 1: x = kInf - static_cast<std::uint32_t>(rng.next_below(64)); break;
+      case 2: x = 0; break;
+      default: x = static_cast<std::uint32_t>(rng.next_u64()); break;
+    }
+  }
+  return v;
+}
+
+/// Asserts lanes outside `mask` kept their pre-call bytes.
+template <typename T>
+::testing::AssertionResult untouched_outside(const std::vector<T>& before,
+                                             const std::vector<T>& after,
+                                             std::uint64_t mask) {
+  for (std::size_t q = 0; q < before.size(); ++q) {
+    if (q < 64 && ((mask >> q) & 1)) continue;
+    if (before[q] != after[q])
+      return ::testing::AssertionFailure()
+             << "lane " << q << " outside mask changed: " << before[q]
+             << " -> " << after[q];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+constexpr std::uint32_t kWidths[] = {64, 40, 17, 3, 1};
+
+TEST(VecParity, MaskedStoreU32) {
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(11);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t mask : fuzz_masks(rng, width, 32)) {
+        const std::uint32_t value = static_cast<std::uint32_t>(rng.next_u64());
+        // Exact-width buffers: a store outside the mask's partial tail is
+        // heap overflow under ASan, not just a parity failure.
+        std::vector<std::uint32_t> ref(width, 0xA5A5A5A5u);
+        std::vector<std::uint32_t> got = ref;
+        const std::vector<std::uint32_t> before = ref;
+        simt::masked_store_u32(VecBackend::kScalar, ref.data(), mask, value);
+        simt::masked_store_u32(vb, got.data(), mask, value);
+        ASSERT_EQ(got, ref) << to_string(vb) << " width " << width;
+        ASSERT_TRUE(untouched_outside(before, got, mask));
+      }
+    }
+  }
+}
+
+TEST(VecParity, MaskedCopyU32) {
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(13);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t mask : fuzz_masks(rng, width, 32)) {
+        std::vector<std::uint32_t> src = fuzz_lanes(rng);
+        src.resize(width);
+        std::vector<std::uint32_t> ref(width, 0x5A5A5A5Au);
+        std::vector<std::uint32_t> got = ref;
+        simt::masked_copy_u32(VecBackend::kScalar, ref.data(), src.data(),
+                              mask);
+        simt::masked_copy_u32(vb, got.data(), src.data(), mask);
+        ASSERT_EQ(got, ref) << to_string(vb) << " width " << width;
+      }
+    }
+  }
+}
+
+TEST(VecParity, RelaxMinU32) {
+  // The serial relax word: stale (kInf) labels skipped, labels + wt wraps
+  // exactly like the scalar kernel, improved mask reported per lane.
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(17);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t active : fuzz_masks(rng, width, 48)) {
+        std::vector<std::uint32_t> labels = fuzz_lanes(rng);
+        labels.resize(width);
+        std::vector<std::uint32_t> ref = fuzz_lanes(rng);
+        ref.resize(width);
+        std::vector<std::uint32_t> got = ref;
+        // Mix tiny and huge weights: huge + near-kInf labels exercises the
+        // wrap; tiny exercises the common path.
+        const std::uint32_t wt =
+            rng.next_below(2) ? static_cast<std::uint32_t>(rng.next_below(64))
+                              : static_cast<std::uint32_t>(rng.next_u64());
+        const std::uint64_t imp_ref = simt::relax_min_u32(
+            VecBackend::kScalar, ref.data(), labels.data(), wt, active);
+        const std::uint64_t imp_got =
+            simt::relax_min_u32(vb, got.data(), labels.data(), wt, active);
+        ASSERT_EQ(imp_got, imp_ref) << to_string(vb) << " width " << width;
+        ASSERT_EQ(got, ref) << to_string(vb) << " width " << width;
+      }
+    }
+  }
+}
+
+TEST(VecParity, LtBoundsU32) {
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(19);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t active : fuzz_masks(rng, width, 48)) {
+        std::vector<std::uint32_t> vals = fuzz_lanes(rng);
+        std::vector<std::uint32_t> bounds = fuzz_lanes(rng);
+        // Force some exact ties (strictness matters) and kInf bounds.
+        for (int i = 0; i < 16; ++i)
+          bounds[rng.next_below(64)] = vals[rng.next_below(64)];
+        vals.resize(width);
+        bounds.resize(width);
+        ASSERT_EQ(simt::lt_bounds_u32(vb, vals.data(), bounds.data(), active),
+                  simt::lt_bounds_u32(VecBackend::kScalar, vals.data(),
+                                      bounds.data(), active))
+            << to_string(vb) << " width " << width;
+      }
+    }
+  }
+}
+
+TEST(VecParity, MaskedIncU64) {
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(23);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t mask : fuzz_masks(rng, width, 32)) {
+        std::vector<std::uint64_t> ref(width);
+        for (auto& x : ref) x = rng.next_u64();
+        std::vector<std::uint64_t> got = ref;
+        simt::masked_inc_u64(VecBackend::kScalar, ref.data(), mask);
+        simt::masked_inc_u64(vb, got.data(), mask);
+        ASSERT_EQ(got, ref) << to_string(vb) << " width " << width;
+      }
+    }
+  }
+}
+
+TEST(VecParity, MaskedMinU32) {
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(29);
+    for (const std::uint32_t width : kWidths) {
+      for (const std::uint64_t mask : fuzz_masks(rng, width, 32)) {
+        std::vector<std::uint32_t> src = fuzz_lanes(rng);
+        src.resize(width);
+        std::vector<std::uint32_t> ref = fuzz_lanes(rng);
+        ref.resize(width);
+        std::vector<std::uint32_t> got = ref;
+        simt::masked_min_u32(VecBackend::kScalar, ref.data(), src.data(),
+                             mask);
+        simt::masked_min_u32(vb, got.data(), src.data(), mask);
+        ASSERT_EQ(got, ref) << to_string(vb) << " width " << width;
+      }
+    }
+  }
+}
+
+TEST(VecParity, PullProbeU64) {
+  // The pull probe's contract is double: the discovered-lane word AND the
+  // probe count (cost model + EnactSummary::edges_processed) must equal
+  // the scalar early-exit loop on every adjacency. The generator mixes
+  // dense rows (early exit inside the scalar head), sparse rows (exit deep
+  // in a gather block), and uncoverable pend bits (full-scan tail).
+  for (const VecBackend vb : supported_vector_backends()) {
+    Rng rng(31);
+    constexpr std::uint32_t kWords = 256;  // fake |V| of lane words
+    std::vector<std::uint64_t> cur(kWords);
+    for (int round = 0; round < 200; ++round) {
+      // Density regimes per round: saturated, moderate, sparse, near-empty.
+      const int regime = round & 3;
+      for (auto& w : cur) {
+        switch (regime) {
+          case 0: w = rng.next_u64() | rng.next_u64(); break;        // dense
+          case 1: w = rng.next_u64() & rng.next_u64(); break;        // moderate
+          case 2: w = rng.next_u64() & rng.next_u64() & rng.next_u64(); break;
+          default: w = rng.next_below(8) ? 0 : rng.next_u64(); break;
+        }
+      }
+      const auto count = static_cast<std::uint64_t>(rng.next_below(70));
+      std::vector<std::uint32_t> cols(count);
+      for (auto& c : cols) c = static_cast<std::uint32_t>(
+          rng.next_below(kWords));
+      const std::uint64_t pend = rng.next_u64() & rng.next_u64();
+      std::uint64_t got_ref = ~0ull, got_vec = ~0ull;
+      const std::uint64_t probes_ref = simt::pull_probe_u64(
+          VecBackend::kScalar, cur.data(), cols.data(), count, pend,
+          &got_ref);
+      const std::uint64_t probes_vec = simt::pull_probe_u64(
+          vb, cur.data(), cols.data(), count, pend, &got_vec);
+      ASSERT_EQ(got_vec, got_ref)
+          << to_string(vb) << " round " << round << " count " << count;
+      ASSERT_EQ(probes_vec, probes_ref)
+          << to_string(vb) << " round " << round << " count " << count;
+    }
+  }
+}
+
+// --- backend selection semantics ---------------------------------------------
+
+TEST(VecBackendSelection, DisableEnvSemantics) {
+  // Any non-empty value other than exactly "0" kills the vector paths.
+  using simt::vec_detail::disable_env_set;
+  EXPECT_FALSE(disable_env_set(nullptr));
+  EXPECT_FALSE(disable_env_set(""));
+  EXPECT_FALSE(disable_env_set("0"));
+  EXPECT_TRUE(disable_env_set("1"));
+  EXPECT_TRUE(disable_env_set("00"));   // not exactly "0"
+  EXPECT_TRUE(disable_env_set("0x"));
+  EXPECT_TRUE(disable_env_set("false"));  // explicit: presence wins
+}
+
+TEST(VecBackendSelection, ResolveNeverReturnsAutoAndClampsDown) {
+  const VecBackend best = simt::detect_backend();
+  EXPECT_NE(best, VecBackend::kAuto);
+  for (const VecBackend req : {VecBackend::kAuto, VecBackend::kScalar,
+                               VecBackend::kAvx2, VecBackend::kAvx512}) {
+    const VecBackend r = simt::resolve_backend(req);
+    EXPECT_NE(r, VecBackend::kAuto) << to_string(req);
+    // Never resolves above what the CPU supports.
+    EXPECT_LE(static_cast<int>(r), static_cast<int>(best)) << to_string(req);
+  }
+  EXPECT_EQ(simt::resolve_backend(VecBackend::kScalar), VecBackend::kScalar);
+  EXPECT_EQ(simt::resolve_backend(VecBackend::kAuto), best);
+  // An AVX-512 request on a lesser machine degrades to the best available.
+  EXPECT_EQ(simt::resolve_backend(VecBackend::kAvx512), best);
+  // An AVX2 request runs AVX2 iff supported, else scalar — never AVX-512.
+  const VecBackend avx2 = simt::resolve_backend(VecBackend::kAvx2);
+  EXPECT_TRUE(avx2 == VecBackend::kAvx2 || avx2 == VecBackend::kScalar)
+      << to_string(avx2);
+}
+
+}  // namespace
+}  // namespace grx
