@@ -218,7 +218,7 @@ int main(int argc, char** argv) {
 
   if (check) {
     const std::uint64_t bad =
-        verify(g, sources, bfs_last, sssp_last, sssp_bf_last);
+        ::verify(g, sources, bfs_last, sssp_last, sssp_bf_last);
     if (bad != 0) {
       std::printf("FAIL: %llu (vertex, lane) cells differ from single-query "
                   "runs\n",

@@ -5,9 +5,12 @@
 // plus the simulated device time as a counter.
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
+// This TU owns the binary's operator-new replacement: the zero
+// steady-state-allocation claim for the advance/filter loop is asserted
+// against real allocator calls for the whole binary including the library
+// under test (tests/alloc_probe.hpp).
+#define GRX_ALLOC_PROBE_IMPLEMENT
+#include "alloc_probe.hpp"
 
 #include "bench_common.hpp"
 #include "core/advance.hpp"
@@ -18,47 +21,10 @@
 #include "primitives/bfs.hpp"
 #include "simt/primitives.hpp"
 
-// --- allocation instrumentation ---------------------------------------------
-// Process-wide heap allocation counter: the zero-steady-state-allocation
-// claim for the advance/filter loop is asserted against this, not inferred
-// from timings. Replacing the global operator new interposes for the whole
-// binary, including the library under test.
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t n) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* counted_alloc_aligned(std::size_t n, std::size_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (align < sizeof(void*)) align = sizeof(void*);
-  void* p = nullptr;
-  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void* operator new[](std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-
 namespace {
 
 using namespace grx;
+using grx::testing::g_alloc_count;
 
 struct MarkProblem {
   std::vector<std::uint8_t> seen;

@@ -512,8 +512,8 @@ int main(int argc, char** argv) {
 
   if (check) {
     const std::uint64_t bad =
-        verify(g, QueryKind::kBfs, sources, clients, rounds, coalesced) +
-        verify(g, QueryKind::kSssp, sources, clients, rounds, coalesced);
+        ::verify(g, QueryKind::kBfs, sources, clients, rounds, coalesced) +
+        ::verify(g, QueryKind::kSssp, sources, clients, rounds, coalesced);
     if (bad != 0) {
       std::printf("FAIL: %llu served results differ from the serial oracle\n",
                   static_cast<unsigned long long>(bad));

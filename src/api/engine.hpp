@@ -34,6 +34,7 @@
 #include "api/query.hpp"
 #include "core/batch_enactor.hpp"
 #include "graph/csr.hpp"
+#include "verify/sched.hpp"
 #include "primitives/bc.hpp"
 #include "primitives/bfs.hpp"
 #include "primitives/cc.hpp"
@@ -117,7 +118,10 @@ class Engine {
   /// loudly instead of silently corrupting pooled buffers. Concurrency
   /// belongs one layer up: grx::Server holds one Engine per worker.
   bool busy() const {
-    return active_.load(std::memory_order_acquire) != 0;
+    // mo: acquire — pairs with the acq_rel RMWs in EnactScope; a caller
+    // that sees the engine idle also sees the pooled state the previous
+    // query wrote before its scope released.
+    return verify::sched_load(active_, std::memory_order_acquire) != 0;
   }
 
   // --- single-source traversal queries --------------------------------------
@@ -215,16 +219,26 @@ class Engine {
   class EnactScope {
    public:
     explicit EnactScope(const Engine& e) : e_(e) {
-      const auto prev = e_.active_.fetch_add(1, std::memory_order_acq_rel);
+      // mo: acq_rel — the guard doubles as the hand-off edge between
+      // consecutive queries on one engine: release publishes this
+      // query's writes to pooled state, acquire observes the previous
+      // query's.
+      const auto prev =
+          verify::sched_fetch_add(e_.active_, 1, std::memory_order_acq_rel);
       if (prev != 0) {
-        e_.active_.fetch_sub(1, std::memory_order_acq_rel);
+        // mo: acq_rel — undo of the guard increment, same edge.
+        verify::sched_fetch_sub(e_.active_, 1, std::memory_order_acq_rel);
         GRX_CHECK_MSG(prev == 0,
                       "concurrent enact on one grx::Engine: an Engine "
                       "serves one query at a time — give each thread its "
                       "own Engine (see grx::Server)");
       }
     }
-    ~EnactScope() { e_.active_.fetch_sub(1, std::memory_order_acq_rel); }
+    ~EnactScope() {
+      // mo: acq_rel — releases this query's pooled-state writes to the
+      // next EnactScope / busy() observer.
+      verify::sched_fetch_sub(e_.active_, 1, std::memory_order_acq_rel);
+    }
     EnactScope(const EnactScope&) = delete;
     EnactScope& operator=(const EnactScope&) = delete;
 

@@ -37,6 +37,7 @@
 
 #include "core/cancel.hpp"
 #include "util/rng.hpp"
+#include "verify/sched.hpp"
 
 namespace grx {
 
@@ -133,7 +134,9 @@ inline void arm_fault(const FaultSpec& f, CancelToken& token) {
         std::this_thread::sleep_for(std::chrono::microseconds(f.stall_us));
         break;
       case FaultKind::kCancel:
-        state.cancelled.store(true, std::memory_order_release);
+        // mo: release — same edge as CancelToken::cancel(): pairs with
+        // the acquire load in is_cancelled().
+        verify::sched_store(state.cancelled, true, std::memory_order_release);
         break;
       case FaultKind::kWorkerCrash:
         throw InjectedCrash("injected worker crash");

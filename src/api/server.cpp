@@ -6,6 +6,8 @@
 #include <chrono>
 #include <string>
 
+#include "verify/sched.hpp"
+
 namespace grx {
 
 // --- QueryTicket -------------------------------------------------------------
@@ -611,8 +613,10 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
 
   // Deterministic fault injection rides the same token (api/faults.hpp):
   // the enact index is drawn in execution order.
+  // mo: relaxed — unique-id draw; only atomicity matters, no payload is
+  // published through it.
   const std::uint64_t enact_idx =
-      enact_counter_.fetch_add(1, std::memory_order_relaxed);
+      verify::sched_fetch_add(enact_counter_, 1, std::memory_order_relaxed);
   if (opts_.faults) {
     const FaultSpec f = opts_.faults->draw(enact_idx);
     if (f.kind != FaultKind::kNone) {

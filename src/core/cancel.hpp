@@ -33,6 +33,7 @@
 #include <utility>
 
 #include "util/common.hpp"
+#include "verify/sched.hpp"
 
 namespace grx {
 
@@ -95,8 +96,14 @@ struct CancelShared {
   std::function<void(CancelShared& state, std::uint32_t round)> on_round;
 
   bool is_cancelled() const {
-    for (const CancelShared* s = this; s != nullptr; s = s->parent.get())
-      if (s->cancelled.load(std::memory_order_acquire)) return true;
+    for (const CancelShared* s = this; s != nullptr; s = s->parent.get()) {
+      // mo: acquire — pairs with the release store in cancel(); a
+      // checkpoint that observes the flag also observes everything the
+      // cancelling thread wrote before requesting the stop (e.g. the
+      // ticket error a watchdog staged before tripping workers).
+      if (verify::sched_load(s->cancelled, std::memory_order_acquire))
+        return true;
+    }
     return false;
   }
 
@@ -152,7 +159,11 @@ class CancelToken {
   /// Requests a cooperative stop. Thread-safe; no-op on an inert token
   /// (there is no shared state for anyone to observe).
   void cancel() {
-    if (state_) state_->cancelled.store(true, std::memory_order_release);
+    // mo: release — pairs with the acquire load in is_cancelled(); makes
+    // the canceller's prior writes visible to the enacting thread that
+    // observes the stop.
+    if (state_)
+      verify::sched_store(state_->cancelled, true, std::memory_order_release);
   }
 
   bool cancelled() const { return state_ && state_->is_cancelled(); }

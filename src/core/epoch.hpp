@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "verify/sched.hpp"
 
 namespace grx {
 
@@ -115,8 +116,13 @@ class EpochReclaimer {
 
     void release() {
       if (owner_ != nullptr) {
-        owner_->slots_[slot_].announced.store(kIdleEpoch,
-                                              std::memory_order_release);
+        // mo: release — the reader's loads from the protected snapshot
+        // must be ordered before the slot goes idle; the writer's seq_cst
+        // min_pinned() scan supplies the matching acquire edge, so a
+        // collect() that observes the idle slot also observes the reads
+        // as complete and may free.
+        verify::sched_store(owner_->slots_[slot_].announced, kIdleEpoch,
+                            std::memory_order_release);
         owner_ = nullptr;
       }
     }
@@ -142,18 +148,20 @@ class EpochReclaimer {
     const auto n = static_cast<std::uint32_t>(slots_.size());
     for (std::uint32_t i = 0; i < n; ++i) {
       Epoch expected = kIdleEpoch;
-      Epoch announced = epoch_.load(std::memory_order_seq_cst);
-      if (!slots_[i].announced.compare_exchange_strong(
-              expected, announced, std::memory_order_seq_cst)) {
+      Epoch announced = verify::sched_load(epoch_, std::memory_order_seq_cst);
+      if (!verify::sched_cas_strong(slots_[i].announced, expected, announced,
+                                    std::memory_order_seq_cst,
+                                    std::memory_order_seq_cst)) {
         continue;  // slot occupied, probe the next one
       }
       // Validate: re-announce until the slot matches a fresh load of the
       // global epoch, so the writer's next scan cannot miss us.
       for (;;) {
-        const Epoch now = epoch_.load(std::memory_order_seq_cst);
+        const Epoch now = verify::sched_load(epoch_, std::memory_order_seq_cst);
         if (now == announced) break;
         announced = now;
-        slots_[i].announced.store(announced, std::memory_order_seq_cst);
+        verify::sched_store(slots_[i].announced, announced,
+                            std::memory_order_seq_cst);
       }
       return Pin(this, i, announced);
     }
@@ -164,7 +172,9 @@ class EpochReclaimer {
   }
 
   /// The current global epoch.
-  Epoch current() const { return epoch_.load(std::memory_order_seq_cst); }
+  Epoch current() const {
+    return verify::sched_load(epoch_, std::memory_order_seq_cst);
+  }
 
   /// Minimum announced epoch across all reader slots; kIdleEpoch when no
   /// reader is pinned. Writer-side scans use this as the reclamation
@@ -172,7 +182,7 @@ class EpochReclaimer {
   Epoch min_pinned() const {
     Epoch min = kIdleEpoch;
     for (const Slot& s : slots_) {
-      const Epoch e = s.announced.load(std::memory_order_seq_cst);
+      const Epoch e = verify::sched_load(s.announced, std::memory_order_seq_cst);
       if (e < min) min = e;
     }
     return min;
@@ -181,7 +191,8 @@ class EpochReclaimer {
   /// Number of nodes retired but not yet freed (held back by a pin or by
   /// collect() not having run). Readable from any thread.
   std::size_t retired_pending() const {
-    return retired_count_.load(std::memory_order_relaxed);
+    // mo: relaxed — statistics read; a stale count is acceptable.
+    return verify::sched_load(retired_count_, std::memory_order_relaxed);
   }
 
   // ---- writer side (externally serialised) ----
@@ -189,7 +200,7 @@ class EpochReclaimer {
   /// Bump the global epoch; returns the new value. Call once per publish,
   /// *after* the new node is reachable and the old one is not.
   Epoch advance() {
-    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    return verify::sched_fetch_add(epoch_, 1, std::memory_order_seq_cst) + 1;
   }
 
   /// Queue `node` for deletion. `retire_epoch` is the epoch after which
@@ -197,7 +208,10 @@ class EpochReclaimer {
   /// value advance() returned for the publish that unlinked it).
   void retire(std::unique_ptr<const T> node, Epoch retire_epoch) {
     retired_.push_back(Retired{retire_epoch, std::move(node)});
-    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+    // mo: relaxed — observability counter for retired_pending(); carries
+    // no data, synchronizes nothing.
+    verify::sched_store(retired_count_, retired_.size(),
+                        std::memory_order_relaxed);
   }
 
   /// Free every retired node whose retire epoch is at or below the
@@ -208,7 +222,10 @@ class EpochReclaimer {
     std::erase_if(retired_, [horizon](const Retired& r) {
       return r.retire_epoch <= horizon;
     });
-    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+    // mo: relaxed — observability counter for retired_pending(); carries
+    // no data, synchronizes nothing.
+    verify::sched_store(retired_count_, retired_.size(),
+                        std::memory_order_relaxed);
     return before - retired_.size();
   }
 

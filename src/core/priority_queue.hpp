@@ -31,6 +31,7 @@
 
 #include "core/batch_frontier.hpp"
 #include "simt/atomic.hpp"
+#include "util/aligned.hpp"
 #include "simt/device.hpp"
 #include "simt/primitives.hpp"
 #include "simt/vec.hpp"
@@ -653,23 +654,23 @@ class LanePriorityFrontier {
   std::vector<std::uint8_t> in_far_;      ///< vertex present in far_list_
   std::vector<std::uint32_t> far_list_;   ///< vertices with banked bits
   std::vector<std::uint32_t> far_next_;   ///< pile rebuild staging
-  std::vector<std::uint64_t> cutoff_;     ///< per-lane priority cutoff
+  aligned_vector<std::uint64_t> cutoff_;     ///< per-lane priority cutoff
   aligned_vector<std::uint32_t> cutoff32_;  ///< u32 cutoff mirror (clamped)
-  std::vector<std::uint64_t> cutoff_wide_;  ///< per-word: cutoff > u32 max
+  aligned_vector<std::uint64_t> cutoff_wide_;  ///< per-word: cutoff > u32 max
   std::vector<PriorityQueueStats> stats_; ///< per-lane schedule stats
-  std::vector<std::uint64_t> near_mask_;  ///< lanes near-active this round
-  std::vector<std::uint64_t> far_mask_;   ///< lanes with banked far work
-  std::vector<std::uint64_t> drained_;    ///< far work, no near work
-  std::vector<std::uint64_t> bumped_;     ///< lanes whose cutoff advanced
+  aligned_vector<std::uint64_t> near_mask_;  ///< lanes near-active this round
+  aligned_vector<std::uint64_t> far_mask_;   ///< lanes with banked far work
+  aligned_vector<std::uint64_t> drained_;    ///< far work, no near work
+  aligned_vector<std::uint64_t> bumped_;     ///< lanes whose cutoff advanced
   std::vector<std::uint32_t> far_min_;    ///< per-lane min banked distance
   aligned_vector<std::uint64_t> tally_near_; ///< per-thread near counters
   aligned_vector<std::uint64_t> tally_far_;  ///< per-thread far counters
   aligned_vector<std::uint32_t> tally_min_;  ///< per-thread min-dist tallies
-  std::vector<std::uint64_t> cell_counts_; ///< per-thread cell-pass tallies
+  aligned_vector<std::uint64_t> cell_counts_; ///< per-thread cell-pass tallies
   simt::ChunkedOutput near_stage_;
   simt::ChunkedOutput far_stage_;
-  std::vector<std::uint64_t> warp_near_or_;
-  std::vector<std::uint64_t> warp_far_or_;
+  aligned_vector<std::uint64_t> warp_near_or_;
+  aligned_vector<std::uint64_t> warp_far_or_;
 };
 
 }  // namespace grx

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/timer.hpp"
+#include "verify/sched.hpp"
 
 namespace grx {
 namespace {
@@ -52,9 +53,10 @@ DynamicGraph::DynamicGraph(const Csr& base, DynamicGraphOptions options)
   auto snap = std::make_unique<detail::GraphSnapshot>();
   snap->epoch = 0;
   snap->graph = base_;
-  head_.store(snap.get(), std::memory_order_seq_cst);
+  verify::sched_store(head_, snap.get(), std::memory_order_seq_cst);
   head_owner_ = std::move(snap);
-  snapshots_created_.store(1, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_store(snapshots_created_, 1, std::memory_order_relaxed);
 }
 
 DynamicGraph::~DynamicGraph() {
@@ -67,7 +69,8 @@ SnapshotView DynamicGraph::snapshot() const {
   // the loaded snapshot (and anything newer it is replaced by) retires at
   // an epoch above our announcement, so it outlives this view.
   auto pin = reclaimer_.pin();
-  const detail::GraphSnapshot* snap = head_.load(std::memory_order_seq_cst);
+  const detail::GraphSnapshot* snap =
+      verify::sched_load(head_, std::memory_order_seq_cst);
   return SnapshotView(std::move(pin), snap);
 }
 
@@ -86,17 +89,21 @@ void DynamicGraph::apply_one(VertexId src, VertexId dst, Weight weight,
   GRX_CHECK_MSG(src < n_ && dst < n_, "EdgeUpdate endpoint out of range");
   if (insert) {
     if (edge_exists(src, dst)) {
-      weight_updates_.fetch_add(1, std::memory_order_relaxed);
+      // mo: relaxed — monitoring counter for stats(); no synchronization.
+      verify::sched_fetch_add(weight_updates_, 1, std::memory_order_relaxed);
     } else {
-      edges_inserted_.fetch_add(1, std::memory_order_relaxed);
+      // mo: relaxed — monitoring counter for stats(); no synchronization.
+      verify::sched_fetch_add(edges_inserted_, 1, std::memory_order_relaxed);
     }
     delta_[src][dst] = weight;
   } else {
     if (edge_exists(src, dst)) {
-      edges_removed_.fetch_add(1, std::memory_order_relaxed);
+      // mo: relaxed — monitoring counter for stats(); no synchronization.
+      verify::sched_fetch_add(edges_removed_, 1, std::memory_order_relaxed);
       delta_[src][dst] = std::nullopt;  // tombstone overrides base_
     } else {
-      updates_ignored_.fetch_add(1, std::memory_order_relaxed);
+      // mo: relaxed — monitoring counter for stats(); no synchronization.
+      verify::sched_fetch_add(updates_ignored_, 1, std::memory_order_relaxed);
     }
   }
 }
@@ -175,13 +182,18 @@ void DynamicGraph::fold_delta_locked() {
   // is unchanged — compaction never publishes an epoch.
   base_ = head_owner_->graph;
   delta_.clear();
-  delta_edges_.store(0, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_store(delta_edges_, 0, std::memory_order_relaxed);
   batches_since_compact_ = 0;
-  compactions_.fetch_add(1, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(compactions_, 1, std::memory_order_relaxed);
   const auto us = static_cast<std::uint64_t>(timer.elapsed_ms() * 1000.0);
-  compact_us_total_.fetch_add(us, std::memory_order_relaxed);
-  if (us > compact_us_max_.load(std::memory_order_relaxed)) {
-    compact_us_max_.store(us, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(compact_us_total_, us, std::memory_order_relaxed);
+  // mo: relaxed — monitoring high-water mark; writer-serialised, so the
+  // read-compare-store needs no atomicity beyond the word itself.
+  if (us > verify::sched_load(compact_us_max_, std::memory_order_relaxed)) {
+    verify::sched_store(compact_us_max_, us, std::memory_order_relaxed);
   }
 }
 
@@ -196,7 +208,8 @@ Epoch DynamicGraph::apply_updates(std::span<const EdgeUpdate> updates) {
   }
   std::uint64_t delta_edges = 0;
   for (const auto& [v, dv] : delta_) delta_edges += dv.size();
-  delta_edges_.store(delta_edges, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_store(delta_edges_, delta_edges, std::memory_order_relaxed);
 
   // Publish: make the new snapshot reachable, advance the epoch, retire
   // the old head at the post-advance epoch (no reader announcing >= it
@@ -205,12 +218,14 @@ Epoch DynamicGraph::apply_updates(std::span<const EdgeUpdate> updates) {
   snap->epoch = reclaimer_.current() + 1;
   snap->graph = materialize();
   const detail::GraphSnapshot* published = snap.get();
-  head_.store(published, std::memory_order_seq_cst);
+  verify::sched_store(head_, published, std::memory_order_seq_cst);
   const Epoch retire_at = reclaimer_.advance();
   reclaimer_.retire(std::move(head_owner_), retire_at);
   head_owner_ = std::move(snap);
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
-  snapshots_created_.fetch_add(1, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(batches_applied_, 1, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(snapshots_created_, 1, std::memory_order_relaxed);
 
   ++batches_since_compact_;
   if (options_.compact_every != 0 &&
@@ -218,7 +233,9 @@ Epoch DynamicGraph::apply_updates(std::span<const EdgeUpdate> updates) {
     fold_delta_locked();
   }
 
-  snapshots_freed_.fetch_add(reclaimer_.collect(), std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(snapshots_freed_, reclaimer_.collect(),
+                          std::memory_order_relaxed);
   return published->epoch;
 }
 
@@ -234,25 +251,31 @@ void DynamicGraph::compact() {
 std::size_t DynamicGraph::collect() {
   std::lock_guard<std::mutex> lock(writer_mu_);
   const std::size_t freed = reclaimer_.collect();
-  snapshots_freed_.fetch_add(freed, std::memory_order_relaxed);
+  // mo: relaxed — monitoring counter for stats(); no synchronization.
+  verify::sched_fetch_add(snapshots_freed_, freed, std::memory_order_relaxed);
   return freed;
 }
 
 DynamicGraphStats DynamicGraph::stats() const {
   DynamicGraphStats s;
   s.epoch = reclaimer_.current();
-  s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
-  s.edges_inserted = edges_inserted_.load(std::memory_order_relaxed);
-  s.edges_removed = edges_removed_.load(std::memory_order_relaxed);
-  s.weight_updates = weight_updates_.load(std::memory_order_relaxed);
-  s.updates_ignored = updates_ignored_.load(std::memory_order_relaxed);
-  s.compactions = compactions_.load(std::memory_order_relaxed);
-  s.snapshots_created = snapshots_created_.load(std::memory_order_relaxed);
-  s.snapshots_freed = snapshots_freed_.load(std::memory_order_relaxed);
+  const auto rd = [](const std::atomic<std::uint64_t>& c) {
+    // mo: relaxed — monitoring counter snapshot; torn cross-counter views
+    // are acceptable, each word is atomic on its own.
+    return verify::sched_load(c, std::memory_order_relaxed);
+  };
+  s.batches_applied = rd(batches_applied_);
+  s.edges_inserted = rd(edges_inserted_);
+  s.edges_removed = rd(edges_removed_);
+  s.weight_updates = rd(weight_updates_);
+  s.updates_ignored = rd(updates_ignored_);
+  s.compactions = rd(compactions_);
+  s.snapshots_created = rd(snapshots_created_);
+  s.snapshots_freed = rd(snapshots_freed_);
   s.live_snapshots = s.snapshots_created - s.snapshots_freed;
-  s.delta_edges = delta_edges_.load(std::memory_order_relaxed);
-  s.compact_us_total = compact_us_total_.load(std::memory_order_relaxed);
-  s.compact_us_max = compact_us_max_.load(std::memory_order_relaxed);
+  s.delta_edges = rd(delta_edges_);
+  s.compact_us_total = rd(compact_us_total_);
+  s.compact_us_max = rd(compact_us_max_);
   return s;
 }
 

@@ -1,12 +1,23 @@
 // Host-side atomic helpers mirroring the CUDA intrinsics the paper relies
 // on (atomicMin for SSSP relaxation, atomicAdd for PageRank/BC, atomicCAS
-// for unique discovery). Built on std::atomic_ref so plain arrays stay
-// plain for the serial baselines.
+// for unique discovery). Built on the verify seam's sched_raw_* wrappers
+// (std::atomic_ref underneath) so plain arrays stay plain for the serial
+// baselines and vector backends, while -DGRX_MODEL_CHECK builds get a
+// scheduling point before every operation.
+//
+// Memory-order discipline: every helper is relaxed. These atomics race on
+// dense per-vertex cells (depths, distances, lane masks) inside one BSP
+// round; the frontier assembler's round barrier is the only
+// synchronization edge the kernels rely on, and it carries the ordering.
+// No kernel publishes a pointer or flag through these cells, so nothing
+// here needs acquire/release.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <type_traits>
+
+#include "verify/sched.hpp"
 
 namespace grx::simt {
 
@@ -14,10 +25,11 @@ namespace grx::simt {
 template <typename T>
 T atomic_min(T& target, T value) {
   static_assert(std::is_integral_v<T>);
-  std::atomic_ref<T> ref(target);
-  T cur = ref.load(std::memory_order_relaxed);
-  while (value < cur &&
-         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  // mo: relaxed — monotone min over a data cell; round barrier orders it.
+  T cur = verify::sched_raw_load(target, std::memory_order_relaxed);
+  while (value < cur && !verify::sched_raw_cas(target, cur, value,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
   }
   return cur;
 }
@@ -26,14 +38,16 @@ T atomic_min(T& target, T value) {
 template <typename T>
 T atomic_add(T& target, T value) {
   if constexpr (std::is_integral_v<T>) {
-    std::atomic_ref<T> ref(target);
-    return ref.fetch_add(value, std::memory_order_relaxed);
+    // mo: relaxed — commutative accumulation; round barrier orders it.
+    return verify::sched_raw_fetch_add(target, value,
+                                       std::memory_order_relaxed);
   } else {
     // Floating point: CAS loop (CUDA's atomicAdd(float*) in spirit).
-    std::atomic_ref<T> ref(target);
-    T cur = ref.load(std::memory_order_relaxed);
-    while (!ref.compare_exchange_weak(cur, cur + value,
-                                      std::memory_order_relaxed)) {
+    // mo: relaxed — commutative accumulation; round barrier orders it.
+    T cur = verify::sched_raw_load(target, std::memory_order_relaxed);
+    while (!verify::sched_raw_cas(target, cur, cur + value,
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
     }
     return cur;
   }
@@ -42,8 +56,10 @@ T atomic_add(T& target, T value) {
 /// atomicCAS(addr, expected, desired): returns the value before the op.
 template <typename T>
 T atomic_cas(T& target, T expected, T desired) {
-  std::atomic_ref<T> ref(target);
-  ref.compare_exchange_strong(expected, desired, std::memory_order_relaxed);
+  // mo: relaxed — claim token in a data cell, not a publication flag; the
+  // claimed vertex's payload is only read after the round barrier.
+  verify::sched_raw_cas(target, expected, desired, std::memory_order_relaxed,
+                        std::memory_order_relaxed);
   return expected;  // compare_exchange updates `expected` to the old value.
 }
 
@@ -53,27 +69,28 @@ T atomic_cas(T& target, T expected, T desired) {
 template <typename T>
 T atomic_fetch_or(T& target, T value) {
   static_assert(std::is_integral_v<T>);
-  std::atomic_ref<T> ref(target);
-  return ref.fetch_or(value, std::memory_order_relaxed);
+  // mo: relaxed — commutative mask merge; round barrier orders it.
+  return verify::sched_raw_fetch_or(target, value, std::memory_order_relaxed);
 }
 
 /// atomicExch(addr, value): returns the previous value.
 template <typename T>
 T atomic_exchange(T& target, T value) {
-  std::atomic_ref<T> ref(target);
-  return ref.exchange(value, std::memory_order_relaxed);
+  // mo: relaxed — value swap on a data cell; round barrier orders it.
+  return verify::sched_raw_exchange(target, value, std::memory_order_relaxed);
 }
 
 template <typename T>
 T atomic_load(const T& target) {
-  std::atomic_ref<const T> ref(target);
-  return ref.load(std::memory_order_relaxed);
+  // mo: relaxed — racy read of a data cell; staleness is benign (retry or
+  // round barrier re-reads).
+  return verify::sched_raw_load(target, std::memory_order_relaxed);
 }
 
 template <typename T>
 void atomic_store(T& target, T value) {
-  std::atomic_ref<T> ref(target);
-  ref.store(value, std::memory_order_relaxed);
+  // mo: relaxed — data-cell write made visible by the round barrier.
+  verify::sched_raw_store(target, value, std::memory_order_relaxed);
 }
 
 }  // namespace grx::simt

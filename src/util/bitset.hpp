@@ -1,4 +1,11 @@
 // Concurrent bitset used for visited maps and frontier bitmaps.
+//
+// Memory-order discipline: everything here is relaxed. The bitset is a
+// kernel data cell — bits race within one BSP round and the frontier
+// assembler's round barrier carries the ordering; no bit publishes a
+// pointer or guards other data. Operations route through the verify seam
+// (verify/sched.hpp): identity in normal builds, scheduling points under
+// GRX_MODEL_CHECK.
 #pragma once
 
 #include <atomic>
@@ -6,6 +13,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "verify/sched.hpp"
 
 namespace grx {
 
@@ -25,7 +33,8 @@ class AtomicBitset {
   std::size_t size() const { return bits_; }
 
   void clear() {
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    // mo: relaxed — single-writer reset phase; round barrier orders it.
+    for (auto& w : words_) verify::sched_store(w, 0, std::memory_order_relaxed);
   }
 
   /// Sizes to `bits` with every bit zero, reusing capacity when the size
@@ -41,19 +50,27 @@ class AtomicBitset {
 
   bool test(std::size_t i) const {
     GRX_CHECK(i < bits_);
-    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ULL;
+    // mo: relaxed — racy read of a data bit; staleness is benign (the
+    // round barrier re-reads).
+    return (verify::sched_load(words_[i >> 6], std::memory_order_relaxed) >>
+            (i & 63)) &
+           1ULL;
   }
 
   void set(std::size_t i) {
     GRX_CHECK(i < bits_);
-    words_[i >> 6].fetch_or(1ULL << (i & 63), std::memory_order_relaxed);
+    // mo: relaxed — commutative, idempotent mask OR; round barrier orders.
+    verify::sched_fetch_or(words_[i >> 6], 1ULL << (i & 63),
+                           std::memory_order_relaxed);
   }
 
   /// Clears bit i. Enables incremental bitmap maintenance: clear only the
   /// previous frontier's bits instead of a full O(bits) wipe per iteration.
   void reset(std::size_t i) {
     GRX_CHECK(i < bits_);
-    words_[i >> 6].fetch_and(~(1ULL << (i & 63)), std::memory_order_relaxed);
+    // mo: relaxed — commutative mask AND; round barrier orders it.
+    verify::sched_fetch_and(words_[i >> 6], ~(1ULL << (i & 63)),
+                            std::memory_order_relaxed);
   }
 
   /// Non-atomic set/reset for single-writer phases (e.g. the serial bitmap
@@ -62,14 +79,20 @@ class AtomicBitset {
   void set_unsync(std::size_t i) {
     GRX_CHECK(i < bits_);
     auto& w = words_[i >> 6];
-    w.store(w.load(std::memory_order_relaxed) | (1ULL << (i & 63)),
-            std::memory_order_relaxed);
+    // mo: relaxed — caller-guaranteed single writer; no ordering needed.
+    verify::sched_store(
+        w,
+        verify::sched_load(w, std::memory_order_relaxed) | (1ULL << (i & 63)),
+        std::memory_order_relaxed);
   }
   void reset_unsync(std::size_t i) {
     GRX_CHECK(i < bits_);
     auto& w = words_[i >> 6];
-    w.store(w.load(std::memory_order_relaxed) & ~(1ULL << (i & 63)),
-            std::memory_order_relaxed);
+    // mo: relaxed — caller-guaranteed single writer; no ordering needed.
+    verify::sched_store(
+        w,
+        verify::sched_load(w, std::memory_order_relaxed) & ~(1ULL << (i & 63)),
+        std::memory_order_relaxed);
   }
 
   /// Sets bit i; returns true iff this call flipped it from 0 to 1.
@@ -77,16 +100,19 @@ class AtomicBitset {
   bool test_and_set(std::size_t i) {
     GRX_CHECK(i < bits_);
     const std::uint64_t mask = 1ULL << (i & 63);
-    const std::uint64_t prev =
-        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    // mo: relaxed — the winner is decided by RMW atomicity alone; the
+    // claimed vertex's payload is read only after the round barrier.
+    const std::uint64_t prev = verify::sched_fetch_or(
+        words_[i >> 6], mask, std::memory_order_relaxed);
     return (prev & mask) == 0;
   }
 
   std::size_t count() const {
     std::size_t n = 0;
+    // mo: relaxed — diagnostic tally; round barrier precedes exact uses.
     for (const auto& w : words_)
-      n += static_cast<std::size_t>(
-          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+      n += static_cast<std::size_t>(__builtin_popcountll(
+          verify::sched_load(w, std::memory_order_relaxed)));
     return n;
   }
 

@@ -1,0 +1,63 @@
+// The model checker's event vocabulary: every scheduling-visible operation
+// a virtual thread can perform is one Access — an (object, kind) pair. The
+// DPOR explorer (verify/explore.hpp) reasons about schedules purely in
+// terms of these pairs: two accesses *commute* (executing them in either
+// order reaches the same state) unless dependent() says otherwise, and
+// only non-commuting pairs ever force the explorer to try both orders.
+//
+// This header is deliberately tiny and macro-free so the seam
+// (verify/sched.hpp) can name OpKind in normal builds without pulling in
+// the fiber machinery.
+#pragma once
+
+#include <cstdint>
+
+namespace grx::verify {
+
+/// What a scheduling point is about to do.
+enum class OpKind : std::uint8_t {
+  kLoad,    ///< atomic load
+  kStore,   ///< atomic store
+  kRmw,     ///< atomic read-modify-write (fetch_add, CAS, exchange, ...)
+  kLock,      ///< SchedMutex acquire (enabled only while the mutex is free)
+  kUnlock,    ///< SchedMutex release
+  kJoin,      ///< join on a virtual thread (enabled once it finished)
+  kSpawn,     ///< a freshly spawned thread's "become runnable" pseudo-op
+  kCvWait,    ///< SchedCondVar park (enabled once a notify covers it)
+  kCvNotify,  ///< SchedCondVar notify_all
+};
+
+/// One scheduling-visible operation: the shared object it touches and how.
+struct Access {
+  const void* obj = nullptr;
+  OpKind kind = OpKind::kLoad;
+};
+
+/// Dependence relation for partial-order reduction. Conservative in the
+/// safe direction: claiming two accesses dependent only costs redundant
+/// schedules; claiming independence wrongly would lose coverage, so only
+/// provably commuting pairs are independent:
+///   - accesses to different objects,
+///   - two loads of the same object,
+///   - kJoin / kSpawn pseudo-ops (no memory effect: their ordering is
+///     fully captured by enabledness, and the waited-on thread's real
+///     operations carry their own dependencies).
+inline bool dependent(const Access& a, const Access& b) {
+  if (a.obj == nullptr || b.obj == nullptr) return false;
+  if (a.kind == OpKind::kJoin || b.kind == OpKind::kJoin) return false;
+  if (a.kind == OpKind::kSpawn || b.kind == OpKind::kSpawn) return false;
+  // Condvar ops: a notify and a wait on the same cv must be tried in both
+  // orders (notify-before-registration is a missed wakeup); two waits, or
+  // two notifies, commute, and cv ops never alias non-cv objects.
+  if (a.kind == OpKind::kCvWait || a.kind == OpKind::kCvNotify ||
+      b.kind == OpKind::kCvWait || b.kind == OpKind::kCvNotify) {
+    if (a.obj != b.obj) return false;
+    return (a.kind == OpKind::kCvNotify && b.kind == OpKind::kCvWait) ||
+           (a.kind == OpKind::kCvWait && b.kind == OpKind::kCvNotify);
+  }
+  if (a.obj != b.obj) return false;
+  if (a.kind == OpKind::kLoad && b.kind == OpKind::kLoad) return false;
+  return true;
+}
+
+}  // namespace grx::verify

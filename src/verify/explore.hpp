@@ -1,0 +1,221 @@
+// Stateless-exploration model checking with dynamic partial order
+// reduction. explore(body) runs `body` — a program that spawns 2-4
+// virtual threads whose shared accesses go through the verify seam —
+// under every distinguishable schedule, by repeatedly re-executing it
+// from scratch with a forced choice prefix (stateless DFS, Verisoft
+// style: no state capture, just deterministic replay).
+//
+// Pruning is the classic persistent-set + sleep-set combination:
+//
+//   - Backtrack (persistent) sets, per Flanagan-Godefroid DPOR: when a
+//     state is first reached, each unfinished thread's NEXT operation is
+//     raced backwards against the trace — the last earlier operation of
+//     a DIFFERENT thread it does not commute with (verify/access.hpp's
+//     dependent()) marks a state where reversing the pair could matter,
+//     so the thread is added to that state's backtrack set (or, if it
+//     was not enabled there, the whole enabled set is — the conservative
+//     fallback). Only backtrack-set members are ever tried as
+//     alternatives; independent operations never multiply schedules.
+//     We deliberately skip the happens-before (vector clock) filter of
+//     full DPOR — it only ADDS backtrack points, which costs redundant
+//     schedules but never coverage. At the 2-4-thread, <100-step scope
+//     of tests/model/ the simplicity is worth more than the extra
+//     pruning.
+//
+//   - Sleep sets: after a choice is fully explored at a state, it goes
+//     to sleep there; descendants do not re-try it until an operation
+//     dependent with it executes (which wakes it). A run whose every
+//     enabled thread is asleep is provably redundant and aborted early
+//     (counted in Report::pruned_runs, not complete_runs).
+//
+// Soundness note: claiming dependence when unsure is safe, claiming
+// independence is not — dependent() is written conservative in exactly
+// that direction. The checker's own regression (tests/model/
+// model_selftest.cpp) includes bugs that MUST be caught and
+// independence patterns that MUST prune.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/access.hpp"
+#include "verify/scheduler.hpp"
+
+namespace grx::verify {
+
+struct ExploreOptions {
+  /// Ceiling on explored schedules (complete + sleep-set-pruned runs).
+  /// Hitting it sets Report::budget_exhausted — the spec is too big for
+  /// exhaustive coverage and should shrink, not the budget grow.
+  std::uint64_t max_schedules = 200000;
+  /// Per-run step ceiling; exceeding it is reported as a violation
+  /// (schedule-dependent livelock), see Execution.
+  std::uint32_t max_steps_per_run = 50000;
+};
+
+struct Report {
+  std::uint64_t complete_runs = 0;  ///< schedules executed to completion
+  std::uint64_t pruned_runs = 0;    ///< runs cut short as sleep-set blocked
+  std::uint64_t steps = 0;          ///< total seam operations executed
+  /// Multinomial count of thread-step arrangements of the first complete
+  /// trace — the schedule count a naive enumerator would face. DPOR's
+  /// value is explored() << naive_interleavings; the model tests assert
+  /// the strict inequality.
+  long double naive_interleavings = 0.0L;
+  bool violation = false;
+  bool budget_exhausted = false;
+  std::string message;
+  /// Thread-id sequence of the violating schedule (replay recipe).
+  std::vector<int> witness;
+
+  std::uint64_t explored() const { return complete_runs + pruned_runs; }
+  bool ok() const { return !violation && !budget_exhausted; }
+};
+
+/// Exhaustively explores `body` and returns what happened. The body is
+/// re-invoked once per schedule; it must be deterministic apart from
+/// scheduling (no wall-clock, no RNG without a fixed seed).
+inline Report explore(const std::function<void()>& body,
+                      ExploreOptions opts = {}) {
+  struct Node {
+    int chosen = -1;            ///< thread stepped at this state (-1: pick)
+    std::uint32_t enabled = 0;  ///< enabled mask when first reached
+    std::uint32_t backtrack = 0;  ///< threads worth trying here (DPOR)
+    std::uint32_t sleep = 0;      ///< inherited sleep ∪ fully explored here
+    Access acc{};                 ///< access the chosen thread performed
+    std::array<Access, Execution::kMaxThreads> pend{};  ///< per-thread next op
+  };
+
+  Report rep;
+  std::vector<Node> stack;  // current trace; doubles as the replay recipe
+
+  auto fail = [&](const Execution& run, std::size_t depth) {
+    rep.violation = true;
+    rep.message = run.violation_message();
+    rep.witness.clear();
+    for (std::size_t i = 0; i < depth && i < stack.size(); ++i)
+      rep.witness.push_back(stack[i].chosen);
+  };
+
+  while (true) {
+    if (rep.explored() >= opts.max_schedules) {
+      rep.budget_exhausted = true;
+      rep.message = "schedule budget exhausted (" +
+                    std::to_string(opts.max_schedules) +
+                    "): shrink the spec's scope";
+      return rep;
+    }
+
+    Execution run(body, opts.max_steps_per_run);
+    std::size_t i = 0;
+    bool pruned = false;
+    while (!run.finished()) {
+      if (i == stack.size()) {
+        // First visit to this state: snapshot it and do the DPOR race
+        // scans before anything executes from here.
+        Node n;
+        n.enabled = run.enabled_mask();
+        const std::uint32_t parked = run.parked_mask();
+        for (int t = 0; t < run.num_threads(); ++t)
+          if (parked & (1u << t)) n.pend[t] = run.pending(t);
+        if (i > 0) {
+          // Inherit the parent's sleep set minus threads woken by the
+          // parent's executed access (a sleeping thread's pending op is
+          // unchanged, so the parent-state snapshot is still its op).
+          const Node& p = stack[i - 1];
+          std::uint32_t s = p.sleep & ~(1u << p.chosen);
+          while (s != 0) {
+            const int t = std::countr_zero(s);
+            s &= s - 1;
+            if (!dependent(p.pend[t], p.acc)) n.sleep |= 1u << t;
+          }
+        }
+        if (n.enabled == 0) {
+          run.record_violation(
+              "deadlock: every unfinished thread blocked on a lock, join, "
+              "or condvar wait (a missed notify is a lost wakeup)");
+          fail(run, i);
+          return rep;
+        }
+        // Race each thread's next op backwards: the last dependent step
+        // by another thread gets this thread in its state's backtrack
+        // set (or its whole enabled set if the thread wasn't yet
+        // enabled there).
+        std::uint32_t scan = parked;
+        while (scan != 0) {
+          const int t = std::countr_zero(scan);
+          scan &= scan - 1;
+          for (std::size_t j = i; j-- > 0;) {
+            if (stack[j].chosen == t) continue;
+            if (!dependent(stack[j].acc, n.pend[t])) continue;
+            if (stack[j].enabled & (1u << t))
+              stack[j].backtrack |= 1u << t;
+            else
+              stack[j].backtrack |= stack[j].enabled;
+            break;
+          }
+        }
+        stack.push_back(n);
+      }
+
+      Node& n = stack[i];
+      if (n.chosen < 0) {
+        const std::uint32_t cand = n.enabled & ~n.sleep;
+        if (cand == 0) {
+          // Sleep-set blocked: every continuation from here is a
+          // reordering of independent ops already covered elsewhere.
+          pruned = true;
+          break;
+        }
+        n.chosen = std::countr_zero(cand);
+      }
+      n.acc = run.pending(n.chosen);
+      ++rep.steps;
+      if (!run.step(n.chosen)) {
+        fail(run, i + 1);
+        return rep;
+      }
+      ++i;
+    }
+
+    if (pruned) {
+      ++rep.pruned_runs;
+    } else {
+      ++rep.complete_runs;
+      if (rep.complete_runs == 1) {
+        // Naive baseline from the first full trace: interleavings of
+        // this fixed multiset of per-thread steps = N! / Π n_t!.
+        std::array<std::uint32_t, Execution::kMaxThreads> per{};
+        for (const Node& n : stack) ++per[static_cast<std::size_t>(n.chosen)];
+        long double lg = std::lgammal(static_cast<long double>(i) + 1.0L);
+        for (const std::uint32_t c : per)
+          lg -= std::lgammal(static_cast<long double>(c) + 1.0L);
+        rep.naive_interleavings = expl(lg);
+      }
+    }
+
+    // Backtrack: retire the deepest choice into its state's sleep set,
+    // then hunt for the deepest state with an untried backtrack member.
+    while (!stack.empty()) {
+      Node& n = stack.back();
+      if (n.chosen >= 0) {
+        n.sleep |= 1u << n.chosen;
+        n.chosen = -1;
+      }
+      const std::uint32_t rem = n.backtrack & n.enabled & ~n.sleep;
+      if (rem != 0) {
+        n.chosen = std::countr_zero(rem);
+        break;  // next run replays up to here, then diverges
+      }
+      stack.pop_back();
+    }
+    if (stack.empty()) return rep;  // every schedule covered
+  }
+}
+
+}  // namespace grx::verify

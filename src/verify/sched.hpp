@@ -1,0 +1,189 @@
+// The instrumented-atomics seam. Every atomic the concurrency protocols
+// perform (EpochReclaimer pins, CancelToken stop-state, the Server's
+// enact counter, the simt lane helpers) goes through a sched_* wrapper
+// from this header instead of calling std::atomic members directly.
+//
+// In normal builds the wrappers are identity passthroughs — each inline
+// function is exactly the member call it names, with the same memory
+// order, and compiles to the same instruction (bench_batch --smoke and
+// the zero-alloc proofs are the regression for "zero overhead"). Under
+// -DGRX_MODEL_CHECK each wrapper first announces the operation to the
+// active verify::Execution as a yield point, giving the model checker
+// (verify/explore.hpp) a scheduling decision BEFORE every shared access
+// — which is exactly the granularity DPOR needs to enumerate all
+// distinguishable interleavings of a small test program.
+//
+// Two families:
+//   sched_*      — operate on std::atomic<T> (epoch.hpp, cancel.hpp,
+//                  server.cpp, engine.hpp, dynamic.cpp).
+//   sched_raw_*  — operate on plain T lvalues via std::atomic_ref
+//                  (simt/atomic.hpp's lane-word helpers, bitset.hpp),
+//                  where the data is a dense array that must stay
+//                  non-atomic typed for the vector backends.
+//
+// The seam deliberately exposes the same memory_order vocabulary as the
+// raw calls: model checking explores SC interleavings regardless, but
+// the production build must keep the orders the `// mo:` audit argues
+// for, so the wrappers forward them verbatim.
+#pragma once
+
+#include <atomic>
+
+#include "verify/access.hpp"
+
+#ifdef GRX_MODEL_CHECK
+#include "verify/scheduler.hpp"
+/// 1 when the seam schedules (model-check builds), 0 when it passes
+/// through. Model binaries static_assert on this to guard against being
+/// compiled without instrumentation and silently exploring nothing.
+#define GRX_VERIFY_SEAM_ACTIVE 1
+#else
+#define GRX_VERIFY_SEAM_ACTIVE 0
+#endif
+
+namespace grx::verify {
+
+namespace detail {
+#ifdef GRX_MODEL_CHECK
+inline void seam(const void* obj, OpKind kind) {
+  Execution::seam_point(obj, kind);
+}
+#else
+inline void seam(const void*, OpKind) {}
+#endif
+}  // namespace detail
+
+// --- std::atomic<T> family ---------------------------------------------------
+
+template <typename T>
+inline T sched_load(const std::atomic<T>& a,
+                    std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kLoad);
+  return a.load(mo);
+}
+
+template <typename T, typename V>
+inline void sched_store(std::atomic<T>& a, V v,
+                        std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kStore);
+  a.store(static_cast<T>(v), mo);
+}
+
+template <typename T, typename V>
+inline T sched_fetch_add(std::atomic<T>& a, V v,
+                         std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.fetch_add(static_cast<T>(v), mo);
+}
+
+template <typename T, typename V>
+inline T sched_fetch_sub(std::atomic<T>& a, V v,
+                         std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.fetch_sub(static_cast<T>(v), mo);
+}
+
+template <typename T, typename V>
+inline T sched_fetch_or(std::atomic<T>& a, V v,
+                        std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.fetch_or(static_cast<T>(v), mo);
+}
+
+template <typename T, typename V>
+inline T sched_fetch_and(std::atomic<T>& a, V v,
+                         std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.fetch_and(static_cast<T>(v), mo);
+}
+
+template <typename T, typename V>
+inline T sched_exchange(std::atomic<T>& a, V v,
+                        std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.exchange(static_cast<T>(v), mo);
+}
+
+template <typename T>
+inline bool sched_cas_strong(
+    std::atomic<T>& a, T& expected, T desired,
+    std::memory_order success = std::memory_order_seq_cst,
+    std::memory_order failure = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  return a.compare_exchange_strong(expected, desired, success, failure);
+}
+
+template <typename T>
+inline bool sched_cas_weak(
+    std::atomic<T>& a, T& expected, T desired,
+    std::memory_order success = std::memory_order_seq_cst,
+    std::memory_order failure = std::memory_order_seq_cst) {
+  detail::seam(&a, OpKind::kRmw);
+  // Under the model checker a spurious failure would add schedules that
+  // differ in no shared state; use the strong form so every explored
+  // branch is a real interleaving.
+#ifdef GRX_MODEL_CHECK
+  return a.compare_exchange_strong(expected, desired, success, failure);
+#else
+  return a.compare_exchange_weak(expected, desired, success, failure);
+#endif
+}
+
+// --- raw-object family (std::atomic_ref over plain T) ------------------------
+
+template <typename T>
+inline T sched_raw_load(const T& obj,
+                        std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kLoad);
+  return std::atomic_ref<const T>(obj).load(mo);
+}
+
+template <typename T>
+inline void sched_raw_store(T& obj, T v,
+                            std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kStore);
+  std::atomic_ref<T>(obj).store(v, mo);
+}
+
+template <typename T>
+inline T sched_raw_fetch_add(T& obj, T v,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kRmw);
+  return std::atomic_ref<T>(obj).fetch_add(v, mo);
+}
+
+template <typename T>
+inline T sched_raw_fetch_or(T& obj, T v,
+                            std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kRmw);
+  return std::atomic_ref<T>(obj).fetch_or(v, mo);
+}
+
+template <typename T>
+inline T sched_raw_fetch_and(T& obj, T v,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kRmw);
+  return std::atomic_ref<T>(obj).fetch_and(v, mo);
+}
+
+template <typename T>
+inline T sched_raw_exchange(T& obj, T v,
+                            std::memory_order mo = std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kRmw);
+  return std::atomic_ref<T>(obj).exchange(v, mo);
+}
+
+template <typename T>
+inline bool sched_raw_cas(T& obj, T& expected, T desired,
+                          std::memory_order success = std::memory_order_seq_cst,
+                          std::memory_order failure =
+                              std::memory_order_seq_cst) {
+  detail::seam(&obj, OpKind::kRmw);
+  // Always the strong form: simt callers treat one failed CAS as a real
+  // losing race (claim kernels), so a spurious failure would perturb the
+  // byte-identical-results guarantee.
+  return std::atomic_ref<T>(obj).compare_exchange_strong(expected, desired,
+                                                         success, failure);
+}
+
+}  // namespace grx::verify

@@ -1,0 +1,508 @@
+// Cooperative virtual-thread scheduler for the grx model checker.
+//
+// A model-check run executes a small multi-threaded test program — 2 to 4
+// "virtual threads" — under COMPLETE scheduling control: every shared-
+// memory operation routed through the verify seam (verify/sched.hpp,
+// compiled with GRX_MODEL_CHECK) parks its thread at a yield point, and
+// the driver decides which parked thread executes its pending operation
+// next. Virtual threads are ucontext fibers on one OS thread, so a
+// context switch is two swapcontext calls and the whole exploration is
+// single-threaded, deterministic, and sanitizer-free by construction.
+//
+// The scheduler is policy-free: it exposes the set of *enabled* threads
+// (runnable, and — for a pending SchedMutex lock — the mutex is free; for
+// a pending join — the target finished) and executes one chosen pending
+// operation per step(). The exhaustive exploration policy lives in
+// verify/explore.hpp; this header owns only the mechanics:
+//
+//   - Execution: one run of the program under one schedule. Stateless
+//     exploration re-constructs an Execution per schedule and replays a
+//     forced choice prefix.
+//   - spawn()/join(): virtual-thread management for test bodies.
+//   - SchedMutex: a mutex with model-visible lock/unlock steps and true
+//     blocking semantics (a blocked locker is *disabled*, not spinning,
+//     so lock contention does not blow up the schedule space). Outside an
+//     active Execution it degrades to a plain std::mutex.
+//   - require(): invariant assertion; a failure anywhere in any thread
+//     aborts the run and surfaces the violating schedule.
+//   - Deadlock detection: no thread enabled while some are unfinished.
+//
+// Semantics note (documented limitation): the checker explores
+// sequentially-consistent interleavings of the seam operations. That is
+// the CHESS/DPOR model — sound for protocol-logic bugs (lost updates,
+// missed re-checks, premature frees, double resolution, deadlock), but it
+// does NOT model non-SC reorderings a relaxed memory order permits, so a
+// bug that *requires* a store-buffer reordering to manifest is outside
+// its envelope (that class stays owned by TSan + the `// mo:` audit the
+// lint enforces; see docs/verification.md).
+//
+// Abandoning a run cleanly: when the explorer prunes a run mid-way
+// (sleep-set blocked) or tears an Execution down, each parked fiber is
+// resumed one final time in PASSTHROUGH mode — every subsequent seam
+// point returns without parking, so the fiber simply runs to completion
+// and its stack objects (Pins, lock guards) destruct normally. Unwinding
+// by exception instead would have to throw from inside arbitrary
+// noexcept destructors (a lock_guard's unlock, a Pin's release are seam
+// points) and terminate the process. The trade: model programs must
+// terminate under free-running semantics too — no unbounded spin on a
+// flag another thread was going to set (a belt-and-braces op counter
+// aborts with a diagnostic if one slips in). Children drain before the
+// body fiber, so joins-turned-no-ops still see finished children and
+// RAII owners (reclaimers, graphs) see their users released first.
+#pragma once
+
+#include <ucontext.h>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/access.hpp"
+
+namespace grx::verify {
+
+/// Thrown by require() on an invariant violation; caught at the fiber
+/// boundary and reported as this schedule's counterexample.
+class ModelViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Execution {
+ public:
+  /// Fixed small-scope cap: specs use 2-4 threads; 8 leaves headroom and
+  /// lets every thread set live in a 32-bit mask.
+  static constexpr int kMaxThreads = 8;
+  static constexpr std::size_t kStackBytes = 256 * 1024;
+
+  /// Constructs the run with virtual thread 0 = `body` (not yet started;
+  /// the driver's first step(0) enters it). `max_steps` bounds one run —
+  /// exceeding it is reported as a violation (a schedule-dependent
+  /// livelock is a real finding, not a budget artifact).
+  explicit Execution(std::function<void()> body,
+                     std::uint32_t max_steps = 50000)
+      : max_steps_(max_steps) {
+    add_fiber(std::move(body));
+    prev_ = active_;
+    active_ = this;
+  }
+
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  ~Execution() {
+    abort_all();
+    if (active_ == this) active_ = prev_;
+  }
+
+  /// The Execution currently driving this OS thread's fibers (null when
+  /// no model-check run is active — the seam passes through then).
+  static Execution* active() { return active_; }
+
+  // --- driver (explorer) interface -------------------------------------
+
+  int num_threads() const { return static_cast<int>(fibers_.size()); }
+
+  bool finished() const {
+    for (const auto& f : fibers_)
+      if (f->state != Fiber::kDone) return false;
+    return true;
+  }
+
+  /// Bit i set iff thread i is parked and its pending operation can
+  /// execute now.
+  std::uint32_t enabled_mask() const {
+    std::uint32_t m = 0;
+    for (const auto& f : fibers_)
+      if (f->state != Fiber::kDone && op_enabled(*f)) m |= 1u << f->id;
+    return m;
+  }
+
+  /// All unfinished threads, enabled or not (the explorer snapshots
+  /// their pending accesses for sleep-set bookkeeping).
+  std::uint32_t parked_mask() const {
+    std::uint32_t m = 0;
+    for (const auto& f : fibers_)
+      if (f->state != Fiber::kDone) m |= 1u << f->id;
+    return m;
+  }
+
+  /// No thread can move but the program has not finished: every remaining
+  /// thread waits on a lock or join that will never be released.
+  bool deadlocked() const { return !finished() && enabled_mask() == 0; }
+
+  Access pending(int tid) const { return fibers_[tid]->pending; }
+
+  /// Executes thread `tid`'s pending operation and runs it to its next
+  /// yield point (or completion). Returns false when the run must stop:
+  /// a violation was recorded or the step budget tripped.
+  bool step(int tid) {
+    Fiber& f = *fibers_[tid];
+    if (++steps_taken_ > max_steps_) {
+      record_violation(
+          "step budget exceeded (" + std::to_string(max_steps_) +
+          " steps): a schedule-dependent livelock or unbounded spin");
+      return false;
+    }
+    // Lock/unlock effects live in the scheduler's registry so that
+    // enabledness of OTHER threads' pending locks is decidable without
+    // running them.
+    if (f.pending.kind == OpKind::kLock) locked_.push_back(f.pending.obj);
+    if (f.pending.kind == OpKind::kUnlock) release_lock(f.pending.obj);
+    // notify_all's effect is likewise scheduler state: it marks every
+    // CURRENTLY registered waiter on this cv notified (enabling their
+    // parked kCvWait) and consumes the registrations. A wait that
+    // registers after this step missed the wakeup — exactly the lost-
+    // wakeup semantics of real condvars.
+    if (f.pending.kind == OpKind::kCvNotify) {
+      for (std::size_t i = 0; i < cv_waiters_.size();) {
+        if (cv_waiters_[i].first == f.pending.obj) {
+          fibers_[static_cast<std::size_t>(cv_waiters_[i].second)]
+              ->cv_notified = true;
+          cv_waiters_.erase(cv_waiters_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    resume(f);
+    return !violation_;
+  }
+
+  bool has_violation() const { return violation_; }
+  const std::string& violation_message() const { return violation_msg_; }
+  std::uint32_t steps_taken() const { return steps_taken_; }
+
+  // --- fiber-side interface (via seam and free functions) ---------------
+
+  /// The seam's yield point: parks the calling fiber with `a` pending and
+  /// hands control to the driver; when the driver picks this thread, the
+  /// call returns and the caller performs the real operation. No-op when
+  /// called outside a fiber (driver context / setup code) or while a
+  /// fiber is unwinding an abandoned run.
+  static void seam_point(const void* obj, OpKind kind) {
+    Execution* ex = active_;
+    if (ex == nullptr || ex->running_ < 0) return;
+    ex->yield_op(Access{obj, kind});
+  }
+
+  /// Spawns a virtual thread; returns its id. The thread starts parked on
+  /// a kSpawn pseudo-op — it runs no user code until the driver steps it.
+  int spawn(std::function<void()> fn) {
+    if (fibers_.size() >= kMaxThreads)
+      throw ModelViolation("model program spawned more than " +
+                           std::to_string(kMaxThreads) + " threads");
+    return add_fiber(std::move(fn));
+  }
+
+  /// Blocks the calling fiber until thread `tid` finishes.
+  void join(int tid) {
+    yield_op(Access{fibers_[tid].get(), OpKind::kJoin});
+  }
+
+  void lock(const void* m) { yield_op(Access{m, OpKind::kLock}); }
+  void unlock(const void* m) { yield_op(Access{m, OpKind::kUnlock}); }
+
+  /// Condvar wait with the standard contract: atomically releases `m` and
+  /// registers on `cv`, parks until a notify covers the registration, then
+  /// reacquires `m`. "Atomically" holds because the fiber runs without
+  /// preemption from the unlock step's resumption to the kCvWait park —
+  /// no other thread can slip a notify between release and registration,
+  /// while a notify ordered before the unlock step is genuinely missed
+  /// (the lost-wakeup race real condvar users must handle; here it
+  /// surfaces as a deadlock verdict if nothing else wakes the waiter).
+  void cv_wait(const void* cv, const void* m) {
+    unlock(m);
+    Fiber& f = *fibers_[running_];
+    if (!f.draining) {
+      f.cv_notified = false;
+      cv_waiters_.emplace_back(cv, f.id);
+    }
+    yield_op(Access{cv, OpKind::kCvWait});
+    lock(m);
+  }
+
+  void cv_notify(const void* cv) { yield_op(Access{cv, OpKind::kCvNotify}); }
+
+  /// True while the CALLING fiber is free-running through an abandoned
+  /// run's teardown. Cooperative blocking loops (condvar predicate waits)
+  /// must give up instead of spinning on state a later-drained thread was
+  /// going to set — during a drain every seam point is a no-op, so the
+  /// spin would never make progress.
+  static bool draining() {
+    Execution* ex = active_;
+    return ex != nullptr && ex->running_ >= 0 &&
+           ex->fibers_[static_cast<std::size_t>(ex->running_)]->draining;
+  }
+
+  /// Records an invariant violation from anywhere inside the run.
+  void record_violation(std::string msg) {
+    if (!violation_) {
+      violation_ = true;
+      violation_msg_ = std::move(msg);
+    }
+  }
+
+ private:
+  struct Fiber {
+    enum State : std::uint8_t {
+      kNew,      ///< context made, user fn not entered yet
+      kParked,   ///< at a yield point, `pending` valid
+      kRunning,  ///< currently on its own stack
+      kDone,     ///< fn returned / unwound
+    };
+
+    int id = 0;
+    State state = kNew;
+    Access pending{};   ///< the op this thread wants to execute next
+    bool draining = false;  ///< abandoned run: seam points pass through
+    bool cv_notified = false;  ///< a notify covered this fiber's cv wait
+    std::function<void()> fn;
+    ucontext_t ctx{};
+    std::unique_ptr<char[]> stack;
+  };
+
+  int add_fiber(std::function<void()> fn) {
+    auto f = std::make_unique<Fiber>();
+    f->id = static_cast<int>(fibers_.size());
+    f->fn = std::move(fn);
+    f->stack = std::make_unique<char[]>(kStackBytes);
+    // The kSpawn pseudo-op: "become runnable". Tagged with the fiber's
+    // own address so it never aliases a user object.
+    f->pending = Access{f.get(), OpKind::kSpawn};
+    getcontext(&f->ctx);
+    f->ctx.uc_stack.ss_sp = f->stack.get();
+    f->ctx.uc_stack.ss_size = kStackBytes;
+    f->ctx.uc_link = &main_ctx_;
+    makecontext(&f->ctx, reinterpret_cast<void (*)()>(&Execution::trampoline),
+                0);
+    fibers_.push_back(std::move(f));
+    return fibers_.back()->id;
+  }
+
+  static void trampoline() {
+    Execution* ex = active_;
+    Fiber& f = *ex->fibers_[ex->running_];
+    try {
+      f.fn();
+    } catch (const ModelViolation& v) {
+      // During a drain the run is already decided; a spurious require()
+      // failure from free-running code is recorded but never read.
+      ex->record_violation(v.what());
+    } catch (const std::exception& e) {
+      ex->record_violation(std::string("exception escaped model thread ") +
+                          std::to_string(f.id) + ": " + e.what());
+    } catch (...) {
+      ex->record_violation("unknown exception escaped model thread " +
+                           std::to_string(f.id));
+    }
+    f.state = Fiber::kDone;
+    swapcontext(&f.ctx, &ex->main_ctx_);  // never returns
+  }
+
+  void yield_op(Access a) {
+    Fiber& f = *fibers_[running_];
+    if (f.draining) {
+      // Free-running teardown. A model program must terminate under
+      // these semantics; a spin-wait that relied on another thread
+      // would hang the whole exploration, so trip loudly instead.
+      if (++drain_ops_ > kDrainOpLimit) {
+        std::fprintf(stderr,
+                     "grx::verify: model thread %d still running after %u "
+                     "passthrough ops during teardown — unbounded spin in "
+                     "a model program\n",
+                     f.id, kDrainOpLimit);
+        std::abort();
+      }
+      return;
+    }
+    f.pending = a;
+    f.state = Fiber::kParked;
+    swapcontext(&f.ctx, &main_ctx_);
+    // Resumed: either the driver chose this op (execute it) or the run
+    // was abandoned (switch to free-running passthrough).
+  }
+
+  void resume(Fiber& f) {
+    const int prev = running_;
+    running_ = f.id;
+    f.state = Fiber::kRunning;
+    swapcontext(&main_ctx_, &f.ctx);
+    if (f.state == Fiber::kRunning) f.state = Fiber::kParked;
+    running_ = prev;
+  }
+
+  bool op_enabled(const Fiber& f) const {
+    switch (f.pending.kind) {
+      case OpKind::kLock:
+        for (const void* m : locked_)
+          if (m == f.pending.obj) return false;
+        return true;
+      case OpKind::kJoin:
+        return static_cast<const Fiber*>(f.pending.obj)->state == Fiber::kDone;
+      case OpKind::kCvWait:
+        return f.cv_notified;
+      default:
+        return true;
+    }
+  }
+
+  void release_lock(const void* m) {
+    for (std::size_t i = 0; i < locked_.size(); ++i) {
+      if (locked_[i] == m) {
+        locked_.erase(locked_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Drains every unfinished fiber to completion in passthrough mode,
+  /// children before the body (fiber 0 last), so RAII state the body
+  /// owns — reclaimers, graphs — sees its users finished before its own
+  /// destructor checks fire. A drain may spawn further fibers (the body
+  /// free-runs past its joins); those start as kNew and are retired in
+  /// follow-up sweeps until the pool is quiescent.
+  void abort_all() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int id = static_cast<int>(fibers_.size()) - 1; id >= 0; --id) {
+        Fiber& f = *fibers_[id];
+        if (f.state == Fiber::kDone) continue;
+        progress = true;
+        if (f.state == Fiber::kNew) {
+          // Never entered user code: nothing on the stack to release.
+          f.state = Fiber::kDone;
+          continue;
+        }
+        f.draining = true;
+        resume(f);  // runs to completion; seam points pass through
+      }
+    }
+  }
+
+  /// Teardown spin backstop: generous enough for any legitimate drain
+  /// (the longest model run is a few hundred ops), tiny next to a hang.
+  static constexpr std::uint32_t kDrainOpLimit = 10'000'000;
+
+  inline static Execution* active_ = nullptr;
+
+  Execution* prev_ = nullptr;
+  std::uint32_t drain_ops_ = 0;
+  ucontext_t main_ctx_{};
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<const void*> locked_;  ///< mutex objects currently held
+  std::vector<std::pair<const void*, int>> cv_waiters_;  ///< (cv, fiber id)
+  int running_ = -1;                 ///< fiber on its own stack, -1 = driver
+  std::uint32_t steps_taken_ = 0;
+  std::uint32_t max_steps_;
+  bool violation_ = false;
+  std::string violation_msg_;
+};
+
+// --- test-program surface ----------------------------------------------------
+
+/// Handle to a spawned virtual thread (or, outside a model run, to work
+/// already executed synchronously — the degenerate single-schedule case).
+struct VThread {
+  int tid = -1;
+  void join() const {
+    if (Execution* ex = Execution::active(); ex != nullptr && tid >= 0)
+      ex->join(tid);
+  }
+};
+
+/// Spawns a virtual thread inside a model run. Outside one (plain builds,
+/// or setup code before explore()), runs `fn` synchronously so helper code
+/// stays usable everywhere.
+inline VThread spawn(std::function<void()> fn) {
+  if (Execution* ex = Execution::active(); ex != nullptr)
+    return VThread{ex->spawn(std::move(fn))};
+  fn();
+  return VThread{};
+}
+
+/// Invariant assertion for model programs: a failure in any virtual
+/// thread ends the run and reports this schedule as the counterexample.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw ModelViolation("invariant violated: " + what);
+}
+
+/// A mutex whose lock/unlock are model-visible steps with true blocking
+/// semantics under an Execution (a blocked locker is disabled, not
+/// spinning). Outside a model run it is a plain std::mutex, so protocol
+/// models double as ordinary thread-safe code. BasicLockable, so
+/// std::lock_guard works in both worlds.
+class SchedMutex {
+ public:
+  void lock() {
+    if (Execution* ex = Execution::active(); ex != nullptr) {
+      ex->lock(this);
+      return;
+    }
+    mu_.lock();
+  }
+
+  void unlock() {
+    if (Execution* ex = Execution::active(); ex != nullptr) {
+      ex->unlock(this);
+      return;
+    }
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Condition variable over SchedMutex. Inside a model run, wait/notify are
+/// model-visible steps with real lost-wakeup semantics (a notify that
+/// executes before the waiter registers is missed — if nothing else wakes
+/// the waiter the schedule is reported as a deadlock). Outside a model run
+/// it is a plain std::condition_variable_any, so protocol models double as
+/// ordinary thread-safe code.
+class SchedCondVar {
+ public:
+  void wait(SchedMutex& m) {
+    if (Execution* ex = Execution::active(); ex != nullptr) {
+      ex->cv_wait(this, &m);
+      return;
+    }
+    cv_.wait(m);
+  }
+
+  /// Predicate form: callers must re-check their exit condition after it
+  /// returns (like a spurious wakeup) — on an abandoned run's teardown it
+  /// gives up waiting with the predicate still false so free-running
+  /// fibers can terminate.
+  template <class Pred>
+  void wait(SchedMutex& m, Pred pred) {
+    while (!pred()) {
+      if (Execution::draining()) return;
+      wait(m);
+    }
+  }
+
+  void notify_all() {
+    if (Execution* ex = Execution::active(); ex != nullptr) {
+      ex->cv_notify(this);
+      return;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace grx::verify

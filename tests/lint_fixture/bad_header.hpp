@@ -1,0 +1,10 @@
+// Deliberately NOT self-contained: uses std::vector without including
+// <vector>. `tools/grx_lint --self-test` compiles this standalone and
+// requires the [header] rule to fail on it.
+#pragma once
+
+namespace fixture {
+
+inline std::vector<int> needs_vector_header() { return {}; }
+
+}  // namespace fixture

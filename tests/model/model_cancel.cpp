@@ -1,0 +1,108 @@
+// Exhaustive small-scope spec of the REAL CancelToken (src/core/cancel.hpp)
+// under a racing cancel: a parent tripped concurrently with child_of()
+// and the child's per-round checkpoints must never lose the stop request.
+//
+// Unlike the server-side protocols, CancelToken is header-only, so the
+// model drives the production class itself (instrumented through the
+// seam) — no replica needed. The properties:
+//
+//   - Monotonic visibility: once child.cancelled() returns true, the next
+//     checkpoint MUST throw CancelledError — a checkpoint can never
+//     "un-see" an ancestor's trip.
+//   - No lost cancel: after the canceller is joined, the chain walk from
+//     any child (even one minted after the fact) observes the trip, and a
+//     checkpoint on it stops the enactment.
+//   - A child minted while cancel() is in flight is safe either way: the
+//     enactment either runs to completion (cancel landed too late) or
+//     stops with the typed error — never anything else.
+#include <cstdint>
+#include <memory>
+
+#include "core/cancel.hpp"
+#include "model_common.hpp"
+#include "verify/sched.hpp"
+
+namespace grx::verify {
+namespace {
+
+using model::expect_exhaustive_pass;
+
+constexpr std::uint32_t kRounds = 2;
+
+struct CancelState {
+  CancelToken parent = CancelToken::make();
+  bool stopped = false;        // enactor: checkpoint threw CancelledError
+  bool completed = false;      // enactor: ran all rounds unstopped
+};
+
+// The enacting side: mint a child mid-race (the server wraps the client
+// token exactly this way) and run the between-rounds checkpoint loop.
+void enactor(const std::shared_ptr<CancelState>& st) {
+  const CancelToken child = CancelToken::child_of(st->parent);
+  for (std::uint32_t r = 0; r < kRounds; ++r) {
+    const bool visible = child.cancelled();
+    bool threw = false;
+    try {
+      child.checkpoint(r);
+    } catch (const CancelledError&) {
+      threw = true;
+    }
+    if (visible)
+      require(threw, "checkpoint ignored an already-visible ancestor cancel");
+    if (threw) {
+      st->stopped = true;
+      return;
+    }
+  }
+  st->completed = true;
+}
+
+TEST(ModelCancel, ParentCancelRacesChildCheckpoints) {
+  const Report r = explore([] {
+    auto st = std::make_shared<CancelState>();
+    VThread canceller = spawn([st] { st->parent.cancel(); });
+    VThread enact = spawn([st] { enactor(st); });
+    canceller.join();
+    enact.join();
+    // Exactly one fate, never both and never neither.
+    require(st->stopped != st->completed,
+            "enactment neither stopped nor completed (or both)");
+    // The cancel is globally visible once the canceller is joined: a
+    // child minted NOW (parent cancelled between child_of and its first
+    // checkpoint, taken to the limit) must observe the trip through the
+    // chain walk and stop immediately.
+    require(st->parent.cancelled(), "parent lost its own cancel");
+    const CancelToken late = CancelToken::child_of(st->parent);
+    require(late.cancelled(), "late child does not see ancestor trip");
+    bool threw = false;
+    try {
+      late.checkpoint(0);
+    } catch (const CancelledError&) {
+      threw = true;
+    }
+    require(threw, "checkpoint after joined cancel did not stop");
+  });
+  expect_exhaustive_pass("cancel-parent-child-race", r);
+}
+
+// Two independent children of one parent: a single cancel stops both —
+// no checkpoint order loses it for either sibling.
+TEST(ModelCancel, SiblingChildrenBothStop) {
+  const Report r = explore([] {
+    auto st = std::make_shared<CancelState>();
+    auto st2 = std::make_shared<CancelState>();
+    st2->parent = st->parent;  // shared ancestor
+    VThread canceller = spawn([st] { st->parent.cancel(); });
+    VThread e1 = spawn([st] { enactor(st); });
+    VThread e2 = spawn([st2] { enactor(st2); });
+    canceller.join();
+    e1.join();
+    e2.join();
+    require(st->stopped != st->completed, "sibling 1: inconsistent fate");
+    require(st2->stopped != st2->completed, "sibling 2: inconsistent fate");
+  });
+  expect_exhaustive_pass("cancel-two-siblings", r);
+}
+
+}  // namespace
+}  // namespace grx::verify

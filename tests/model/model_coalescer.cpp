@@ -1,0 +1,181 @@
+// Exhaustive small-scope spec of the Server's batch-coalescing worker
+// loop (src/api/server.cpp, Server::worker_loop): submissions racing the
+// coalesce-window close, a concurrent graph-epoch publish, and shutdown
+// must leave every submitted query served exactly once, at a snapshot no
+// older than the one that existed when it was queued.
+//
+// The protocol is replicated here (the production loop lives in a .cpp
+// the model binary must not link — ODR: libgrx is compiled without the
+// seam) with the load-bearing lines in the same shape:
+//
+//     cv_.wait(lk, [&]{ return stopped_ || !queue_.empty(); });
+//     if (queue_.empty()) return;     // stopped AND fully drained
+//     <dequeue batch>                 // the close of one coalesce window
+//     if (dyn_) w.view = dyn_->snapshot();   // pin the epoch AT dequeue
+//     lk.unlock(); execute(w, batch); batch.clear();
+//
+// Timed window waits (wait_until) collapse to "drain whatever is queued
+// at dequeue": model time has no clock, and the window-close moment is
+// already covered by the nondeterministic choice of WHEN the worker's
+// dequeue step runs relative to submits and publishes.
+//
+// Mutations (single-line breakages the checker must catch):
+//   - kExitWithoutDrain: shutdown path returns on `stopped` instead of
+//     `queue.empty()` — a query queued before stop() is silently lost.
+//   - kStaleBatchReuse: drop the batch.clear() between iterations — the
+//     previous window's queries are served again with the next batch.
+//   - kPinBeforeWait: read the serving epoch before parking on the cv
+//     instead of at dequeue — a query submitted after an epoch publish is
+//     served at the stale pre-publish snapshot.
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "model_common.hpp"
+#include "verify/sched.hpp"
+
+namespace grx::verify {
+namespace {
+
+using model::expect_caught;
+using model::expect_exhaustive_pass;
+
+enum class Mutation {
+  kNone,
+  kExitWithoutDrain,
+  kStaleBatchReuse,
+  kPinBeforeWait,
+};
+
+constexpr int kItems = 2;
+
+struct Coalescer {
+  explicit Coalescer(Mutation m) : mut(m) {}
+
+  Mutation mut;
+  SchedMutex m;
+  SchedCondVar cv;
+
+  // Guarded by m — the submission queue and shutdown flag, as in Server.
+  std::array<int, kItems> queue{};
+  int qhead = 0;
+  int qtail = 0;
+  bool stopped = false;
+
+  // The graph's publish counter (DynamicGraph epoch), read through the
+  // seam: its advance races the window close.
+  std::atomic<std::uint64_t> epoch{0};
+
+  // Ghost state: how often each query was served and at which snapshot;
+  // the submit-time snapshot it must not be served older than.
+  std::array<int, kItems> served{};
+  std::array<std::uint64_t, kItems> served_at{};
+  std::array<std::uint64_t, kItems> submitted_at{};
+
+  void submit(int id) {
+    {
+      std::lock_guard<SchedMutex> g(m);
+      submitted_at[static_cast<std::size_t>(id)] = sched_load(epoch);
+      queue[static_cast<std::size_t>(qtail)] = id;
+      ++qtail;
+    }
+    // Outside the lock, notify_all — as in Server::submit (a worker mid-
+    // window must wake to fuse the arrival).
+    cv.notify_all();
+  }
+
+  void stop() {
+    {
+      std::lock_guard<SchedMutex> g(m);
+      stopped = true;
+    }
+    cv.notify_all();
+  }
+
+  void worker() {
+    std::array<int, kItems> batch{};
+    int n = 0;
+    for (;;) {
+      if (mut != Mutation::kStaleBatchReuse) n = 0;  // batch.clear()
+      std::uint64_t batch_epoch = 0;
+      if (mut == Mutation::kPinBeforeWait) batch_epoch = sched_load(epoch);
+      std::unique_lock<SchedMutex> lk(m);
+      cv.wait(m, [&] { return stopped || qhead != qtail; });
+      // Bug under test: bail on shutdown WITHOUT draining what's queued.
+      if (mut == Mutation::kExitWithoutDrain && stopped) return;
+      // Production's exit: an empty queue after the wait means stopped
+      // AND fully drained (the predicate guarantees one of the two) — or
+      // an abandoned run's teardown, where returning is equally right.
+      if (qhead == qtail) return;
+      // The window close: take everything queued (drain_compatible), and
+      // pin the serving snapshot NOW, at dequeue.
+      if (mut != Mutation::kPinBeforeWait) batch_epoch = sched_load(epoch);
+      while (qhead != qtail && n < kItems) {
+        batch[static_cast<std::size_t>(n)] =
+            queue[static_cast<std::size_t>(qhead)];
+        ++n;
+        ++qhead;
+      }
+      lk.unlock();
+      // execute(w, batch) — outside the lock, as in production.
+      for (int i = 0; i < n; ++i) {
+        const int id = batch[static_cast<std::size_t>(i)];
+        ++served[static_cast<std::size_t>(id)];
+        served_at[static_cast<std::size_t>(id)] = batch_epoch;
+      }
+    }
+  }
+};
+
+Report explore_coalescer(Mutation mut) {
+  return explore(
+      [mut] {
+        auto c = std::make_shared<Coalescer>(mut);
+        VThread worker = spawn([c] { c->worker(); });
+        VThread producer = spawn([c] {
+          for (int id = 0; id < kItems; ++id) c->submit(id);
+        });
+        VThread publisher = spawn([c] {
+          // One graph publish racing the window: DynamicGraph::publish's
+          // epoch advance.
+          sched_fetch_add(c->epoch, 1);
+        });
+        producer.join();
+        publisher.join();
+        c->stop();
+        worker.join();
+        for (int id = 0; id < kItems; ++id) {
+          const auto i = static_cast<std::size_t>(id);
+          require(c->served[i] != 0, "query lost: submitted, never served");
+          require(c->served[i] == 1, "query served more than once");
+          require(c->served_at[i] >= c->submitted_at[i],
+                  "query served at a snapshot older than its submit epoch");
+        }
+      },
+      ExploreOptions{.max_schedules = 400000});
+}
+
+TEST(ModelCoalescer, WindowPublishStopHolds) {
+  expect_exhaustive_pass("coalescer-trunk",
+                         explore_coalescer(Mutation::kNone));
+}
+
+TEST(ModelCoalescer, MutationExitWithoutDrainCaught) {
+  expect_caught("coalescer-mut-exit-no-drain",
+                explore_coalescer(Mutation::kExitWithoutDrain));
+}
+
+TEST(ModelCoalescer, MutationStaleBatchReuseCaught) {
+  expect_caught("coalescer-mut-stale-batch",
+                explore_coalescer(Mutation::kStaleBatchReuse));
+}
+
+TEST(ModelCoalescer, MutationPinBeforeWaitCaught) {
+  expect_caught("coalescer-mut-pin-before-wait",
+                explore_coalescer(Mutation::kPinBeforeWait));
+}
+
+}  // namespace
+}  // namespace grx::verify

@@ -1,0 +1,61 @@
+// Shared harness for the model-check suite (tests/model/*).
+//
+// These binaries are compiled with -DGRX_MODEL_CHECK and deliberately do
+// NOT link libgrx: the library's objects are built without the define, so
+// linking them would violate the ODR for every inline function that
+// contains a seam point. Each spec includes the headers it exercises
+// (they are self-contained — the header lint proves it) and gets its own
+// instrumented instantiation.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "verify/explore.hpp"
+#include "verify/sched.hpp"
+
+static_assert(GRX_VERIFY_SEAM_ACTIVE == 1,
+              "model specs must be compiled with -DGRX_MODEL_CHECK; a "
+              "passthrough seam would explore exactly one schedule and "
+              "prove nothing");
+
+namespace grx::verify::model {
+
+/// Mutation-catch budget from the issue: every seeded single-line
+/// breakage must be caught within this many explored schedules.
+inline constexpr std::uint64_t kMutationBudget = 100000;
+
+inline void print_report(const char* name, const Report& r) {
+  std::printf(
+      "[ model  ] %-28s explored=%llu (complete=%llu pruned=%llu) "
+      "steps=%llu naive~%.3Le%s%s\n",
+      name, static_cast<unsigned long long>(r.explored()),
+      static_cast<unsigned long long>(r.complete_runs),
+      static_cast<unsigned long long>(r.pruned_runs),
+      static_cast<unsigned long long>(r.steps), r.naive_interleavings,
+      r.violation ? " VIOLATION: " : "", r.violation ? r.message.c_str() : "");
+}
+
+/// Trunk spec: must hold under every schedule, with DPOR exploring
+/// strictly fewer schedules than the naive interleaving count.
+inline void expect_exhaustive_pass(const char* name, const Report& r) {
+  print_report(name, r);
+  EXPECT_FALSE(r.violation) << name << ": " << r.message;
+  EXPECT_FALSE(r.budget_exhausted) << name << ": " << r.message;
+  EXPECT_GT(r.complete_runs, 0u) << name;
+  EXPECT_LT(static_cast<long double>(r.explored()), r.naive_interleavings)
+      << name << ": DPOR explored at least as many schedules as the naive "
+      << "enumeration — pruning is broken";
+}
+
+/// Seeded mutation: some schedule must violate, within the issue's
+/// 10^5-explored-schedules budget.
+inline void expect_caught(const char* name, const Report& r) {
+  print_report(name, r);
+  EXPECT_TRUE(r.violation)
+      << name << ": seeded bug survived exhaustive exploration";
+  EXPECT_LT(r.explored(), kMutationBudget) << name;
+}
+
+}  // namespace grx::verify::model

@@ -1,0 +1,269 @@
+// Exhaustive small-scope spec of the EpochReclaimer pin protocol
+// (src/core/epoch.hpp): no snapshot is freed while a reader's validated
+// pin covers it, and everything retired is eventually reclaimed once
+// pins drop.
+//
+// Two layers:
+//
+//   1. The REAL EpochReclaimer<T>, instrumented through the verify seam,
+//      driven by a writer publishing versions while readers pin and
+//      read. Ghost state (a freed[] side table set by node destructors)
+//      stands in for the memory itself, so a protocol violation shows up
+//      as a require() failure instead of a real use-after-free the
+//      checker could not survive.
+//
+//   2. A line-for-line replica of the protocol (PinProtocol) with
+//      seeded single-line mutations — the breakages the checker must
+//      prove it would catch. The replica exists because the real class's
+//      API cannot express its own bugs.
+//
+// Honesty note on the validate loop: under the checker's sequentially-
+// consistent semantics, dropping pin()'s validate re-read is NOT a
+// catchable bug — with every operation seq_cst, announce-then-read-head
+// is already safe (the writer's scan cannot miss a store that precedes
+// it in the SC total order). The loop exists for weak memory, where the
+// slot store may still sit in a store buffer when the writer scans; that
+// class of bug is owned by TSan and the `// mo:` audit, not by this
+// checker (see docs/verification.md). kSkipValidate below therefore
+// asserts the mutation PASSES — pinning the checker's envelope down in a
+// test instead of letting the claim rot in a comment. The catchable
+// mutations are the SC-visible ones: announcing after the head read,
+// retiring at the pre-publish epoch, and collecting through pins.
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/epoch.hpp"
+#include "model_common.hpp"
+#include "verify/sched.hpp"
+
+namespace grx::verify {
+namespace {
+
+using model::expect_caught;
+using model::expect_exhaustive_pass;
+using model::kMutationBudget;
+using model::print_report;
+
+// ---- layer 1: the real EpochReclaimer ---------------------------------------
+
+constexpr int kVersions = 2;  // publishes per run (epochs 1..kVersions)
+
+struct RealState {
+  // Declared first so it outlives the reclaimer: retired nodes freed by
+  // the reclaimer's own destructor still find their ghost flag.
+  std::array<bool, kVersions + 1> freed{};
+
+  struct Node {
+    // Constructed in place (make_unique forwards) — a braced temporary
+    // would run this dtor at creation and set the ghost flag spuriously.
+    Node(std::array<bool, kVersions + 1>* f, int v) : freed(f), version(v) {}
+    ~Node() { (*freed)[static_cast<std::size_t>(version)] = true; }
+    std::array<bool, kVersions + 1>* freed;
+    int version;
+  };
+
+  EpochReclaimer<Node> rec{2};  // two slots: one per reader
+  std::atomic<int> head{0};
+  std::unique_ptr<const Node> head_owner =
+      std::make_unique<const Node>(&freed, 0);
+};
+
+void real_reader(const std::shared_ptr<RealState>& st) {
+  auto pin = st->rec.pin();
+  const int h = sched_load(st->head);
+  // The pinned version must stay alive across further scheduling points
+  // until release. The ghost reads sit adjacent to seam operations, so
+  // every ordering of the writer's frees relative to this critical
+  // section is distinguished.
+  require(!st->freed[static_cast<std::size_t>(h)],
+          "snapshot freed while pinned (use-after-retire)");
+  (void)sched_load(st->head);  // widen the window: one more yield point
+  require(!st->freed[static_cast<std::size_t>(h)],
+          "snapshot freed while pinned (use-after-retire)");
+  pin.release();
+}
+
+void real_writer(const std::shared_ptr<RealState>& st) {
+  for (int v = 1; v <= kVersions; ++v) {
+    auto node = std::make_unique<const RealState::Node>(&st->freed, v);
+    sched_store(st->head, v);  // publish: new version reachable
+    const Epoch e = st->rec.advance();
+    st->rec.retire(std::move(st->head_owner), e);
+    st->head_owner = std::move(node);
+    st->rec.collect();
+  }
+}
+
+TEST(ModelEpoch, RealReclaimerPinProtocolHolds) {
+  const Report r = explore(
+      [] {
+        auto st = std::make_shared<RealState>();
+        VThread w = spawn([st] { real_writer(st); });
+        VThread r1 = spawn([st] { real_reader(st); });
+        VThread r2 = spawn([st] { real_reader(st); });
+        w.join();
+        r1.join();
+        r2.join();
+        // Eventual reclamation: with every pin released, one collect
+        // frees everything retired; only the live head survives.
+        st->rec.collect();
+        for (int v = 0; v < kVersions; ++v)
+          require(st->freed[static_cast<std::size_t>(v)],
+                  "retired snapshot never reclaimed");
+        require(!st->freed[kVersions], "live head snapshot freed");
+        require(st->rec.retired_pending() == 0, "retired queue not drained");
+      },
+      ExploreOptions{.max_schedules = 400000});
+  expect_exhaustive_pass("epoch-real-2r1w", r);
+}
+
+// ---- layer 2: protocol replica with seeded mutations ------------------------
+
+enum class Mutation {
+  kNone,
+  kAnnounceAfterRead,        // read head before announcing (TOCTOU)
+  kSkipValidate,             // drop the validate re-read (SC-invisible)
+  kRetireAtPrePublishEpoch,  // off-by-one: retire at the epoch readers
+                             // could still pin with the old head visible
+  kCollectIgnoresPins,       // free everything, horizon be damned
+};
+
+struct PinProtocol {
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr int kSlots = 2;
+
+  explicit PinProtocol(Mutation m) : mut(m) {
+    for (auto& s : slots) s.store(kIdle);
+  }
+
+  Mutation mut;
+  std::atomic<std::uint64_t> epoch{0};
+  std::array<std::atomic<std::uint64_t>, kSlots> slots;
+  std::atomic<int> head{0};
+  std::array<bool, kVersions + 1> freed{};
+  std::vector<std::pair<std::uint64_t, int>> retired;  // writer-only
+
+  int claim_slot() {
+    for (;;) {
+      for (int i = 0; i < kSlots; ++i) {
+        std::uint64_t expected = kIdle;
+        std::uint64_t announced = sched_load(epoch);
+        if (!sched_cas_strong(slots[static_cast<std::size_t>(i)], expected,
+                              announced))
+          continue;
+        if (mut != Mutation::kSkipValidate) {
+          for (;;) {  // validate: re-announce until stable
+            const std::uint64_t now = sched_load(epoch);
+            if (now == announced) break;
+            announced = now;
+            sched_store(slots[static_cast<std::size_t>(i)], announced);
+          }
+        }
+        return i;
+      }
+    }
+  }
+
+  void reader() {
+    int slot;
+    int h;
+    if (mut == Mutation::kAnnounceAfterRead) {
+      h = sched_load(head);  // bug: snapshot taken before the announce
+      slot = claim_slot();
+    } else {
+      slot = claim_slot();
+      h = sched_load(head);
+    }
+    require(!freed[static_cast<std::size_t>(h)],
+            "snapshot freed while pinned (use-after-retire)");
+    (void)sched_load(head);
+    require(!freed[static_cast<std::size_t>(h)],
+            "snapshot freed while pinned (use-after-retire)");
+    sched_store(slots[static_cast<std::size_t>(slot)], kIdle);  // release
+  }
+
+  void collect() {
+    std::uint64_t horizon = kIdle;
+    for (auto& s : slots) {
+      const std::uint64_t e = sched_load(s);
+      if (e < horizon) horizon = e;
+    }
+    std::erase_if(retired, [&](const std::pair<std::uint64_t, int>& r) {
+      if (mut != Mutation::kCollectIgnoresPins && r.first > horizon)
+        return false;
+      freed[static_cast<std::size_t>(r.second)] = true;
+      return true;
+    });
+  }
+
+  void writer() {
+    int current = 0;
+    for (int v = 1; v <= kVersions; ++v) {
+      sched_store(head, v);
+      const std::uint64_t e = sched_fetch_add(epoch, 1) + 1;
+      retired.emplace_back(
+          mut == Mutation::kRetireAtPrePublishEpoch ? e - 1 : e, current);
+      current = v;
+      collect();
+    }
+  }
+};
+
+Report explore_replica(Mutation mut) {
+  return explore(
+      [mut] {
+        auto p = std::make_shared<PinProtocol>(mut);
+        VThread w = spawn([p] { p->writer(); });
+        VThread r1 = spawn([p] { p->reader(); });
+        VThread r2 = spawn([p] { p->reader(); });
+        w.join();
+        r1.join();
+        r2.join();
+        p->collect();
+        for (int v = 0; v < kVersions; ++v)
+          require(p->freed[static_cast<std::size_t>(v)],
+                  "retired snapshot never reclaimed");
+        require(!p->freed[kVersions], "live head snapshot freed");
+      },
+      ExploreOptions{.max_schedules = 400000});
+}
+
+TEST(ModelEpoch, ReplicaTrunkHolds) {
+  expect_exhaustive_pass("epoch-replica-trunk",
+                         explore_replica(Mutation::kNone));
+}
+
+TEST(ModelEpoch, MutationAnnounceAfterReadCaught) {
+  expect_caught("epoch-mut-announce-after-read",
+                explore_replica(Mutation::kAnnounceAfterRead));
+}
+
+TEST(ModelEpoch, MutationRetireAtPrePublishEpochCaught) {
+  expect_caught("epoch-mut-retire-early",
+                explore_replica(Mutation::kRetireAtPrePublishEpoch));
+}
+
+TEST(ModelEpoch, MutationCollectIgnoresPinsCaught) {
+  expect_caught("epoch-mut-collect-unpinned",
+                explore_replica(Mutation::kCollectIgnoresPins));
+}
+
+// Documented checker-envelope boundary, not a wished-away bug: under SC
+// semantics the validate loop is redundant, so this mutation must PASS —
+// see the header comment. If this test ever starts failing, the checker
+// gained non-SC power and the comment (and docs) must be rewritten.
+TEST(ModelEpoch, MutationSkipValidateIsScInvisible) {
+  const Report r = explore_replica(Mutation::kSkipValidate);
+  print_report("epoch-mut-skip-validate", r);
+  EXPECT_FALSE(r.violation)
+      << "validate-drop became SC-visible; update the envelope docs: "
+      << r.message;
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace grx::verify

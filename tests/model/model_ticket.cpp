@@ -1,0 +1,115 @@
+// Exhaustive small-scope spec of the Server's ticket resolution
+// discipline (src/api/server.cpp): a QueryTicket resolves EXACTLY once no
+// matter how worker completion, cooperative cancellation, and the
+// watchdog's worker-failure path race.
+//
+// The protocol under test is QueryTicket::State's fulfill logic — take
+// the ticket mutex, give up if already done, otherwise publish the
+// outcome and flip done — replicated here because it lives in a .cpp the
+// model binary must not link (ODR: libgrx is compiled without the seam).
+// The replica keeps the load-bearing lines in the same shape:
+//
+//     std::lock_guard<std::mutex> lock(s->m);      -> SchedMutex
+//     if (s->done) return;                         -> the exactly-once guard
+//     s->outcome = ...; s->done = true; cv.notify  -> publish
+//
+// The outcome cell goes through the seam (it is the raced object whose
+// write orders the mutations below must reach), while `done` stays a
+// plain mutex-guarded bool exactly like the production struct.
+//
+// Mutations: dropping the done-guard (kNoGuard) and publishing the
+// outcome before taking the lock (kPublishOutsideLock) must both be
+// caught.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "model_common.hpp"
+#include "verify/sched.hpp"
+
+namespace grx::verify {
+namespace {
+
+using model::expect_caught;
+using model::expect_exhaustive_pass;
+
+enum class Outcome : std::uint8_t {
+  kPending,
+  kOk,
+  kCancelled,
+  kWorkerFailed,
+};
+
+enum class Mutation {
+  kNone,
+  kNoGuard,             // drop `if (done) return` — double resolution
+  kPublishOutsideLock,  // write outcome before acquiring the mutex
+};
+
+struct Ticket {
+  explicit Ticket(Mutation m) : mut(m) {}
+
+  Mutation mut;
+  SchedMutex m;
+  bool done = false;  // guarded by m
+  std::atomic<Outcome> outcome{Outcome::kPending};
+  int resolutions = 0;            // ghost: how many resolvers won
+  Outcome won = Outcome::kPending;  // ghost: the winner's outcome
+
+  void fulfill(Outcome o) {
+    if (mut == Mutation::kPublishOutsideLock) {
+      // Bug: the resolver stages its outcome before winning the race —
+      // a losing resolver can clobber the winner's published result.
+      sched_store(outcome, o);
+    }
+    std::lock_guard<SchedMutex> lock(m);
+    if (mut != Mutation::kNoGuard) {
+      if (done) return;  // someone else resolved first: exactly-once
+    }
+    done = true;
+    if (mut != Mutation::kPublishOutsideLock) sched_store(outcome, o);
+    won = o;
+    ++resolutions;
+  }
+};
+
+// Worker success vs. client cancel vs. watchdog failure — the three
+// resolvers grx::Server can race on one ticket (resolve_success /
+// resolve_error / the watchdog's fail_inflight).
+Report explore_ticket(Mutation mut) {
+  return explore([mut] {
+    auto t = std::make_shared<Ticket>(mut);
+    VThread worker = spawn([t] { t->fulfill(Outcome::kOk); });
+    VThread canceller = spawn([t] { t->fulfill(Outcome::kCancelled); });
+    VThread watchdog = spawn([t] { t->fulfill(Outcome::kWorkerFailed); });
+    worker.join();
+    canceller.join();
+    watchdog.join();
+    require(t->resolutions == 1, "ticket resolved more than once");
+    require(t->done, "ticket never resolved");
+    const Outcome final = sched_load(t->outcome);
+    require(final != Outcome::kPending, "done ticket with no outcome");
+    // The published outcome must be the winner's: a loser overwriting it
+    // hands the client a result that does not match the ticket's fate
+    // (e.g. a "cancelled" error for a query whose worker succeeded).
+    require(final == t->won, "published outcome is not the winner's");
+  });
+}
+
+TEST(ModelTicket, ResolveExactlyOnceHolds) {
+  expect_exhaustive_pass("ticket-trunk-3resolvers",
+                         explore_ticket(Mutation::kNone));
+}
+
+TEST(ModelTicket, MutationNoGuardCaught) {
+  expect_caught("ticket-mut-no-guard", explore_ticket(Mutation::kNoGuard));
+}
+
+TEST(ModelTicket, MutationPublishOutsideLockCaught) {
+  expect_caught("ticket-mut-outside-lock",
+                explore_ticket(Mutation::kPublishOutsideLock));
+}
+
+}  // namespace
+}  // namespace grx::verify

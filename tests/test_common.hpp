@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 #include <omp.h>
 
+// Allocation-counting fixture; a TU that defines GRX_ALLOC_PROBE_IMPLEMENT
+// before including this header owns the binary's operator new replacement.
+#include "alloc_probe.hpp"
+
 #include <map>
 #include <mutex>
 #include <vector>

@@ -18,69 +18,22 @@
 #include <gtest/gtest.h>
 #include <omp.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
-
 #include "api/engine.hpp"
 #include "graph/generators.hpp"
 #include "primitives/batch.hpp"
+
+// This TU owns the binary's operator-new replacement: the zero
+// steady-state-allocation contract is asserted against real allocator
+// calls for the whole binary including libgrx (tests/alloc_probe.hpp).
+#define GRX_ALLOC_PROBE_IMPLEMENT
 #include "test_common.hpp"
-
-// --- allocation instrumentation ---------------------------------------------
-// Process-wide heap allocation counter (see bench/bench_micro.cpp): the
-// zero-steady-state-allocation contract is asserted against real operator
-// new calls, interposed for the whole binary including libgrx.
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t n) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* counted_alloc_aligned(std::size_t n, std::size_t align) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (align < sizeof(void*)) align = sizeof(void*);
-  void* p = nullptr;
-  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void* operator new[](std::size_t n, std::align_val_t a) {
-  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 
 namespace grx {
 namespace {
 
+using testing::allocations_during;
+using testing::ThreadRestorer;
 using testing::undirected_symw;
-
-/// Counts heap allocations performed by `fn` (call with no EXPECTs inside).
-template <typename Fn>
-std::uint64_t allocations_during(Fn&& fn) {
-  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
-  fn();
-  return g_alloc_count.load(std::memory_order_relaxed) - before;
-}
-
-struct ThreadRestorer {
-  int saved_ = omp_get_max_threads();
-  ~ThreadRestorer() { omp_set_num_threads(saved_); }
-};
 
 /// The shared serving graph: a symmetric weighted power-law CSR (weights
 /// symmetric per undirected edge, as SSSP correctness requires).

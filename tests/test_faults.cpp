@@ -112,6 +112,80 @@ TEST(CancelToken, ChildTripsWithParentNotViceVersa) {
   EXPECT_FALSE(p2.has_deadline());
 }
 
+// Deterministic replays of the interleavings the model checker explores
+// exhaustively (tests/model/model_cancel.cpp): each test pins one ordering
+// of the parent-cancel vs child-lifecycle race as a plain regression.
+
+TEST(CancelToken, ParentCancelledBetweenChildOfAndFirstCheckpoint) {
+  CancelToken parent = CancelToken::make();
+  CancelToken child = CancelToken::child_of(parent);
+  // The racing cancel lands after the child exists but before it ever
+  // reaches a checkpoint: the very first checkpoint must trip.
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.stop_reason(), StopReason::kCancelled);
+  EXPECT_THROW(child.checkpoint(0), CancelledError);
+}
+
+TEST(CancelToken, ChildOfAlreadyCancelledParentIsBornTripped) {
+  CancelToken parent = CancelToken::make();
+  parent.cancel();
+  // The other ordering: the cancel wins the race with child_of entirely.
+  CancelToken late = CancelToken::child_of(parent);
+  EXPECT_TRUE(late.cancelled());
+  EXPECT_THROW(late.checkpoint(0), CancelledError);
+}
+
+TEST(CancelToken, GrandchildSeesAncestorCancelAndAncestorDeadline) {
+  CancelToken root = CancelToken::make();
+  CancelToken mid = CancelToken::child_of(root);
+  CancelToken leaf = CancelToken::child_of(mid);
+  EXPECT_NO_THROW(leaf.checkpoint(0));
+  root.cancel();  // two hops up the ancestor chain
+  EXPECT_TRUE(leaf.cancelled());
+  EXPECT_THROW(leaf.checkpoint(1), CancelledError);
+
+  CancelToken r2 = CancelToken::with_budget(0us);
+  CancelToken leaf2 = CancelToken::child_of(CancelToken::child_of(r2));
+  EXPECT_EQ(leaf2.stop_reason(), StopReason::kDeadline);
+  EXPECT_THROW(leaf2.checkpoint(0), DeadlineExceededError);
+}
+
+TEST(CancelToken, AncestorCancelOutranksOwnExpiredDeadline) {
+  CancelToken parent = CancelToken::make();
+  CancelToken child = CancelToken::child_of(parent);
+  child.set_deadline(std::chrono::steady_clock::now());  // already expired
+  EXPECT_EQ(child.stop_reason(), StopReason::kDeadline);
+  parent.cancel();
+  // Both stop causes now apply; cancellation must win the typed report.
+  EXPECT_EQ(child.stop_reason(), StopReason::kCancelled);
+  EXPECT_THROW(child.checkpoint(0), CancelledError);
+}
+
+TEST(CancelToken, CopiesShareStateAndChildrenFollowTheSharedState) {
+  CancelToken original = CancelToken::make();
+  CancelToken copy = original;            // copies alias one CancelShared
+  CancelToken child = CancelToken::child_of(copy);
+  copy.cancel();                          // cancel through the alias
+  EXPECT_TRUE(original.cancelled());
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_THROW(child.checkpoint(0), CancelledError);
+}
+
+TEST(CancelToken, RoundHookCancelMakesMidEnactCancelDeterministic) {
+  // The hook injects the cancel between checkpoints 1 and 2 — the same
+  // mechanism EngineCancel.ForcedCancelAtChosenRound relies on, asserted
+  // here directly at the token layer.
+  CancelToken t = CancelToken::make();
+  t.set_round_hook([](detail::CancelShared& s, std::uint32_t round) {
+    if (round == 2) s.cancelled.store(true, std::memory_order_release);
+  });
+  EXPECT_NO_THROW(t.checkpoint(0));
+  EXPECT_NO_THROW(t.checkpoint(1));
+  EXPECT_THROW(t.checkpoint(2), CancelledError);
+  EXPECT_TRUE(t.cancelled());
+}
+
 // --- FaultPlan ---------------------------------------------------------------
 
 TEST(FaultPlan, DrawIsPureAndDeterministic) {

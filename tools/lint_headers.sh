@@ -1,37 +1,6 @@
 #!/usr/bin/env bash
-# Header self-containment lint: compile every public header of the api and
-# core layers as a standalone translation unit. A header that only builds
-# when its includer happens to pull in the right prerequisites breaks the
-# Engine façade's promise that `#include "api/engine.hpp"` (or any single
-# core header) is enough. Run from the repo root; CI runs this as its own
-# job.
-set -u
-cd "$(dirname "$0")/.."
-
-CXX="${CXX:-g++}"
-if ! command -v "$CXX" > /dev/null 2>&1; then
-  echo "compiler not found: $CXX" >&2
-  exit 2
-fi
-FLAGS=(-std=c++20 -fsyntax-only -x c++ -Isrc)
-
-# OpenMP headers when the toolchain has them, the checked-in shim otherwise
-# (the same fallback the CMake build uses).
-if echo | "$CXX" -fopenmp -x c++ -E - > /dev/null 2>&1; then
-  FLAGS+=(-fopenmp)
-else
-  FLAGS+=(-Icompat/no_openmp)
-fi
-
-status=0
-checked=0
-for header in src/api/*.hpp src/core/*.hpp; do
-  if ! echo "#include \"${header#src/}\"" | "$CXX" "${FLAGS[@]}" -; then
-    echo "not self-contained: $header" >&2
-    status=1
-  fi
-  checked=$((checked + 1))
-done
-
-echo "checked $checked headers ($CXX)"
-exit $status
+# Header self-containment lint — now folded into tools/grx_lint as its
+# [header] rule (which also covers src/verify/). This forwarder keeps the
+# old entry point working for scripts and CI.
+cd "$(dirname "$0")/.." || exit 2
+exec python3 tools/grx_lint --headers-only "$@"
