@@ -30,9 +30,19 @@
 // and reports the probe p99 against the uncontended p99 (the bar for the
 // full bench is ratio < 2; --smoke only gates on accounting, the CI box
 // is too noisy for a timing bar).
+//
+// A Zipfian CACHE arm (ISSUE 10) replays one seeded hot-source draw
+// sequence through two otherwise-identical servers — result cache off vs
+// on — and reports hit rate, reuse rate (hits + singleflight attaches),
+// q/s, and latency percentiles. The cache-on run is gated on exact,
+// deterministic accounting (on a static graph with capacity >= distinct
+// keys, hits + attached == queries - distinct sources, misses ==
+// distinct); the >=3x q/s at >=60% hit-rate bar gates the full bench
+// only.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -416,6 +426,125 @@ int run_mutation_arm(const Csr& g, const std::vector<VertexId>& sources,
   return rc;
 }
 
+/// One seeded Zipf(`exponent`) draw per query over a `pool_size`-entry
+/// hot pool: rank r of the pool carries weight 1/(r+1)^exponent, the
+/// serving distribution a result cache exists for. Both cache arms (and
+/// nothing else) replay this exact sequence.
+std::vector<VertexId> zipfian_sources(const Csr& g, std::uint32_t pool_size,
+                                      std::size_t count, double exponent,
+                                      std::uint64_t seed) {
+  const std::vector<VertexId> pool = scattered_sources(g, pool_size);
+  std::vector<double> cdf(pool.size());
+  double sum = 0.0;
+  for (std::size_t r = 0; r < pool.size(); ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf[r] = sum;
+  }
+  Rng rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.next_double() * sum;
+    const auto r = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    out.push_back(pool[std::min(r, pool.size() - 1)]);
+  }
+  return out;
+}
+
+/// The Zipfian cache arm. Returns 0 iff the deterministic cache
+/// accounting held (and, when `enforce_bar`, the >=3x @ >=60% bar too).
+int run_cache_arm(const Csr& g, std::uint32_t clients, std::uint32_t rounds,
+                  std::uint32_t window_us, std::uint32_t workers,
+                  bool enforce_bar) {
+  const std::size_t total = static_cast<std::size_t>(clients) * rounds;
+  const std::vector<VertexId> draws =
+      zipfian_sources(g, /*pool_size=*/64, total, /*exponent=*/1.1,
+                      /*seed=*/2016);
+  std::vector<VertexId> uniq(draws);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const auto distinct = static_cast<std::uint64_t>(uniq.size());
+
+  ServerOptions off;
+  off.coalesce = true;
+  off.coalesce_window_us = window_us;
+  off.num_workers = workers;
+  ServerOptions on = off;
+  on.cache.enabled = true;  // default capacity 4096 >= any draw pool here
+
+  const ArmResult cold = run_arm(g, QueryKind::kBfs, draws, clients, rounds,
+                                 off);
+  const ArmResult warm = run_arm(g, QueryKind::kBfs, draws, clients, rounds,
+                                 on);
+
+  const ServerStats& s = warm.stats;
+  const double served = static_cast<double>(
+      std::max<std::uint64_t>(1, s.queries_served));
+  const double hit_rate = static_cast<double>(s.cache_hits) / served;
+  const double reuse_rate =
+      static_cast<double>(s.cache_hits + s.dedup_attached) / served;
+  const double speedup =
+      warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0;
+  std::printf(
+      "cache arm (BFS, Zipf 1.1 over 64 hot sources, %llu distinct of "
+      "%llu draws):\n"
+      "  cache off: %.0f q/s | p50 %.2f ms, p99 %.2f ms | enacts %llu\n"
+      "  cache on:  %.0f q/s | p50 %.2f ms, p99 %.2f ms | enacts %llu | "
+      "hits %llu (%.0f%%), attached %llu (reuse %.0f%%), misses %llu, "
+      "entries %llu\n"
+      "  speedup %.2fx\n",
+      static_cast<unsigned long long>(distinct),
+      static_cast<unsigned long long>(total),
+      cold.wall_ms > 0.0
+          ? static_cast<double>(cold.latency_ms.size()) / (cold.wall_ms / 1e3)
+          : 0.0,
+      percentile(cold.latency_ms, 50), percentile(cold.latency_ms, 99),
+      static_cast<unsigned long long>(cold.stats.enacts),
+      warm.wall_ms > 0.0
+          ? static_cast<double>(warm.latency_ms.size()) / (warm.wall_ms / 1e3)
+          : 0.0,
+      percentile(warm.latency_ms, 50), percentile(warm.latency_ms, 99),
+      static_cast<unsigned long long>(s.enacts),
+      static_cast<unsigned long long>(s.cache_hits), 100.0 * hit_rate,
+      static_cast<unsigned long long>(s.dedup_attached), 100.0 * reuse_rate,
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.cache_entries), speedup);
+
+  int rc = 0;
+  if (s.queries_served != s.queries_submitted ||
+      s.queries_submitted != total) {
+    std::printf("FAIL: faultless cache arm did not serve every query\n");
+    rc = 1;
+  }
+  // Deterministic classification on a static graph with no evictions:
+  // each distinct key is computed exactly once (its singleflight owner,
+  // counted under misses); every other draw is a hit or an attach.
+  if (s.cache_hits + s.dedup_attached != total - distinct ||
+      s.cache_misses != distinct) {
+    std::printf(
+        "FAIL: cache accounting broken (hits %llu + attached %llu != "
+        "%llu - distinct %llu, or misses != distinct)\n",
+        static_cast<unsigned long long>(s.cache_hits),
+        static_cast<unsigned long long>(s.dedup_attached),
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(distinct));
+    rc = 1;
+  }
+  if (s.cache_hits > s.queries_served) {
+    std::printf("FAIL: cache_hits exceed queries_served\n");
+    rc = 1;
+  }
+  if (enforce_bar && (speedup < 3.0 || hit_rate < 0.60)) {
+    std::printf("FAIL: cache bar missed (need >=3x q/s at >=60%% hit "
+                "rate; got %.2fx at %.0f%%)\n",
+                speedup, 100.0 * hit_rate);
+    rc = 1;
+  }
+  if (rc == 0) std::printf("cache arm OK\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -509,6 +638,15 @@ int main(int argc, char** argv) {
   const int mutation_rc =
       run_mutation_arm(g, sources, clients, rounds, window_us, workers);
   if (mutation_rc != 0) return mutation_rc;
+
+  // Zipfian hot-source cache arm: identical draws, cache off vs on. A
+  // 4x-length run so the distinct-key warmup (every pool entry's one
+  // real enact) amortizes into the steady state a cache serves from. The
+  // exact accounting gates everywhere; the 3x @ 60% bar gates the full
+  // bench only.
+  const int cache_rc = run_cache_arm(g, clients, rounds * 4, window_us,
+                                     workers, /*enforce_bar=*/!smoke);
+  if (cache_rc != 0) return cache_rc;
 
   if (check) {
     const std::uint64_t bad =

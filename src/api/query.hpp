@@ -59,6 +59,18 @@ struct QueryOptions {
   // --- MIS / coloring ---
   std::uint64_t seed = 2016;
 
+  // --- serving-layer result cache (server queries only) ---
+  /// Per-query opt-in to the server's epoch-keyed result cache
+  /// (ServerOptions::cache; api/result_cache.hpp). With caching enabled
+  /// on the server, `true` lets this query be served from — and its
+  /// result published to — the cache, and lets it share one enact with
+  /// identical in-flight queries (singleflight). `false` forces a
+  /// dedicated computation and keeps the result out of the cache.
+  /// Ignored by direct Engine queries and by a server whose cache is
+  /// disabled. Never part of the fuse-compat key: it does not change
+  /// result bytes, so differing `cache` flags may still fuse.
+  bool cache = true;
+
   // --- robustness (all queries) ---
   /// Cooperative stop handle: the Engine arms the enactor with this token
   /// before every query, and the iteration loops check it between BSP

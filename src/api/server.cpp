@@ -84,21 +84,27 @@ void Server::fulfill_error(const std::shared_ptr<QueryTicket::State>& s,
 
 namespace {
 
-/// May `a` and `b` share one batched enact? Same primitive, and every
-/// option the batched engine consumes (BatchOptions fields) identical —
-/// anything else would silently serve one of them with the other's
-/// configuration. Deadlines and tokens do NOT gate fusion: they are
-/// per-lane concerns the demux path resolves (late flag / cancel at the
-/// enact boundary).
+/// May `a` and `b` share one batched enact? Same primitive, and the same
+/// canonicalized options fingerprint (FuseOptionsKey: every field the
+/// batched engine consumes) — anything else would silently serve one of
+/// them with the other's configuration. Deadlines, tokens, and the cache
+/// opt-out do NOT gate fusion: they are per-lane concerns the demux path
+/// resolves (late flag / cancel at the enact boundary / skip-publish).
 bool fuse_compatible(const QueryRequest& a, const QueryRequest& b) {
-  if (a.kind != b.kind) return false;
-  const QueryOptions& x = a.opts;
-  const QueryOptions& y = b.opts;
-  return x.strategy == y.strategy && x.direction == y.direction &&
-         x.lb_node_edge_threshold == y.lb_node_edge_threshold &&
-         x.pull_alpha == y.pull_alpha && x.pull_beta == y.pull_beta &&
-         x.use_priority_queue == y.use_priority_queue && x.delta == y.delta &&
-         x.backend.vec == y.backend.vec;
+  return a.kind == b.kind &&
+         fuse_options_key(a.kind, a.opts) == fuse_options_key(b.kind, b.opts);
+}
+
+/// The result cache key for `req` served on `epoch`: the fuse fingerprint
+/// plus (epoch, kind, source). Whole-graph kinds normalize source to 0 —
+/// their results are source-independent.
+ServingCacheKey cache_key_of(const QueryRequest& req, Epoch epoch) {
+  ServingCacheKey k;
+  k.epoch = epoch;
+  k.kind = req.kind;
+  k.source = coalescable(req.kind) ? req.source : 0;
+  k.opts = fuse_options_key(req.kind, req.opts);
+  return k;
 }
 
 }  // namespace
@@ -149,6 +155,20 @@ struct Server::Worker {
   std::vector<Pending> batch;
 
   std::vector<VertexId> sources;  ///< lane -> source of the current batch
+  /// member -> lane of the current batch. Duplicate (source, fuse-key)
+  /// members collapse onto one lane at batch build, so an enact never
+  /// spends two lanes computing the same thing; demux fans the shared
+  /// lane out to every collapsed ticket.
+  std::vector<std::uint32_t> lane_of;
+  /// In-flight cache keys this worker owns (registered by consult_cache,
+  /// closed by publish on the demux path or abort on every failure path).
+  /// Lives on the worker (not execute()'s stack) so the watchdog can
+  /// strand-proof the parked waiters after a mid-enact death.
+  struct OwnedKey {
+    std::uint32_t member;  ///< index into the compacted batch
+    ServingCacheKey key;
+  };
+  std::vector<OwnedKey> owned;
   BatchBfsResult bfs;
   BatchSsspResult sssp;
   BatchReachabilityResult reach;
@@ -176,6 +196,12 @@ void Server::start() {
     opts_.num_workers = std::max(1u, std::thread::hardware_concurrency());
   opts_.max_batch = std::clamp<std::uint32_t>(opts_.max_batch, 1,
                                               BatchEnactor::kMaxLanes);
+  if (opts_.cache.enabled) {
+    Cache::Options co;
+    co.max_entries = opts_.cache.max_entries;
+    co.shards = opts_.cache.shards;
+    cache_ = std::make_unique<Cache>(co);
+  }
   workers_.reserve(opts_.num_workers);
   for (std::uint32_t i = 0; i < opts_.num_workers; ++i)
     workers_.push_back(std::make_unique<Worker>(*this));
@@ -217,9 +243,14 @@ QueryTicket Server::submit(const QueryRequest& req) {
   // attach its deadline and fault hooks without mutating client state.
   Pending p;
   p.req = req;
-  const std::uint32_t budget_us =
-      req.deadline_us != 0 ? req.deadline_us : opts_.default_deadline_us;
-  if (budget_us != 0) {
+  // kNoDeadline short-circuits the default: before the sentinel existed,
+  // 0 doubled as "use the server default", so a client could not request
+  // an unlimited budget once default_deadline_us was configured.
+  std::uint32_t budget_us = 0;
+  if (req.deadline_us != QueryRequest::kNoDeadline)
+    budget_us =
+        req.deadline_us != 0 ? req.deadline_us : opts_.default_deadline_us;
+  if (budget_us != 0 && budget_us != QueryRequest::kNoDeadline) {
     p.has_deadline = true;
     p.deadline = std::chrono::steady_clock::now() +
                  std::chrono::microseconds(budget_us);
@@ -233,6 +264,32 @@ QueryTicket Server::submit(const QueryRequest& req) {
   QueryTicket t;
   t.state_ = std::make_shared<QueryTicket::State>();
   p.state = t.state_;
+
+  // Submit-side cache consult (lookup only — singleflight attach happens
+  // at dequeue): a hit resolves the ticket right here in the submitting
+  // thread, never touching the queue, so hot-source hits are immune to
+  // admission pressure. The probed epoch is the newest published one —
+  // exactly what a worker dequeuing this query now would pin.
+  if (cache_ != nullptr && req.opts.cache) {
+    const Epoch head = dyn_ != nullptr ? dyn_->epoch() : 0;
+    if (auto hit = cache_->lookup(cache_key_of(req, head))) {
+      {
+        // Same bump-before-resolve discipline as the queue path: stats()
+        // never shows more resolved queries than submitted ones.
+        std::unique_lock<std::mutex> lk(mu_);
+        GRX_CHECK_MSG(!stopped_, "submit on a stopped grx::Server");
+        std::lock_guard<std::mutex> sl(stats_mu_);
+        stats_.queries_submitted++;
+      }
+      if (p.token.cancelled()) {
+        resolve_cancelled(p);
+      } else {
+        QueryResult r(*hit);
+        resolve_served(p, std::move(r), /*late=*/false, /*cache_hit=*/true);
+      }
+      return t;
+    }
+  }
 
   {
     std::unique_lock<std::mutex> lk(mu_);
@@ -314,10 +371,19 @@ Epoch Server::apply_updates(std::span<const EdgeUpdate> updates) {
   // The graph's writer mutex serializes concurrent mutators; in-flight
   // queries keep serving their pinned snapshots untouched.
   const Epoch e = dyn_->apply_updates(updates);
+  // The publish already made prior-epoch cache entries unreachable (the
+  // epoch is in the key); this sweep — piggybacked on the same path that
+  // collects superseded snapshots — actually frees them. Quiet epochs
+  // cost nothing: no publish, no sweep.
+  std::size_t swept = 0;
+  if (cache_ != nullptr)
+    swept = cache_->evict_if(
+        [e](const ServingCacheKey& k) { return k.epoch < e; });
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     stats_.update_batches++;
     stats_.updates_applied += updates.size();
+    stats_.cache_evictions += swept;
   }
   return e;
 }
@@ -336,6 +402,7 @@ ServerStats Server::stats() const {
     s.compactions = d.compactions;
     s.snapshots_live = d.live_snapshots;
   }
+  if (cache_ != nullptr) s.cache_entries = cache_->size();
   return s;
 }
 
@@ -347,12 +414,18 @@ ServerStats Server::stats() const {
 // Counters precede fulfillment: a client that has collected its tickets
 // observes stats() covering them.
 
-void Server::resolve_served(Pending& p, QueryResult&& r, bool late) {
+void Server::resolve_served(Pending& p, QueryResult&& r, bool late,
+                            bool cache_hit) {
   r.late = late;
   {
+    // cache_hits rides the same critical section as queries_served: the
+    // two counters move together, so no stats() snapshot can show a hit
+    // that is not also a served query (the double-count hazard a
+    // separate bump would open).
     std::lock_guard<std::mutex> sl(stats_mu_);
     stats_.queries_served++;
     if (late) stats_.late++;
+    if (cache_hit) stats_.cache_hits++;
   }
   fulfill(p.state, std::move(r));
   p.state.reset();
@@ -423,6 +496,71 @@ void Server::resolve_stopped(std::vector<Pending>& batch,
   }
 }
 
+// --- result cache ------------------------------------------------------------
+
+void Server::consult_cache(Worker& w, std::vector<Pending>& batch,
+                           Epoch serving_epoch) {
+  if (cache_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t attached = 0;
+  std::uint64_t misses = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    if (!p.req.opts.cache) {
+      // Opted out: computes on its own lane, result never published.
+      if (live != i) batch[live] = std::move(p);
+      ++live;
+      continue;
+    }
+    const ServingCacheKey key = cache_key_of(p.req, serving_epoch);
+    std::shared_ptr<const QueryResult> hit;
+    switch (cache_->probe(key, p, hit)) {
+      case Cache::Probe::kHit: {
+        // Pre-enact triage ran moments ago, but honor a cancel or an
+        // expiry that landed since — the hit follows the same late
+        // semantics as any served query, and a cancelled requester is
+        // never handed a value (its hit is not counted: cache_hits
+        // stays a subset of queries_served).
+        if (p.token.cancelled()) {
+          resolve_cancelled(p);
+        } else {
+          QueryResult r(*hit);
+          resolve_served(p, std::move(r), p.has_deadline && now > p.deadline,
+                         /*cache_hit=*/true);
+        }
+        break;
+      }
+      case Cache::Probe::kAttached:
+        // p moved into the in-flight registry; the key's owner resolves
+        // it at demux (or its failure path).
+        ++attached;
+        break;
+      case Cache::Probe::kOwner:
+        w.owned.push_back({static_cast<std::uint32_t>(live), key});
+        if (live != i) batch[live] = std::move(p);
+        ++live;
+        ++misses;
+        break;
+    }
+  }
+  batch.resize(live);
+  if (attached != 0 || misses != 0) {
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.dedup_attached += attached;
+    stats_.cache_misses += misses;
+  }
+}
+
+void Server::abort_owned(Worker& w, std::vector<Pending>& batch) {
+  if (cache_ == nullptr || w.owned.empty()) return;
+  for (const Worker::OwnedKey& o : w.owned) {
+    std::vector<Pending> ws = cache_->abort(o.key);
+    for (Pending& p : ws) batch.push_back(std::move(p));
+  }
+  w.owned.clear();
+}
+
 // --- worker ------------------------------------------------------------------
 
 bool Server::epoch_stale(const Worker& w) const {
@@ -476,6 +614,10 @@ void Server::worker_main(Worker& w) {
         why = e.what();
       } catch (...) {
       }
+      // Waiters parked on this worker's in-flight cache keys die with it
+      // (their computation is gone): pull them into the batch so the
+      // sweep below fails them too — no ticket is ever stranded.
+      abort_owned(w, w.batch);
       for (Pending& p : w.batch)
         if (p.state) resolve_worker_failed(p, why);
       w.batch.clear();
@@ -571,32 +713,71 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
   batch.resize(live);
   if (batch.empty()) return;
 
-  const auto lanes = static_cast<std::uint32_t>(batch.size());
   const QueryKind kind = batch.front().req.kind;
+  Epoch serving_epoch = 0;
+  if (dyn_ != nullptr) serving_epoch = w.view.epoch();
+
+  // Dequeue-side cache consult: resolves hits, parks duplicates of
+  // in-flight keys (their owner fans the result out at demux), registers
+  // this worker as owner of the fresh misses. May empty the batch — a
+  // window full of hits and attached duplicates costs no enact at all.
+  w.owned.clear();
+  consult_cache(w, batch, serving_epoch);
+  if (batch.empty()) return;
+
+  const auto members = static_cast<std::uint32_t>(batch.size());
 
   // Dynamic mode: serve this batch against the snapshot pinned at dequeue
   // time, rebinding the pooled engine when the epoch moved since the last
   // enact. The rebind is a pointer swap — pooled buffers re-size per
   // enact, so steady state stays allocation-free while the edge count
   // does not grow past its high-water mark.
-  Epoch serving_epoch = 0;
-  if (dyn_ != nullptr) {
-    serving_epoch = w.view.epoch();
-    if (serving_epoch != w.bound_epoch) {
-      w.engine->rebind(w.view.csr());
-      w.bound_epoch = serving_epoch;
+  if (dyn_ != nullptr && serving_epoch != w.bound_epoch) {
+    w.engine->rebind(w.view.csr());
+    w.bound_epoch = serving_epoch;
+    std::lock_guard<std::mutex> sl(stats_mu_);
+    stats_.epoch_rebinds++;
+  }
+
+  // Lane assignment with duplicate collapse: members sharing a source
+  // (fuse compatibility already guarantees identical options) share one
+  // lane — an enact never computes the same (source, fuse-key) twice.
+  // With the cache on, duplicates were already parked by consult_cache;
+  // this catches the cache-off path and opted-out duplicates.
+  std::uint32_t lanes = members;
+  if (coalescable(kind)) {
+    w.sources.clear();
+    w.lane_of.resize(members);
+    std::uint64_t collapsed = 0;
+    for (std::uint32_t q = 0; q < members; ++q) {
+      const VertexId s = batch[q].req.source;
+      std::uint32_t lane = static_cast<std::uint32_t>(w.sources.size());
+      for (std::uint32_t l = 0; l < w.sources.size(); ++l) {
+        if (w.sources[l] == s) {
+          lane = l;
+          ++collapsed;
+          break;
+        }
+      }
+      if (lane == w.sources.size()) w.sources.push_back(s);
+      w.lane_of[q] = lane;
+    }
+    lanes = static_cast<std::uint32_t>(w.sources.size());
+    if (collapsed != 0) {
       std::lock_guard<std::mutex> sl(stats_mu_);
-      stats_.epoch_rebinds++;
+      stats_.dedup_attached += collapsed;
     }
   }
 
   // The enact-wide stop token. Solo: the query's own token (client-cancel
   // linkage and deadline intact — the enact stops cooperatively between
-  // rounds). Fused: the lanes share one enact, so it may stop early only
-  // once EVERY member's budget has passed (deadline = max over members);
-  // an individual lane past its own budget is served `late` at demux.
+  // rounds). Fused: the members share one enact, so it may stop early
+  // only once EVERY member's budget has passed (deadline = max over
+  // members); an individual member past its own budget is served `late`
+  // at demux. Waiters parked on owned keys never extend the enact — they
+  // follow the same late semantics as fused lanes.
   CancelToken enact_token;
-  if (lanes == 1) {
+  if (members == 1) {
     enact_token = batch.front().token;
   } else {
     bool all_deadlines = true;
@@ -628,7 +809,7 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
   {
     std::lock_guard<std::mutex> sl(stats_mu_);
     stats_.enacts++;
-    if (lanes >= 2) stats_.coalesced_queries += lanes;
+    if (members >= 2) stats_.coalesced_queries += members;
     if (lanes > stats_.max_lanes) stats_.max_lanes = lanes;
   }
 
@@ -637,9 +818,6 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
 
   try {
     if (coalescable(kind)) {
-      w.sources.resize(lanes);
-      for (std::uint32_t q = 0; q < lanes; ++q)
-        w.sources[q] = batch[q].req.source;
       const std::span<const VertexId> srcs(w.sources);
       switch (kind) {
         case QueryKind::kBfs:
@@ -657,69 +835,119 @@ void Server::execute(Worker& w, std::vector<Pending>& batch) {
         default:
           break;
       }
-      const auto after = std::chrono::steady_clock::now();
-      for (std::uint32_t q = 0; q < lanes; ++q) {
+    } else {
+      if (kind == QueryKind::kCc)
+        w.engine->cc(w.cc, opts);
+      else  // kPagerank
+        w.engine->pagerank(w.pr, opts);
+    }
+
+    // Demux. For each member: build its lane's payload, resolve its own
+    // ticket, then — if this worker owns the member's cache key —
+    // publish the payload (making it hit-able and closing the in-flight
+    // entry) and fan it out to every waiter that attached while the
+    // enact ran. Waiters append to `batch` before resolution so any
+    // exception mid-fan-out leaves them visible to the watchdog sweep.
+    const auto after = std::chrono::steady_clock::now();
+    for (std::uint32_t q = 0; q < members; ++q) {
+      QueryResult base;
+      base.kind = kind;
+      base.epoch = serving_epoch;
+      switch (kind) {
+        case QueryKind::kBfs:
+          w.bfs.extract_lane(w.lane_of[q], base.depth);
+          break;
+        case QueryKind::kSssp:
+          w.sssp.extract_lane(w.lane_of[q], base.dist);
+          break;
+        case QueryKind::kReachability:
+          w.reach.extract_lane(w.lane_of[q], base.reachable);
+          break;
+        case QueryKind::kBcForward:
+          w.bcf.extract_lane(w.lane_of[q], base.depth, base.sigma);
+          break;
+        case QueryKind::kCc:
+          base.component = w.cc.component;
+          break;
+        case QueryKind::kPagerank:
+          base.rank = w.pr.rank;
+          break;
+      }
+
+      // This worker owns the member's cache key iff consult_cache made
+      // it the singleflight owner (cache on, query not opted out).
+      std::size_t owned_at = w.owned.size();
+      for (std::size_t o = 0; o < w.owned.size(); ++o)
+        if (w.owned[o].member == q) owned_at = o;
+
+      // The published snapshot: normalized per-delivery flags, payload
+      // shared (immutably) by the cache and every attached waiter.
+      std::shared_ptr<const QueryResult> payload;
+      if (owned_at != w.owned.size()) {
+        auto pay = std::make_shared<QueryResult>(base);
+        pay->batch_lanes = 0;
+        pay->cached = true;
+        pay->late = false;
+        payload = std::move(pay);
+      }
+
+      {
         Pending& p = batch[q];
-        // A client cancel that landed mid-enact could not stop this fused
-        // lane alone; the contract is Cancelled at the next boundary —
-        // which is now.
+        // A client cancel that landed mid-enact could not stop this
+        // fused member alone; the contract is Cancelled at the next
+        // boundary — which is now. The computed value still publishes
+        // below: the VALUE is exact regardless of who asked for it
+        // (only failure outcomes are never cached).
         if (p.token.cancelled()) {
           resolve_cancelled(p);
-          continue;
+        } else {
+          base.batch_lanes = lanes;
+          resolve_served(p, std::move(base),
+                         p.has_deadline && after > p.deadline);
         }
-        QueryResult r;
-        r.kind = kind;
-        r.batch_lanes = lanes;
-        r.epoch = serving_epoch;
-        switch (kind) {
-          case QueryKind::kBfs:
-            w.bfs.extract_lane(q, r.depth);
-            break;
-          case QueryKind::kSssp:
-            w.sssp.extract_lane(q, r.dist);
-            break;
-          case QueryKind::kReachability:
-            w.reach.extract_lane(q, r.reachable);
-            break;
-          case QueryKind::kBcForward:
-            w.bcf.extract_lane(q, r.depth, r.sigma);
-            break;
-          default:
-            break;
+      }  // `p` dies here: the waiter fan-out below may grow `batch`
+
+      if (owned_at != w.owned.size()) {
+        Cache::Publication pub =
+            cache_->publish(w.owned[owned_at].key, payload, /*store=*/true);
+        if (pub.evicted != 0) {
+          std::lock_guard<std::mutex> sl(stats_mu_);
+          stats_.cache_evictions += pub.evicted;
         }
-        resolve_served(p, std::move(r), p.has_deadline && after > p.deadline);
-      }
-    } else {
-      QueryResult r;
-      r.kind = kind;
-      r.batch_lanes = 1;
-      r.epoch = serving_epoch;
-      if (kind == QueryKind::kCc) {
-        w.engine->cc(w.cc, opts);
-        r.component = w.cc.component;
-      } else {  // kPagerank
-        w.engine->pagerank(w.pr, opts);
-        r.rank = w.pr.rank;
-      }
-      Pending& p = batch.front();
-      if (p.token.cancelled()) {
-        resolve_cancelled(p);
-      } else {
-        const auto after = std::chrono::steady_clock::now();
-        resolve_served(p, std::move(r), p.has_deadline && after > p.deadline);
+        // The key is closed: the watchdog must not abort it anymore.
+        w.owned[owned_at] = w.owned.back();
+        w.owned.pop_back();
+        const std::size_t wstart = batch.size();
+        for (Pending& pw : pub.waiters) batch.push_back(std::move(pw));
+        for (std::size_t wi = wstart; wi < batch.size(); ++wi) {
+          Pending& pw = batch[wi];
+          if (pw.token.cancelled()) {
+            resolve_cancelled(pw);
+          } else {
+            QueryResult r(*payload);
+            resolve_served(pw, std::move(r),
+                           pw.has_deadline && after > pw.deadline);
+          }
+        }
       }
     }
+    w.owned.clear();
   } catch (const CancelledError&) {
     // Clean cooperative stop: the engine unwound at a round boundary and
     // its pooled state resets on the next begin_enact — the worker is
-    // healthy. Classify members individually.
+    // healthy. Classify members — and the waiters parked on this
+    // worker's owned keys, whose computation just stopped with it —
+    // individually.
+    abort_owned(w, batch);
     resolve_stopped(batch, QueryOutcome::kCancelled);
   } catch (const DeadlineExceededError&) {
+    abort_owned(w, batch);
     resolve_stopped(batch, QueryOutcome::kDeadlineExceeded);
   }
   // Anything else (bad_alloc, a foreign exception, an injected crash) is
-  // a worker death: it propagates to worker_main's watchdog, which fails
-  // the batch's unresolved tickets and respawns this worker.
+  // a worker death: it propagates to worker_main's watchdog, which
+  // aborts the owned keys and fails the batch's unresolved tickets (the
+  // parked waiters included), then respawns this worker.
 }
 
 }  // namespace grx

@@ -10,7 +10,7 @@
 //   ... // do other work, submit more queries
 //   grx::QueryResult r = t.get();           // blocks until served
 //
-// Four pieces (docs/architecture.md, "The serving layer"):
+// The pieces (docs/architecture.md, "The serving layer"):
 //
 //  * A thread-safe submission front with bounded admission: submit()
 //    enqueues onto an MPMC queue and returns a QueryTicket — a
@@ -41,6 +41,17 @@
 //    DEADLINE arrives (a batch is never held open past a member's
 //    budget), or shutdown begins. Because batch lanes are provably equal
 //    to solo runs, coalescing changes throughput, never results.
+//
+//  * An epoch-keyed result cache with in-flight dedup (optional,
+//    ServerOptions::cache; api/result_cache.hpp): a bounded sharded LRU
+//    keyed on (graph epoch, query kind, source, fuse-compat options) —
+//    the same key the coalescer fuses on. Hits resolve tickets without
+//    an enact; identical queries already in flight are attached to the
+//    pending enact (singleflight) and fan out at demux, so a fused batch
+//    never spends two lanes on one (source, options) pair. A graph
+//    publish makes prior-epoch entries unreachable (the epoch is in the
+//    key) and the apply_updates path sweeps them. Determinism makes this
+//    sound: a cached result is byte-identical to the recompute.
 //
 //  * Deadlines and cooperative cancellation: a query may carry a deadline
 //    budget and/or a client CancelToken (QueryRequest). Queries already
@@ -85,6 +96,7 @@
 
 #include "api/engine.hpp"
 #include "api/faults.hpp"
+#include "api/result_cache.hpp"
 #include "core/cancel.hpp"
 #include "graph/dynamic.hpp"
 
@@ -123,10 +135,16 @@ struct QueryRequest {
   QueryKind kind = QueryKind::kBfs;
   VertexId source = 0;  ///< ignored by the whole-graph kinds
   QueryOptions opts;    ///< same surface as Engine queries
-  /// Deadline budget in microseconds, measured from submit(). 0 = none
-  /// (or ServerOptions::default_deadline_us if that is set). Past-budget
-  /// queries are shed before enacting or stopped between rounds; a fused
-  /// lane that cannot stop alone is served `late` instead.
+  /// Explicitly unlimited: no deadline even when the server configures
+  /// ServerOptions::default_deadline_us. (0 keeps meaning "use the
+  /// server default" for back-compat — before this sentinel existed, a
+  /// client could not opt out of a configured default at all.)
+  static constexpr std::uint32_t kNoDeadline = 0xffffffffu;
+  /// Deadline budget in microseconds, measured from submit(). 0 = the
+  /// server default (ServerOptions::default_deadline_us; none if that is
+  /// unset); kNoDeadline = explicitly none. Past-budget queries are shed
+  /// before enacting or stopped between rounds; a fused lane that cannot
+  /// stop alone is served `late` instead.
   std::uint32_t deadline_us = 0;
   /// Optional client cancellation handle: create with CancelToken::make(),
   /// keep a copy, submit, cancel() any time. A solo query stops between
@@ -148,9 +166,16 @@ struct QueryResult {
   std::vector<double> sigma;            ///< kBcForward path counts
   std::vector<VertexId> component;      ///< kCc
   std::vector<double> rank;             ///< kPagerank
-  /// Lanes in the enact that served this query (1 == ran solo): the
-  /// coalescer's per-query fingerprint, for observability and tests.
+  /// Lanes in the enact that served this query (1 == ran solo; 0 == no
+  /// enact of its own — served from the result cache or attached to
+  /// another query's enact): the coalescer's per-query fingerprint, for
+  /// observability and tests.
   std::uint32_t batch_lanes = 0;
+  /// True when this query did not run its own computation: the payload
+  /// came from the result cache (hit) or from another query's enact it
+  /// was attached to (singleflight). Bytes are identical either way —
+  /// that is the determinism contract that makes the cache sound.
+  bool cached = false;
   /// True when the query was served after its own deadline (a fused lane
   /// cannot stop alone; the value is still exact). Counted in
   /// ServerStats::late.
@@ -161,6 +186,95 @@ struct QueryResult {
   /// per-epoch: the result is byte-equal to a serial Engine run on THIS
   /// epoch's graph.
   Epoch epoch = 0;
+};
+
+/// The options fingerprint two queries must share to be interchangeable:
+/// every QueryOptions field the serving path consumes for the kind,
+/// normalized (fields the kind ignores are zeroed so they can neither
+/// block fusion nor split cache keys). The coalescer fuses queries whose
+/// FuseOptionsKey (and kind) match; the result cache keys on the same
+/// fingerprint plus (epoch, kind, source) — by construction a cached
+/// entry is exactly what a fused lane for the same request computes.
+struct FuseOptionsKey {
+  // Batched-engine fields (BatchOptions), set for the coalescable kinds.
+  AdvanceStrategy strategy = AdvanceStrategy::kAuto;
+  Direction direction = Direction::kPush;
+  std::uint32_t lb_node_edge_threshold = 0;
+  double pull_alpha = 0;
+  double pull_beta = 0;
+  bool use_priority_queue = false;
+  std::uint32_t delta = 0;
+  simt::VecBackend vec = simt::VecBackend::kAuto;
+  // Whole-graph solo knobs, zeroed for the coalescable kinds.
+  double damping = 0;
+  double epsilon = 0;
+  std::uint32_t max_iterations = 0;
+
+  friend bool operator==(const FuseOptionsKey&,
+                         const FuseOptionsKey&) = default;
+};
+
+/// Canonicalizes `opts` for `kind` (see FuseOptionsKey).
+inline FuseOptionsKey fuse_options_key(QueryKind kind,
+                                       const QueryOptions& opts) {
+  FuseOptionsKey k;
+  k.strategy = opts.strategy;
+  if (coalescable(kind)) {
+    k.direction = opts.direction;
+    k.lb_node_edge_threshold = opts.lb_node_edge_threshold;
+    k.pull_alpha = opts.pull_alpha;
+    k.pull_beta = opts.pull_beta;
+    k.use_priority_queue = opts.use_priority_queue;
+    k.delta = opts.delta;
+    k.vec = opts.backend.vec;
+  } else if (kind == QueryKind::kPagerank) {
+    k.damping = opts.damping;
+    k.epsilon = opts.epsilon;
+    k.max_iterations = opts.max_iterations;
+  }
+  return k;
+}
+
+/// The result cache's full key: one served result is addressed by the
+/// graph epoch it was computed on, the query kind, the source (0 for the
+/// whole-graph kinds, whose results are source-independent), and the
+/// canonicalized options. The epoch in the key is the invalidation
+/// mechanism: a publish makes every prior-epoch entry unreachable.
+struct ServingCacheKey {
+  Epoch epoch = 0;
+  QueryKind kind = QueryKind::kBfs;
+  VertexId source = 0;
+  FuseOptionsKey opts;
+
+  friend bool operator==(const ServingCacheKey&,
+                         const ServingCacheKey&) = default;
+};
+
+struct ServingCacheKeyHash {
+  std::size_t operator()(const ServingCacheKey& k) const {
+    // fnv1a-style fold over the scalar fields; equality is exact field
+    // comparison, so a collision only costs a probe, never correctness.
+    std::size_t h = 1469598103934665603ull;
+    auto mix = [&h](std::size_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::size_t>(k.epoch));
+    mix(static_cast<std::size_t>(k.kind));
+    mix(static_cast<std::size_t>(k.source));
+    mix(static_cast<std::size_t>(k.opts.strategy));
+    mix(static_cast<std::size_t>(k.opts.direction));
+    mix(k.opts.lb_node_edge_threshold);
+    mix(std::hash<double>{}(k.opts.pull_alpha));
+    mix(std::hash<double>{}(k.opts.pull_beta));
+    mix(static_cast<std::size_t>(k.opts.use_priority_queue));
+    mix(k.opts.delta);
+    mix(static_cast<std::size_t>(k.opts.vec));
+    mix(std::hash<double>{}(k.opts.damping));
+    mix(std::hash<double>{}(k.opts.epsilon));
+    mix(k.opts.max_iterations);
+    return h;
+  }
 };
 
 /// Future-style handle to an in-flight query. Obtained from
@@ -211,6 +325,19 @@ class QueryTicket {
   std::shared_ptr<State> state_;
 };
 
+/// Configuration of the server's result cache (api/result_cache.hpp).
+/// Off by default; sound to enable on any server because served results
+/// are deterministic functions of the cache key. Per-query opt-out:
+/// QueryOptions::cache = false.
+struct ResultCacheOptions {
+  bool enabled = false;
+  /// Global LRU entry bound, split across shards. Each entry holds one
+  /// per-vertex result vector, so budget ~ max_entries * n * 4 bytes.
+  std::uint32_t max_entries = 4096;
+  /// Lock shards for the LRU + singleflight maps.
+  std::uint32_t shards = 8;
+};
+
 /// What submit() does when the bounded queue is full.
 enum class AdmissionPolicy : std::uint8_t {
   kReject,  ///< throw RejectedError immediately (shed load at the door)
@@ -248,8 +375,12 @@ struct ServerOptions {
   /// 0 = wait indefinitely (until a slot frees or the server stops).
   std::uint32_t admission_timeout_us = 0;
   /// Deadline budget applied to requests that do not carry their own.
-  /// 0 = none.
+  /// 0 = none. A request opts out of a configured default with
+  /// QueryRequest::kNoDeadline.
   std::uint32_t default_deadline_us = 0;
+
+  /// Epoch-keyed result cache + in-flight dedup. Disabled by default.
+  ResultCacheOptions cache;
 
   /// Deterministic fault injection (api/faults.hpp): each enact draws
   /// FaultSpec i from the plan (i = enact index in execution order) and
@@ -271,6 +402,16 @@ struct ServerOptions {
 /// `rejected` counts submissions that never produced a ticket (thrown in
 /// the submitting thread) and is outside the identity; `late` is a
 /// subset of queries_served.
+///
+/// The cache extends the identity without new outcome terms: a cache hit
+/// and a dedup-attached ticket each resolve through the usual outcome
+/// counters exactly once (hits under `served`; attached tickets under
+/// served / cancelled / deadline by their own state at demux). So
+/// `cache_hits` is a subset of queries_served (bumped in the same
+/// stats_mu_ critical section as queries_served — a snapshot can never
+/// show more hits than served queries), `dedup_attached` annotates
+/// tickets also counted once under the identity, and every cache-probed
+/// query is classified exactly one of hit / attached / miss-owner.
 struct ServerStats {
   std::uint64_t queries_submitted = 0;  ///< accepted (a ticket exists)
   std::uint64_t queries_served = 0;     ///< resolved with a value
@@ -284,6 +425,20 @@ struct ServerStats {
   std::uint64_t late = 0;               ///< served after their own deadline
   std::uint64_t worker_respawns = 0;    ///< watchdog worker rebuilds
   std::uint32_t max_lanes = 0;          ///< widest fused batch so far
+
+  // --- result cache / dedup counters (all 0 with the cache disabled,
+  // --- except dedup_attached, which also counts in-batch lane collapse)
+  std::uint64_t cache_hits = 0;    ///< served straight from the cache
+  /// Probes that found neither an entry nor an in-flight computation:
+  /// the prober became the key's owner and ran the enact.
+  std::uint64_t cache_misses = 0;
+  /// Tickets that rode another query's computation: parked on an
+  /// in-flight key (singleflight, cross-worker or within a batch) or
+  /// collapsed onto a duplicate (source, fuse-key) lane at batch build.
+  /// Each still resolves exactly once under the identity above.
+  std::uint64_t dedup_attached = 0;
+  std::uint64_t cache_evictions = 0;  ///< LRU pressure + epoch sweeps
+  std::uint64_t cache_entries = 0;    ///< stored entries at stats() time
 
   // --- streaming-graph counters (all 0 on a static-graph server) ---
   std::uint64_t update_batches = 0;   ///< apply_updates() calls accepted
@@ -391,10 +546,25 @@ class Server {
   bool epoch_stale(const Worker& w) const;
   void execute(Worker& w, std::vector<Pending>& batch);
 
+  /// The dequeue-side cache consult: resolves hits, parks attachable
+  /// duplicates on in-flight keys, registers this worker as owner of the
+  /// fresh misses (recorded in Worker::owned), and compacts `batch` down
+  /// to the members that must enact. No-op with the cache disabled.
+  void consult_cache(Worker& w, std::vector<Pending>& batch,
+                     Epoch serving_epoch);
+  /// Drops every in-flight key this worker still owns and moves the
+  /// parked waiters into `batch`, so the caller's failure path resolves
+  /// them under the same contract as the batch members (cooperative-stop
+  /// classification or watchdog worker-failure sweep).
+  void abort_owned(Worker& w, std::vector<Pending>& batch);
+
   // Outcome resolution: counters first (under stats_mu_, outcome already
   // decided), fulfillment second. fulfill_* never clobber a resolved
   // ticket.
-  void resolve_served(Pending& p, QueryResult&& r, bool late);
+  /// `cache_hit` bumps ServerStats::cache_hits in the same critical
+  /// section as queries_served: the two can never be observed torn.
+  void resolve_served(Pending& p, QueryResult&& r, bool late,
+                      bool cache_hit = false);
   void resolve_stopped(std::vector<Pending>& batch, QueryOutcome fallback);
   void resolve_shed(Pending& p);
   void resolve_cancelled(Pending& p);
@@ -425,6 +595,14 @@ class Server {
   /// Enact index feeding FaultPlan::draw — execution order, not
   /// submission order.
   std::atomic<std::uint64_t> enact_counter_{0};
+
+  /// The result cache (null when ServerOptions::cache.enabled is false).
+  /// Waiters parked in its singleflight registry are full Pending
+  /// envelopes: whoever receives them back (publish/abort) resolves the
+  /// tickets under the same exactly-once discipline as batch members.
+  using Cache =
+      ResultCache<ServingCacheKey, QueryResult, Pending, ServingCacheKeyHash>;
+  std::unique_ptr<Cache> cache_;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

@@ -18,6 +18,12 @@
 // parent trips, so a server can wrap a client-supplied token with its own
 // deadline without mutating shared state.
 //
+// Composition is also what keeps the result cache's singleflight honest:
+// a waiter attached to another query's in-flight enact keeps its own
+// token, which governs only its own ticket — cancelling a waiter never
+// stops (and a waiter's deadline never extends) the owner's enact, whose
+// token was composed at its own submit.
+//
 // The token also carries the deterministic fault-injection seam: an
 // optional per-round hook (set_round_hook) runs before each stop check,
 // so a FaultPlan (api/faults.hpp) can throw, stall, or cancel at a chosen

@@ -60,7 +60,18 @@ struct LaneMatrix {
   }
 };
 
+struct CacheEntryFixture {
+  std::shared_ptr<int> mutable_entry;                   // lint-expect: cache-immutable
+  const LaneMatrix* pooled_state;                       // lint-expect: cache-immutable
+  LaneMatrix* engine_buffer = nullptr;                  // lint-expect: cache-immutable
+};
+
 // ---- clean section: none of this may be flagged -----------------------------
+
+struct CleanCacheEntry {
+  // The blessed shape: an immutable snapshot that owns its bytes.
+  std::shared_ptr<const int> snapshot;
+};
 
 struct CleanLanes {
   // aligned_vector and alignas(>=32) stack words are the blessed shapes.

@@ -64,6 +64,10 @@ std::shared_ptr<const FaultPlan> plan_of(std::vector<FaultSpec> script) {
 void expect_identity(const ServerStats& s) {
   EXPECT_EQ(s.queries_submitted, s.queries_served + s.shed + s.cancelled +
                                      s.deadline_exceeded + s.worker_failures);
+  // The result cache extends the identity without adding outcome terms:
+  // hits and dedup-attached tickets resolve under `served` (or their own
+  // cancel/deadline outcome), never under a new bucket.
+  EXPECT_LE(s.cache_hits, s.queries_served);
 }
 
 // --- CancelToken -------------------------------------------------------------
@@ -329,6 +333,38 @@ TEST(ServerFaults, QueuedQueryPastBudgetIsShed) {
   const ServerStats s = server.stats();
   EXPECT_EQ(s.shed, 1u);
   EXPECT_EQ(s.queries_served, 1u);
+  expect_identity(s);
+}
+
+TEST(ServerFaults, NoDeadlineSentinelEscapesServerDefault) {
+  // Regression: deadline_us == 0 used to be both the "no deadline" and
+  // the "use the server default" spelling, so once default_deadline_us
+  // was set a client could not opt out of deadlines at all. kNoDeadline
+  // is the explicit opt-out; 0 keeps meaning "server default".
+  ServerOptions so;
+  so.num_workers = 1;
+  so.coalesce = false;
+  so.default_deadline_us = 1000;  // 1 ms default — lethal behind the stall
+  so.faults = plan_of({{FaultKind::kStall, 0, 400000}});
+  Server server(serving_graph(), so);
+
+  QueryRequest unbounded{QueryKind::kBfs, 0, {}};
+  unbounded.deadline_us = QueryRequest::kNoDeadline;
+  QueryTicket tn = server.submit(unbounded);  // wedged 400 ms, but immortal
+  wait_for_enacts(server, 1);
+
+  QueryRequest dflt{QueryKind::kBfs, 1, {}};  // 0 = inherit the 1 ms default
+  QueryTicket td = server.submit(dflt);
+
+  const QueryResult rn = tn.get();  // would be DeadlineExceeded pre-fix
+  EXPECT_FALSE(rn.late) << "no budget means never late";
+  EXPECT_TRUE(td.wait_for(5s));
+  EXPECT_EQ(td.outcome(), QueryOutcome::kDeadlineExceeded);
+  EXPECT_THROW(td.get(), DeadlineExceededError);
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.queries_served, 1u);
+  EXPECT_EQ(s.shed, 1u);
   expect_identity(s);
 }
 

@@ -565,6 +565,176 @@ TEST(OracleFuzz, ConcurrentMutationEveryEpochMatchesItsOracle) {
   }
 }
 
+TEST(OracleFuzz, ConcurrentMutationWithCacheEveryEpochMatchesItsOracle) {
+  // The result-cache closure of the mutation sweep: the same writer /
+  // client shape as above, but the server's epoch-keyed cache is ON and
+  // every client draws its sources from a 4-entry hot pool, so
+  // submit-side hits, dequeue-side hits, and singleflight attaches all
+  // fire while the graph mutates underneath. The contract is unchanged
+  // and absolute: EVERY result — hit, attached, or owner-computed —
+  // byte-matches the serial oracle on the graph of the epoch it reports
+  // (the key carries the epoch, so a cache can never serve stale bytes;
+  // the apply_updates sweep merely frees the unreachable entries).
+  // Classification is also total: a faultless cache-on run resolves each
+  // query as exactly one of hit / dedup-attached / miss-owner.
+  for (const std::uint64_t seed : kSeeds) {
+    for (const FuzzCase& c : fuzz_cases(seed)) {
+      if (c.g.num_vertices() < 2) continue;
+      DynamicGraphOptions dopt;
+      dopt.symmetric = c.symmetric;
+      dopt.compact_every = 3;
+      DynamicGraph dyn(c.g, dopt);
+
+      ServerOptions so;
+      so.num_workers = 2;
+      so.coalesce_window_us = 300;
+      so.cache.enabled = true;
+      Server server(dyn, so);
+
+      constexpr Epoch kBatches = 12;
+      constexpr std::uint32_t kThreads = 4, kPerThread = 6;
+
+      std::vector<Csr> epoch_graphs(kBatches + 1);
+      {
+        SnapshotView v0 = dyn.snapshot();
+        epoch_graphs[0] = v0.csr();
+      }
+
+      // The hot-source pool every client draws from: small enough that
+      // duplicate keys collide across threads and epochs by design.
+      std::vector<VertexId> pool;
+      {
+        Rng prng(seed ^ 0xcac4eu);
+        for (int i = 0; i < 4; ++i)
+          pool.push_back(
+              static_cast<VertexId>(prng.next_below(c.g.num_vertices())));
+      }
+
+      std::thread writer([&] {
+        std::map<std::pair<VertexId, VertexId>, Weight> adj;
+        const Csr& g0 = epoch_graphs[0];
+        for (VertexId v = 0; v < g0.num_vertices(); ++v)
+          for (EdgeId e = g0.row_start(v); e < g0.row_end(v); ++e)
+            adj[{v, g0.col_index(e)}] = g0.weight(e);
+        const auto apply_dir = [&](VertexId s, VertexId d, Weight w,
+                                   bool ins) {
+          if (ins)
+            adj[{s, d}] = w;
+          else
+            adj.erase({s, d});
+        };
+
+        Rng rng(seed * 7573 + 2024);
+        const VertexId n = c.g.num_vertices();
+        for (Epoch k = 1; k <= kBatches; ++k) {
+          std::vector<EdgeUpdate> batch;
+          for (std::uint32_t i = 0; i < 12; ++i) {
+            if (rng.next_bool(0.55) || adj.empty()) {
+              batch.push_back(EdgeUpdate::insert_edge(
+                  static_cast<VertexId>(rng.next_below(n)),
+                  static_cast<VertexId>(rng.next_below(n)),
+                  static_cast<Weight>(rng.next_in(1, 64))));
+            } else {
+              auto it = adj.begin();
+              std::advance(it,
+                           static_cast<long>(rng.next_below(adj.size())));
+              batch.push_back(
+                  EdgeUpdate::remove_edge(it->first.first, it->first.second));
+            }
+          }
+          ASSERT_EQ(server.apply_updates(batch), k) << c.name;
+          for (const EdgeUpdate& u : batch) {
+            apply_dir(u.src, u.dst, u.weight, u.insert);
+            if (dopt.symmetric && u.src != u.dst)
+              apply_dir(u.dst, u.src, u.weight, u.insert);
+          }
+          std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+          std::vector<VertexId> cols;
+          std::vector<Weight> weights;
+          for (const auto& [edge, w] : adj) {
+            offsets[edge.first + 1]++;
+            cols.push_back(edge.second);
+            weights.push_back(w);
+          }
+          for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+          epoch_graphs[k] =
+              Csr(n, std::move(offsets), std::move(cols), std::move(weights));
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+      });
+
+      struct Issued {
+        QueryRequest req;
+        QueryTicket ticket;
+      };
+      std::vector<std::vector<Issued>> issued(kThreads);
+      std::vector<std::thread> clients;
+      for (std::uint32_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+          Rng rng(seed * 911 + t);
+          for (std::uint32_t i = 0; i < kPerThread; ++i) {
+            QueryRequest req;
+            const std::uint64_t k = rng.next_below(3);
+            req.kind = k == 0   ? QueryKind::kBfs
+                       : k == 1 ? QueryKind::kSssp
+                                : QueryKind::kReachability;
+            req.source = pool[rng.next_below(pool.size())];
+            issued[t].push_back({req, server.submit(req)});
+            std::this_thread::sleep_for(std::chrono::microseconds(150));
+          }
+        });
+      }
+      for (std::thread& th : clients) th.join();
+      writer.join();
+
+      for (std::uint32_t t = 0; t < kThreads; ++t)
+        for (Issued& q : issued[t]) {
+          ASSERT_TRUE(q.ticket.wait_for(std::chrono::seconds(30)))
+              << c.name << " ticket never resolved";
+          const QueryResult r = q.ticket.get();
+          ASSERT_LE(r.epoch, kBatches) << c.name;
+          const Csr& at_epoch = epoch_graphs[r.epoch];
+          const auto depth = serial::bfs(at_epoch, q.req.source);
+          if (q.req.kind == QueryKind::kBfs) {
+            ASSERT_EQ(r.depth, depth)
+                << c.name << " epoch " << r.epoch << " src " << q.req.source
+                << (r.cached ? " (cached)" : "");
+          } else if (q.req.kind == QueryKind::kSssp) {
+            ASSERT_EQ(r.dist, serial::dijkstra(at_epoch, q.req.source))
+                << c.name << " epoch " << r.epoch << " src " << q.req.source
+                << (r.cached ? " (cached)" : "");
+          } else {
+            ASSERT_EQ(r.reachable.size(), depth.size()) << c.name;
+            for (VertexId v = 0; v < at_epoch.num_vertices(); ++v)
+              ASSERT_EQ(r.reachable[v] != 0, depth[v] != kInfinity)
+                  << c.name << " epoch " << r.epoch << " src "
+                  << q.req.source << " v " << v;
+          }
+        }
+
+      server.stop();
+      const ServerStats s = server.stats();
+      EXPECT_EQ(s.queries_submitted, kThreads * kPerThread) << c.name;
+      EXPECT_EQ(s.queries_submitted, s.queries_served)
+          << c.name << " a faultless run must serve everything";
+      EXPECT_EQ(s.cache_hits + s.dedup_attached + s.cache_misses,
+                s.queries_submitted)
+          << c.name << " every query is classified exactly once";
+      EXPECT_LE(s.cache_hits, s.queries_served) << c.name;
+      EXPECT_EQ(s.update_batches, kBatches) << c.name;
+      EXPECT_EQ(s.graph_epoch, kBatches) << c.name;
+
+      // Reclamation is unchanged by the cache: published entries are
+      // value snapshots, never pins, so one collect still leaves exactly
+      // the head snapshot alive.
+      dyn.collect();
+      const DynamicGraphStats d = dyn.stats();
+      EXPECT_EQ(d.live_snapshots, 1u) << c.name;
+      EXPECT_EQ(d.snapshots_freed, d.snapshots_created - 1) << c.name;
+    }
+  }
+}
+
 TEST(OracleFuzz, MultiWordBatchMatchesSerialEveryLane) {
   // B > 64 exercises multi-word lane masks through the full stack: packed
   // frontier, claim+split, far bank, and wake all handle words_per_vertex

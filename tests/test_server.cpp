@@ -21,9 +21,11 @@
 #include <omp.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "api/faults.hpp"
 #include "api/server.hpp"
 #include "graph/generators.hpp"
 #include "test_common.hpp"
@@ -373,6 +375,212 @@ TEST(EngineGuard, ConcurrentEnactOnOneEngineFailsLoudly) {
   // The guard threw before touching any state: the engine still serves.
   const BfsResult after = eng.bfs(0);
   EXPECT_EQ(after.depth[0], 0u);
+}
+
+// --- the result cache (docs/api.md, "The result cache") ----------------------
+
+/// Cache-on server options for the deterministic cases below: one worker
+/// (so publish always precedes the next dequeue) and solo OpenMP.
+ServerOptions cached_options(std::uint32_t workers = 1) {
+  ServerOptions so;
+  so.num_workers = workers;
+  so.omp_threads_per_worker = 1;
+  so.cache.enabled = true;
+  return so;
+}
+
+/// Spin until `n` enacts have STARTED (the stat bumps after the cache
+/// consult registers in-flight keys but before the engine runs), bounded
+/// so a wedged server fails the test instead of hanging it.
+void wait_for_enacts(const Server& s, std::uint64_t n) {
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (s.stats().enacts < n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "worker never picked up the query";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServerCache, HitServesIdenticalBytesWithoutAnEnact) {
+  const Csr& g = serving_graph();
+  ServerOptions so = cached_options();
+  so.coalesce = false;
+  Server server(g, so);
+
+  const QueryRequest req{QueryKind::kBfs, 5, {}};
+  const QueryResult miss = server.submit(req).get();
+  EXPECT_FALSE(miss.cached);
+  EXPECT_EQ(miss.batch_lanes, 1u);
+
+  const QueryResult hit = server.submit(req).get();
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.batch_lanes, 0u) << "a hit must not enact";
+
+  simt::Device dev;
+  Engine oracle(dev, g);
+  const QueryResult want = oracle_result(oracle, req);
+  expect_equal(miss, want, "miss");
+  expect_equal(hit, want, "hit");
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.enacts, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.dedup_attached, 0u);
+  EXPECT_EQ(s.cache_entries, 1u);
+  EXPECT_EQ(s.queries_served, 2u) << "hits count under served";
+}
+
+TEST(ServerCache, KeySeparatesSourceKindAndFuseOptions) {
+  Server server(serving_graph(), cached_options());
+  (void)server.submit_bfs(3).get();
+  EXPECT_FALSE(server.submit_bfs(4).get().cached) << "different source";
+  EXPECT_FALSE(server.submit_sssp(3).get().cached) << "different kind";
+  QueryOptions scalar;
+  scalar.backend.vec = simt::VecBackend::kScalar;
+  EXPECT_FALSE(server.submit_bfs(3, scalar).get().cached)
+      << "different fuse-compat options";
+  EXPECT_TRUE(server.submit_bfs(3).get().cached) << "exact key repeats hit";
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_entries, 4u);
+}
+
+TEST(ServerCache, PerQueryOptOutNeverHitsNorPublishes) {
+  ServerOptions so = cached_options();
+  so.coalesce = false;
+  Server server(serving_graph(), so);
+  QueryOptions nocache;
+  nocache.cache = false;
+
+  (void)server.submit_bfs(2, nocache).get();
+  EXPECT_FALSE(server.submit_bfs(2, nocache).get().cached)
+      << "opted-out results must not publish";
+  // An entry published by an opted-in query is invisible to an opted-out
+  // one too: opting out forces a dedicated enact, both directions.
+  (void)server.submit_bfs(2).get();
+  EXPECT_FALSE(server.submit_bfs(2, nocache).get().cached);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.enacts, 4u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 1u) << "only the opted-in query probes";
+  EXPECT_EQ(s.cache_entries, 1u);
+}
+
+TEST(ServerCache, EpochPublishInvalidatesPriorEntries) {
+  // A 0->1->2->3 chain; epoch 1 inserts the shortcut 0->3, so a stale
+  // epoch-0 hit would be byte-detectable (depth[3]: 3 vs 1).
+  const Csr chain(4, {0, 1, 2, 3, 3}, {1, 2, 3}, {1, 1, 1});
+  DynamicGraph dyn(chain, DynamicGraphOptions{});
+  ServerOptions so = cached_options();
+  so.coalesce = false;
+  Server server(dyn, so);
+
+  const QueryResult r0 = server.submit_bfs(0).get();
+  EXPECT_EQ(r0.epoch, 0u);
+  EXPECT_EQ(r0.depth[3], 3u);
+  EXPECT_TRUE(server.submit_bfs(0).get().cached) << "hot at epoch 0";
+
+  const std::vector<EdgeUpdate> shortcut{EdgeUpdate::insert_edge(0, 3, 1)};
+  ASSERT_EQ(server.apply_updates(shortcut), 1u);
+  const QueryResult r1 = server.submit_bfs(0).get();
+  EXPECT_FALSE(r1.cached) << "prior-epoch entry must be unreachable";
+  EXPECT_EQ(r1.epoch, 1u);
+  EXPECT_EQ(r1.depth[3], 1u) << "the epoch-1 edge must be visible";
+  EXPECT_TRUE(server.submit_bfs(0).get().cached) << "hot again at epoch 1";
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_GE(s.cache_evictions, 1u) << "the publish sweep frees old epochs";
+  EXPECT_EQ(s.cache_entries, 1u);
+}
+
+TEST(ServerCoalescer, InBatchDuplicatesCollapseToOneLane) {
+  // Cache OFF: the batch-build collapse alone must keep duplicate
+  // (source, fuse-key) members out of extra lanes, with the demuxed
+  // result fanned to every ticket byte-identically.
+  const Csr& g = serving_graph();
+  ServerOptions so;
+  so.num_workers = 1;
+  so.omp_threads_per_worker = 1;
+  so.coalesce_window_us = 200000;  // one wide window catches the burst
+  Server server(g, so);
+
+  std::vector<QueryTicket> dups;
+  for (int i = 0; i < 3; ++i) dups.push_back(server.submit_bfs(7));
+  QueryTicket other = server.submit_bfs(9);
+
+  simt::Device dev;
+  Engine eng(dev, g);
+  const QueryResult want7 = oracle_result(eng, {QueryKind::kBfs, 7, {}});
+  const QueryResult want9 = oracle_result(eng, {QueryKind::kBfs, 9, {}});
+  for (QueryTicket& t : dups) {
+    const QueryResult r = t.get();
+    EXPECT_EQ(r.batch_lanes, 2u) << "duplicates must share one lane";
+    EXPECT_FALSE(r.cached);
+    expect_equal(r, want7, "duplicate member");
+  }
+  expect_equal(other.get(), want9, "distinct member");
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.enacts, 1u);
+  EXPECT_EQ(s.max_lanes, 2u) << "4 members, 2 lanes";
+  EXPECT_EQ(s.dedup_attached, 2u);
+  EXPECT_EQ(s.queries_served, 4u);
+}
+
+TEST(ServerCache, SingleflightAttachedCancelLeavesOthersServed) {
+  // Wedge the owner's enact with a stall, attach two duplicates to its
+  // in-flight key, cancel ONE of them: the cancel must resolve alone,
+  // the other waiter and the owner still get the value.
+  ServerOptions so = cached_options(2);
+  so.coalesce_window_us = 0;  // drain-only batches
+  auto plan = std::make_shared<FaultPlan>();
+  plan->script = {{FaultKind::kStall, 0, 400000}};
+  so.faults = plan;
+  Server server(serving_graph(), so);
+
+  QueryTicket owner = server.submit_bfs(11);
+  wait_for_enacts(server, 1);  // key registered, worker 1 wedged mid-enact
+
+  QueryRequest dup{QueryKind::kBfs, 11, {}};
+  dup.cancel = CancelToken::make();
+  QueryTicket attached_cancel = server.submit(dup);
+  QueryTicket attached_live = server.submit_bfs(11);
+
+  // Worker 2 parks both on the wedged key; observe it, then cancel one.
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().dedup_attached < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "duplicates never attached to the in-flight key";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dup.cancel.cancel();
+
+  const QueryResult ro = owner.get();
+  EXPECT_FALSE(ro.cached);
+  ASSERT_TRUE(attached_cancel.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(attached_cancel.outcome(), QueryOutcome::kCancelled);
+  EXPECT_THROW(attached_cancel.get(), CancelledError);
+  const QueryResult rl = attached_live.get();
+  EXPECT_TRUE(rl.cached);
+  EXPECT_EQ(rl.batch_lanes, 0u);
+  EXPECT_EQ(rl.depth, ro.depth) << "fan-out bytes == owner bytes";
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.queries_served, 2u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.dedup_attached, 2u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.queries_submitted,
+            s.queries_served + s.cancelled);  // identity, no other terms
 }
 
 }  // namespace
